@@ -1,0 +1,85 @@
+// pnut-anim is the animator of Section 4.3: a visual discrete event
+// simulation of a trace read from stdin, with token flow animated over
+// the arcs. With -step it single-steps (press enter between frames),
+// which is the paper's trace-stepping mode.
+//
+//	pnut-sim -net pipeline.pn -horizon 60 | pnut-anim -net pipeline.pn -hide-idle
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/anim"
+	"repro/internal/petri"
+	"repro/internal/ptl"
+	"repro/internal/trace"
+)
+
+func main() {
+	netPath := flag.String("net", "", "path to the .pn net description (required for arc layout)")
+	steps := flag.Int("flow-steps", 3, "intermediate frames per token movement")
+	hideIdle := flag.Bool("hide-idle", false, "omit empty places from the state panel")
+	maxFrames := flag.Int("max-frames", 0, "stop after this many frames (0 = all)")
+	step := flag.Bool("step", false, "single-step: wait for enter between frames")
+	flag.Parse()
+
+	if *netPath == "" {
+		fmt.Fprintln(os.Stderr, "pnut-anim: -net is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := ptl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opt := anim.Options{
+		FlowSteps: *steps,
+		HideIdle:  *hideIdle,
+		MaxFrames: *maxFrames,
+	}
+	in := io.Reader(os.Stdin)
+	if *step {
+		// In step mode stdin is the keyboard, so the trace must come
+		// from a file argument.
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-step mode needs the trace as a file argument (stdin is the keyboard)"))
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		stdin := bufio.NewReader(os.Stdin)
+		opt.StepFunc = func() error {
+			_, err := stdin.ReadString('\n')
+			return err
+		}
+	}
+	runFrom(in, net, opt)
+}
+
+func runFrom(in io.Reader, net *petri.Net, opt anim.Options) {
+	a := anim.New(net, os.Stdout, opt)
+	r := trace.NewReader(in)
+	if _, err := r.Header(); err != nil {
+		fatal(err)
+	}
+	if _, err := trace.Copy(r, a); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pnut-anim: %d frames\n", a.Frames())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-anim:", err)
+	os.Exit(1)
+}

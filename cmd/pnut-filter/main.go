@@ -1,0 +1,57 @@
+// pnut-filter reduces a trace to the places and transitions of interest
+// (Section 4.1: "usually only a handful of places and transitions are of
+// interest in performing a particular analysis"). It reads a trace on
+// stdin and writes the filtered trace on stdout.
+//
+//	pnut-sim -net pipeline.pn | pnut-filter -places Bus_busy | pnut-stat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	places := flag.String("places", "", "comma-separated places to keep")
+	transitions := flag.String("trans", "", "comma-separated transitions to keep")
+	flag.Parse()
+
+	r := trace.NewReader(os.Stdin)
+	h, err := r.Header()
+	if err != nil {
+		fatal(err)
+	}
+	w := trace.NewWriter(os.Stdout, h, false)
+	f, err := trace.NewFilter(h, w, split(*places), split(*transitions))
+	if err != nil {
+		fatal(err)
+	}
+	n, err := trace.Copy(r, f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pnut-filter: %d records read\n", n)
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-filter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// pnut-reach is the reachability graph analyzer: it builds the untimed
+// (default) or timed (-timed) reachability graph of a net and checks
+// branching-time temporal-logic formulas against it, in the manner of
+// [MR87]. Coverability (-coverability) gives a definite unboundedness
+// answer for nets without inhibitor arcs.
+//
+//	pnut-reach -net mutex.pn -check 'AG({crit_a + crit_b <= 1})' \
+//	           -invariant 'lock=1,crit_a=1,crit_b=1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ptl"
+	"repro/internal/reach"
+)
+
+type repeated []string
+
+func (r *repeated) String() string { return strings.Join(*r, ", ") }
+
+func (r *repeated) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	netPath := flag.String("net", "", "path to the .pn net description (required)")
+	timed := flag.Bool("timed", false, "build the timed reachability graph (constant delays only)")
+	coverability := flag.Bool("coverability", false, "run Karp-Miller coverability (no inhibitor arcs)")
+	maxStates := flag.Int("max-states", 100_000, "state-space cap")
+	var checks, invariants repeated
+	flag.Var(&checks, "check", "temporal-logic formula, e.g. 'AG({p + q == 1})' (repeatable)")
+	flag.Var(&invariants, "invariant", "P-invariant 'place=weight,place=weight' (repeatable)")
+	flag.Parse()
+
+	if *netPath == "" {
+		fmt.Fprintln(os.Stderr, "pnut-reach: -net is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := ptl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opt := reach.Options{MaxStates: *maxStates}
+
+	if *coverability {
+		unbounded, err := reach.Coverability(net, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if len(unbounded) == 0 {
+			fmt.Println("coverability: all places bounded")
+		} else {
+			fmt.Printf("coverability: unbounded places: %s\n", strings.Join(unbounded, ", "))
+		}
+	}
+
+	var sg reach.StateGraph
+	if *timed {
+		g, err := reach.BuildTimed(net, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timed reachability graph of %q: %d states, %d deadlocks\n",
+			net.Name, len(g.Nodes), len(g.Deadlocks()))
+		if g.Truncated {
+			fmt.Println("  (truncated: results are lower bounds)")
+		}
+		sg = g
+	} else {
+		g, err := reach.Build(net, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(g.Summary())
+		for _, inv := range invariants {
+			weights, err := parseInvariant(inv)
+			if err != nil {
+				fatal(err)
+			}
+			v, err := g.CheckInvariant(weights)
+			if err != nil {
+				fmt.Printf("INVARIANT FAILS  %s: %v\n", inv, err)
+				continue
+			}
+			fmt.Printf("INVARIANT HOLDS  %s = %d\n", inv, v)
+		}
+		sg = g
+	}
+
+	failed := false
+	for _, c := range checks {
+		f, err := reach.ParseFormula(c)
+		if err != nil {
+			fatal(err)
+		}
+		if reach.Holds(sg, f) {
+			fmt.Printf("HOLDS  %s\n", c)
+		} else {
+			fmt.Printf("FAILS  %s\n", c)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseInvariant(s string) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("pnut-reach: invariant terms are place=weight, got %q", part)
+		}
+		weight, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil {
+			return nil, fmt.Errorf("pnut-reach: bad weight in %q", part)
+		}
+		out[strings.TrimSpace(name)] = weight
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-reach:", err)
+	os.Exit(1)
+}

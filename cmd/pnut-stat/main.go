@@ -1,0 +1,34 @@
+// pnut-stat is the statistical analysis tool of Section 4.2: it reads a
+// trace on stdin and prints the RUN / EVENT / PLACE statistics report of
+// Figure 5.
+//
+//	pnut-sim -net pipeline.pn -horizon 10000 | pnut-stat
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	r := trace.NewReader(os.Stdin)
+	h, err := r.Header()
+	if err != nil {
+		fatal(err)
+	}
+	s := stats.New(h)
+	if _, err := trace.Copy(r, s); err != nil {
+		fatal(err)
+	}
+	if err := s.Report(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-stat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Protocol: enabling times as timeout models. Section 1 notes that the
+// enabling time "is particularly convenient for modeling timeouts in
+// communications protocols" — the timer runs only while its
+// pre-conditions stay true, so an acknowledgement arriving in time
+// disables the retransmit transition and resets its clock, exactly like
+// a protocol timer.
+//
+// The model is a stop-and-wait sender over a lossy channel: send,
+// await ack; the ack inhibits the timeout; a lost message leaves the
+// timeout enabled until it fires and retransmits.
+//
+//	go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/petri"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func build(lossPercent float64) *petri.Net {
+	b := petri.NewBuilder("stop_and_wait")
+	b.Place("ready", 1)      // sender may transmit
+	b.Place("awaiting", 0)   // sender waits for the ack
+	b.Place("in_flight", 0)  // message on the channel
+	b.Place("ack_flight", 0) // ack on the channel
+	b.Place("delivered", 0)  // receiver got it (counts deliveries)
+	b.Place("retransmits", 0)
+
+	b.Trans("send").
+		In("ready").
+		Out("awaiting").Out("in_flight")
+	// The channel either delivers in 3 ticks or loses the message.
+	b.Trans("deliver").
+		In("in_flight").
+		Out("delivered").Out("ack_flight").
+		EnablingConst(3).
+		Freq(100 - lossPercent)
+	b.Trans("lose").
+		In("in_flight").
+		EnablingConst(3).
+		Freq(lossPercent)
+	// The ack takes 3 more ticks back.
+	b.Trans("ack").
+		In("ack_flight").In("awaiting").
+		Out("ready").
+		EnablingConst(3)
+	// The timeout (10 ticks) runs only while the sender is awaiting and
+	// nothing is in flight to it; a timely ack removes `awaiting` and
+	// resets the timer — the enabling-time semantics.
+	b.Trans("timeout").
+		In("awaiting").
+		Inhib("ack_flight").
+		Out("ready").Out("retransmits").
+		EnablingConst(10)
+	return b.MustBuild()
+}
+
+func main() {
+	for _, loss := range []float64{0, 10, 30, 50} {
+		net := build(loss)
+		h := trace.HeaderOf(net)
+		s := stats.New(h)
+		qb := query.NewBuilder(h)
+		if _, err := sim.Run(net, trace.Tee{s, qb}, sim.Options{Horizon: 50_000, Seed: 3}); err != nil {
+			log.Fatal(err)
+		}
+		sends, _ := s.EventRowByName("send")
+		timeouts, _ := s.EventRowByName("timeout")
+		delivered, _ := s.Throughput("deliver")
+		fmt.Printf("loss %2.0f%%: %5d sends, %5d timeouts, goodput %.4f msgs/tick\n",
+			loss, sends.Ends, timeouts.Ends, delivered)
+
+		// Verification: whenever a message is awaiting, the sender
+		// inevitably becomes ready again (ack or timeout) — no deadlock
+		// in this run.
+		res, err := query.Check(qb.Seq(),
+			"forall s in {s2 in S | awaiting(s2) && time(s2) < 49900} [ inev(s, ready(C) > 0) ]")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Holds {
+			fmt.Printf("  WARNING: liveness query failed at state %d\n", res.Witness)
+		}
+	}
+	fmt.Println("\ntimeouts scale with loss; goodput degrades gracefully —")
+	fmt.Println("the timeout timer never fires when the ack arrives within 6 ticks.")
+}

@@ -1,0 +1,204 @@
+// Package analytic implements the analytical (as opposed to
+// simulation) performance evaluation the paper's conclusion refers to,
+// in the manner of [RP84] (Razouk & Phelps, "Performance analysis
+// using timed Petri nets"): the timed reachability graph of a
+// deterministic-delay net is interpreted as a semi-Markov process —
+// probabilistic branching at conflict states (probabilities
+// proportional to relative firing frequencies, exactly as the
+// simulator resolves races), deterministic sojourn times on
+// time-advance edges — and its stationary distribution yields *exact*
+// place utilizations and transition throughputs, no simulation run and
+// no confidence intervals needed.
+//
+// Requirements are those of reach.BuildTimed (constant delays, no
+// predicates/actions) plus a live steady state: a reachable deadlock
+// means no stationary behaviour and is reported as an error.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/petri"
+	"repro/internal/reach"
+)
+
+// Result holds the analytic steady-state solution.
+type Result struct {
+	// States is the number of timed states.
+	States int
+	// MeanSojourn is the expected time per embedded-chain step (the
+	// normalization constant Σ π·h).
+	MeanSojourn float64
+
+	net       *petri.Net
+	graph     *reach.TimedGraph
+	pi        []float64 // embedded-chain stationary distribution
+	timeShare []float64 // time-stationary distribution (π·h normalized)
+}
+
+// Options re-exports the state-space controls.
+type Options = reach.Options
+
+// Evaluate builds the timed reachability graph of net and solves the
+// embedded Markov chain.
+func Evaluate(net *petri.Net, opt Options) (*Result, error) {
+	g, err := reach.BuildTimed(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	if g.Truncated {
+		cap := opt.MaxStates
+		if cap <= 0 {
+			cap = 100_000
+		}
+		return nil, fmt.Errorf("analytic: timed state space exceeds %d states (is the net bounded?)", cap)
+	}
+	if dl := g.Deadlocks(); len(dl) > 0 {
+		return nil, fmt.Errorf("analytic: net deadlocks (e.g. state %d: %s); no steady state",
+			dl[0], g.Nodes[dl[0]].Marking.Format(net))
+	}
+	n := len(g.Nodes)
+	// Transition probabilities and sojourn times.
+	type edge struct {
+		to int
+		p  float64
+	}
+	edges := make([][]edge, n)
+	sojourn := make([]float64, n)
+	for i, node := range g.Nodes {
+		if len(node.Out) == 1 && node.Out[0].Trans == reach.TimeAdvance {
+			sojourn[i] = float64(node.Out[0].Delta)
+			edges[i] = []edge{{to: node.Out[0].To, p: 1}}
+			continue
+		}
+		// Conflict state: the simulator picks among ripe transitions
+		// with probability proportional to frequency; the timed graph
+		// has one start edge per ripe transition.
+		total := 0.0
+		for _, e := range node.Out {
+			total += net.Trans[e.Trans].EffFreq()
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("analytic: state %d has no weighted successors", i)
+		}
+		for _, e := range node.Out {
+			edges[i] = append(edges[i], edge{to: e.To, p: net.Trans[e.Trans].EffFreq() / total})
+		}
+	}
+	// Stationary distribution of the embedded chain by power iteration
+	// with Cesàro averaging (deterministic nets are periodic; plain
+	// power iteration would oscillate).
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	avg := make([]float64, n)
+	prevAvg := make([]float64, n)
+	pi[0] = 1
+	const maxIter = 200_000
+	const tol = 1e-12
+	steps := 0.0
+	for iter := 1; iter <= maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i, p := range pi {
+			if p == 0 {
+				continue
+			}
+			for _, e := range edges[i] {
+				next[e.to] += p * e.p
+			}
+		}
+		pi, next = next, pi
+		steps++
+		for i := range avg {
+			avg[i] += (pi[i] - avg[i]) / steps
+		}
+		if iter%64 == 0 {
+			d := 0.0
+			for i := range avg {
+				d += math.Abs(avg[i] - prevAvg[i])
+			}
+			copy(prevAvg, avg)
+			if d < tol && iter > 256 {
+				break
+			}
+		}
+	}
+	// Time-stationary distribution.
+	r := &Result{States: n, net: net, graph: g, pi: avg}
+	var norm float64
+	r.timeShare = make([]float64, n)
+	for i := range avg {
+		r.timeShare[i] = avg[i] * sojourn[i]
+		norm += r.timeShare[i]
+	}
+	if norm <= 0 {
+		return nil, fmt.Errorf("analytic: zero mean sojourn (net is untimed?)")
+	}
+	for i := range r.timeShare {
+		r.timeShare[i] /= norm
+	}
+	r.MeanSojourn = norm
+	return r, nil
+}
+
+// Utilization returns the time-stationary expected token count of a
+// place — the analytic counterpart of the stat tool's "avg tokens".
+func (r *Result) Utilization(place string) (float64, error) {
+	id, ok := r.net.PlaceID(place)
+	if !ok {
+		return 0, fmt.Errorf("analytic: unknown place %q", place)
+	}
+	u := 0.0
+	for i, share := range r.timeShare {
+		u += share * float64(r.graph.Nodes[i].Marking[id])
+	}
+	return u, nil
+}
+
+// Throughput returns the steady-state firing rate of a transition per
+// unit time — the analytic counterpart of the stat tool's throughput.
+func (r *Result) Throughput(transition string) (float64, error) {
+	id, ok := r.net.TransIDByName(transition)
+	if !ok {
+		return 0, fmt.Errorf("analytic: unknown transition %q", transition)
+	}
+	// Expected number of firings of id per embedded step, divided by
+	// the expected time per step.
+	starts := 0.0
+	for i, node := range r.graph.Nodes {
+		if r.pi[i] == 0 || len(node.Out) == 0 {
+			continue
+		}
+		if node.Out[0].Trans == reach.TimeAdvance {
+			continue
+		}
+		total := 0.0
+		for _, e := range node.Out {
+			total += r.net.Trans[e.Trans].EffFreq()
+		}
+		for _, e := range node.Out {
+			if e.Trans == id {
+				starts += r.pi[i] * r.net.Trans[e.Trans].EffFreq() / total
+			}
+		}
+	}
+	return starts / r.MeanSojourn, nil
+}
+
+// ProbMarked returns the time-stationary probability that a place holds
+// at least min tokens (e.g. the fraction of time the bus is busy).
+func (r *Result) ProbMarked(place string, min int) (float64, error) {
+	id, ok := r.net.PlaceID(place)
+	if !ok {
+		return 0, fmt.Errorf("analytic: unknown place %q", place)
+	}
+	p := 0.0
+	for i, share := range r.timeShare {
+		if r.graph.Nodes[i].Marking[id] >= min {
+			p += share
+		}
+	}
+	return p, nil
+}

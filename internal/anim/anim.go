@@ -1,0 +1,177 @@
+// Package anim is the P-NUT animator (Section 4.3): a visual discrete
+// event simulation of a trace. The paper's animator runs on a bitmap
+// workstation; this one renders text frames, but it keeps the property
+// the paper calls out as essential: tokens do not simply disappear and
+// reappear — each firing is animated as tokens flowing *over the arcs*,
+// in several intermediate frames, "to give the user time to understand
+// the effect of state transitions".
+//
+// The animator consumes a trace (it implements trace.Observer) and
+// emits frames to an io.Writer. FlowSteps controls how many in-between
+// positions each token movement gets; single-stepping is available
+// through the StepFunc hook, which the pnut-anim tool wires to "press
+// enter to continue".
+package anim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// Options configure the animation.
+type Options struct {
+	// FlowSteps is the number of intermediate token positions drawn per
+	// event (default 3). 1 draws a single frame per event.
+	FlowSteps int
+	// TrackWidth is the length of the arc track in characters
+	// (default 24).
+	TrackWidth int
+	// HideIdle omits places that currently hold no tokens from the state
+	// panel (keeps frames small for big nets).
+	HideIdle bool
+	// MaxFrames stops the animation after this many frames (0 =
+	// unlimited); protects against animating a week-long trace by
+	// accident.
+	MaxFrames int
+	// StepFunc, if non-nil, is called between frames: the single-step
+	// hook. Returning an error aborts the animation.
+	StepFunc func() error
+}
+
+// Animator renders trace records as animation frames.
+type Animator struct {
+	net    *petri.Net
+	w      io.Writer
+	opt    Options
+	m      petri.Marking
+	frames int
+	err    error
+}
+
+// New returns an animator for net writing frames to w.
+func New(net *petri.Net, w io.Writer, opt Options) *Animator {
+	if opt.FlowSteps <= 0 {
+		opt.FlowSteps = 3
+	}
+	if opt.TrackWidth <= 0 {
+		opt.TrackWidth = 24
+	}
+	return &Animator{net: net, w: w, opt: opt, m: make(petri.Marking, net.NumPlaces())}
+}
+
+// Frames returns the number of frames emitted so far.
+func (a *Animator) Frames() int { return a.frames }
+
+// Record implements trace.Observer.
+func (a *Animator) Record(rec *trace.Record) error {
+	if a.err != nil {
+		return a.err
+	}
+	switch rec.Kind {
+	case trace.Initial:
+		a.m = rec.Marking.Clone()
+		a.err = a.frame(rec.Time, "initial state", nil, 0, 0)
+	case trace.Start:
+		a.err = a.animateEvent(rec, true)
+	case trace.End:
+		a.err = a.animateEvent(rec, false)
+	case trace.Final:
+		a.err = a.frame(rec.Time, fmt.Sprintf("end of run (%d events)", rec.Ends), nil, 0, 0)
+	}
+	return a.err
+}
+
+// animateEvent draws FlowSteps frames of tokens moving along arcs, then
+// applies the deltas and draws the settled frame.
+func (a *Animator) animateEvent(rec *trace.Record, isStart bool) error {
+	tr := &a.net.Trans[rec.Trans]
+	verb := "fires"
+	if tr.Firing != nil {
+		if isStart {
+			verb = "starts firing"
+		} else {
+			verb = "completes"
+		}
+	}
+	caption := fmt.Sprintf("%s %s", tr.Name, verb)
+	for step := 1; step <= a.opt.FlowSteps; step++ {
+		if err := a.frame(rec.Time, caption, rec, step, a.opt.FlowSteps); err != nil {
+			return err
+		}
+	}
+	for _, d := range rec.Deltas {
+		a.m[d.Place] += d.Change
+	}
+	return a.frame(rec.Time, caption+" (settled)", nil, 0, 0)
+}
+
+func tokenDots(n int) string {
+	const cap = 12
+	if n <= 0 {
+		return ""
+	}
+	if n <= cap {
+		return strings.Repeat("o", n)
+	}
+	return fmt.Sprintf("%s(+%d)", strings.Repeat("o", cap), n-cap)
+}
+
+// frame renders one frame: header, state panel and (if rec != nil) the
+// arc tracks with the moving token at position step/of.
+func (a *Animator) frame(t petri.Time, caption string, rec *trace.Record, step, of int) error {
+	if a.opt.MaxFrames > 0 && a.frames >= a.opt.MaxFrames {
+		return nil
+	}
+	if a.opt.StepFunc != nil && a.frames > 0 {
+		if err := a.opt.StepFunc(); err != nil {
+			return err
+		}
+	}
+	a.frames++
+	var b strings.Builder
+	fmt.Fprintf(&b, "─── frame %d  t=%d  %s\n", a.frames, t, caption)
+	nameW := 0
+	for _, p := range a.net.Places {
+		if len(p.Name) > nameW {
+			nameW = len(p.Name)
+		}
+	}
+	for i, p := range a.net.Places {
+		if a.opt.HideIdle && a.m[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-*s [%d] %s\n", nameW, p.Name, a.m[i], tokenDots(a.m[i]))
+	}
+	if rec != nil {
+		tr := &a.net.Trans[rec.Trans]
+		pos := a.opt.TrackWidth * step / (of + 1)
+		track := func(from, to string, weight int) {
+			line := strings.Repeat("-", a.opt.TrackWidth)
+			marker := "o"
+			if weight > 1 {
+				marker = fmt.Sprintf("%d", weight)
+			}
+			p := pos
+			if p+len(marker) > a.opt.TrackWidth {
+				p = a.opt.TrackWidth - len(marker)
+			}
+			line = line[:p] + marker + line[p+len(marker):]
+			fmt.Fprintf(&b, "  %-*s =%s=> %s\n", nameW, from, line, to)
+		}
+		if rec.Kind == trace.Start {
+			for _, arc := range tr.In {
+				track(a.net.Places[arc.Place].Name, "["+tr.Name+"]", arc.Weight)
+			}
+		} else {
+			for _, arc := range tr.Out {
+				track("["+tr.Name+"]", a.net.Places[arc.Place].Name, arc.Weight)
+			}
+		}
+	}
+	_, err := io.WriteString(a.w, b.String())
+	return err
+}

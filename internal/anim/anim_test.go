@@ -1,0 +1,145 @@
+package anim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+func tinyNet(t *testing.T) *petri.Net {
+	t.Helper()
+	b := petri.NewBuilder("tiny")
+	b.Place("a", 2)
+	b.Place("b", 0)
+	b.Trans("move").In("a", 2).Out("b").FiringConst(3)
+	return b.MustBuild()
+}
+
+func TestAnimationFrames(t *testing.T) {
+	net := tinyNet(t)
+	var out strings.Builder
+	a := New(net, &out, Options{FlowSteps: 2})
+	if _, err := sim.Run(net, a, sim.Options{Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Initial frame, 2 flow frames + settled for Start, same for End,
+	// final frame: 8 frames.
+	if a.Frames() != 8 {
+		t.Errorf("frames = %d, want 8\n%s", a.Frames(), text)
+	}
+	for _, want := range []string{
+		"initial state",
+		"move starts firing",
+		"move completes",
+		"end of run",
+		"a", "b",
+		"[move]",
+		"=>", // arc tracks
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("animation missing %q", want)
+		}
+	}
+	// The weight-2 arc is drawn with its weight as the moving marker.
+	if !strings.Contains(text, "2") {
+		t.Error("weighted arc marker missing")
+	}
+	// Token flows over the arc: the marker must appear at different
+	// positions in successive flow frames.
+	lines := strings.Split(text, "\n")
+	var positions []int
+	for _, l := range lines {
+		if strings.Contains(l, "=> [move]") {
+			positions = append(positions, strings.IndexByte(l, '2'))
+		}
+	}
+	if len(positions) != 2 || positions[0] == positions[1] {
+		t.Errorf("marker did not move: %v", positions)
+	}
+}
+
+func TestTokenDots(t *testing.T) {
+	if tokenDots(0) != "" {
+		t.Error("zero tokens should render empty")
+	}
+	if tokenDots(3) != "ooo" {
+		t.Errorf("3 tokens: %q", tokenDots(3))
+	}
+	if got := tokenDots(20); !strings.Contains(got, "(+8)") {
+		t.Errorf("overflow rendering: %q", got)
+	}
+}
+
+func TestHideIdle(t *testing.T) {
+	net := tinyNet(t)
+	var out strings.Builder
+	a := New(net, &out, Options{FlowSteps: 1, HideIdle: true})
+	if _, err := sim.Run(net, a, sim.Options{Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// In the initial frame b is empty and must not appear on a state
+	// panel line ("  b [0]").
+	if strings.Contains(out.String(), "b [0]") {
+		t.Error("idle place shown despite HideIdle")
+	}
+}
+
+func TestMaxFramesStops(t *testing.T) {
+	net := tinyNet(t)
+	var out strings.Builder
+	a := New(net, &out, Options{FlowSteps: 3, MaxFrames: 2})
+	if _, err := sim.Run(net, a, sim.Options{Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Frames() != 2 {
+		t.Errorf("frames = %d, want 2", a.Frames())
+	}
+}
+
+func TestStepFuncAbort(t *testing.T) {
+	net := tinyNet(t)
+	var out strings.Builder
+	calls := 0
+	boom := errors.New("stop")
+	a := New(net, &out, Options{FlowSteps: 1, StepFunc: func() error {
+		calls++
+		if calls >= 2 {
+			return boom
+		}
+		return nil
+	}})
+	_, err := sim.Run(net, a, sim.Options{Horizon: 10})
+	if !errors.Is(err, boom) {
+		t.Errorf("expected step abort to propagate, got %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("step calls = %d", calls)
+	}
+}
+
+func TestFigure6PipelineAnimation(t *testing.T) {
+	// Figure 6: animate the pipeline model itself for a short window.
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	a := New(net, &out, Options{FlowSteps: 2, HideIdle: true, MaxFrames: 120})
+	if _, err := sim.Run(net, a, sim.Options{Horizon: 40, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Start_prefetch", "Decode", "Empty_I_buffers"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pipeline animation missing %q", want)
+		}
+	}
+	if a.Frames() != 120 {
+		t.Errorf("frames = %d, want the MaxFrames cap of 120", a.Frames())
+	}
+}

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a node of the expression tree. Expressions evaluate to int64;
+// boolean contexts treat nonzero as true.
+type Expr interface {
+	// Eval evaluates the expression in env.
+	Eval(env *Env) (int64, error)
+	// String renders the expression back to source form.
+	String() string
+	// walk visits this node and its children.
+	walk(fn func(Expr))
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// VarRef reads a variable (or an external name such as a place; see
+// Env.External).
+type VarRef struct{ Name string }
+
+// Index reads element [Idx] of table Name (zero-based).
+type Index struct {
+	Name string
+	Idx  Expr
+}
+
+// Call invokes a builtin function: irand, abs, min, max, len, sum.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Unary is -X or !X.
+type Unary struct {
+	Op Kind // MINUS or NOT
+	X  Expr
+}
+
+// Binary is a binary operation (arithmetic, comparison, && / ||).
+// && and || short-circuit.
+type Binary struct {
+	Op   Kind
+	L, R Expr
+}
+
+// Cond is the ternary conditional If ? Then : Else.
+type Cond struct {
+	If, Then, Else Expr
+}
+
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e *VarRef) String() string { return e.Name }
+func (e *Index) String() string  { return fmt.Sprintf("%s[%s]", e.Name, e.Idx) }
+
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+var opText = map[Kind]string{
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PCT: "%",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	AND: "&&", OR: "||", NOT: "!",
+}
+
+func (e *Unary) String() string {
+	return fmt.Sprintf("%s%s", opText[e.Op], e.X)
+}
+
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, opText[e.Op], e.R)
+}
+
+func (e *Cond) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.If, e.Then, e.Else)
+}
+
+func (e *IntLit) walk(fn func(Expr)) { fn(e) }
+func (e *VarRef) walk(fn func(Expr)) { fn(e) }
+func (e *Index) walk(fn func(Expr))  { fn(e); e.Idx.walk(fn) }
+func (e *Call) walk(fn func(Expr)) {
+	fn(e)
+	for _, a := range e.Args {
+		a.walk(fn)
+	}
+}
+func (e *Unary) walk(fn func(Expr))  { fn(e); e.X.walk(fn) }
+func (e *Binary) walk(fn func(Expr)) { fn(e); e.L.walk(fn); e.R.walk(fn) }
+func (e *Cond) walk(fn func(Expr)) {
+	fn(e)
+	e.If.walk(fn)
+	e.Then.walk(fn)
+	e.Else.walk(fn)
+}
+
+// Stmt is a statement: an assignment to a variable or a table element.
+type Stmt struct {
+	Name string
+	Idx  Expr // nil for plain variable assignment
+	RHS  Expr
+}
+
+func (s *Stmt) String() string {
+	if s.Idx != nil {
+		return fmt.Sprintf("%s[%s] = %s;", s.Name, s.Idx, s.RHS)
+	}
+	return fmt.Sprintf("%s = %s;", s.Name, s.RHS)
+}
+
+// Program is a sequence of statements — the body of a transition action.
+type Program struct {
+	Stmts []Stmt
+	src   string
+}
+
+func (p *Program) String() string {
+	if p.src != "" {
+		return p.src
+	}
+	parts := make([]string, len(p.Stmts))
+	for i := range p.Stmts {
+		parts[i] = p.Stmts[i].String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Names returns every variable, table and call name referenced by e, in
+// first-appearance order. Tracertool uses this to resolve which places and
+// transitions a user-defined function observes.
+func Names(e Expr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	e.walk(func(n Expr) {
+		switch x := n.(type) {
+		case *VarRef:
+			add(x.Name)
+		case *Index:
+			add(x.Name)
+		}
+	})
+	return out
+}

@@ -1,0 +1,105 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Env holds the variable and table state an expression evaluates against:
+// the "data" part of an interpreted net. An Env also carries the random
+// source used by irand and an optional External lookup through which
+// Tracertool resolves place and transition names in user-defined
+// functions.
+type Env struct {
+	vars   map[string]int64
+	tables map[string][]int64
+
+	// Rand is the random source for irand. It may be nil, in which case
+	// irand reports an error (useful for side-effect-free analysis such as
+	// reachability, where randomness must be rejected).
+	Rand *rand.Rand
+
+	// External, if non-nil, resolves names not bound as variables. Lookups
+	// fall back to it before reporting an undefined-variable error.
+	External func(name string) (int64, bool)
+}
+
+// NewEnv returns an empty environment using r for irand.
+func NewEnv(r *rand.Rand) *Env {
+	return &Env{
+		vars:   make(map[string]int64),
+		tables: make(map[string][]int64),
+		Rand:   r,
+	}
+}
+
+// Set binds variable name to v.
+func (e *Env) Set(name string, v int64) { e.vars[name] = v }
+
+// Get reads variable name, consulting External for unbound names.
+func (e *Env) Get(name string) (int64, bool) {
+	if v, ok := e.vars[name]; ok {
+		return v, true
+	}
+	if e.External != nil {
+		return e.External(name)
+	}
+	return 0, false
+}
+
+// SetTable binds a table. Tables are indexed zero-based by the language.
+func (e *Env) SetTable(name string, vals []int64) {
+	e.tables[name] = append([]int64(nil), vals...)
+}
+
+// Table returns the table bound to name.
+func (e *Env) Table(name string) ([]int64, bool) {
+	t, ok := e.tables[name]
+	return t, ok
+}
+
+// VarNames returns the bound variable names in sorted order.
+func (e *Env) VarNames() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the variable and table state. The random
+// source and External hook are shared.
+func (e *Env) Clone() *Env {
+	c := NewEnv(e.Rand)
+	c.External = e.External
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	for k, v := range e.tables {
+		c.tables[k] = append([]int64(nil), v...)
+	}
+	return c
+}
+
+// Snapshot returns the variable state as a plain map (for traces and
+// debugging).
+func (e *Env) Snapshot() map[string]int64 {
+	m := make(map[string]int64, len(e.vars))
+	for k, v := range e.vars {
+		m[k] = v
+	}
+	return m
+}
+
+// Fingerprint returns a deterministic string encoding of the variable
+// state; the reachability analyzer uses it to hash interpreted-net states.
+func (e *Env) Fingerprint() string {
+	names := e.VarNames()
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%s=%d;", n, e.vars[n])
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+package expr
+
+import "fmt"
+
+// An EvalError reports a runtime evaluation failure (undefined name,
+// division by zero, bad table index, ...).
+type EvalError struct {
+	Node string
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("expr: eval %s: %s", e.Node, e.Msg)
+}
+
+func evalErr(node Expr, format string, args ...any) error {
+	return &EvalError{Node: node.String(), Msg: fmt.Sprintf(format, args...)}
+}
+
+var builtins = map[string]struct{ min, max int }{
+	"irand": {2, 2}, // irand(lo, hi): uniform integer in [lo, hi]
+	"abs":   {1, 1},
+	"min":   {2, -1},
+	"max":   {2, -1},
+	"len":   {1, 1}, // len(table) — argument must be a bare table name
+	"sum":   {1, -1},
+}
+
+func isBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
+func (e *IntLit) Eval(env *Env) (int64, error) { return e.Val, nil }
+
+func (e *VarRef) Eval(env *Env) (int64, error) {
+	if v, ok := env.Get(e.Name); ok {
+		return v, nil
+	}
+	return 0, evalErr(e, "undefined name %q", e.Name)
+}
+
+func (e *Index) Eval(env *Env) (int64, error) {
+	tbl, ok := env.Table(e.Name)
+	if !ok {
+		return 0, evalErr(e, "undefined table %q", e.Name)
+	}
+	i, err := e.Idx.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= int64(len(tbl)) {
+		return 0, evalErr(e, "index %d out of range for table %q (len %d)", i, e.Name, len(tbl))
+	}
+	return tbl[i], nil
+}
+
+func (e *Call) Eval(env *Env) (int64, error) {
+	sig, ok := builtins[e.Name]
+	if !ok {
+		return 0, evalErr(e, "unknown function %q", e.Name)
+	}
+	if len(e.Args) < sig.min || (sig.max >= 0 && len(e.Args) > sig.max) {
+		return 0, evalErr(e, "wrong argument count %d for %s", len(e.Args), e.Name)
+	}
+	// len(table) takes a table name rather than a value.
+	if e.Name == "len" {
+		ref, ok := e.Args[0].(*VarRef)
+		if !ok {
+			return 0, evalErr(e, "len requires a table name")
+		}
+		tbl, ok := env.Table(ref.Name)
+		if !ok {
+			return 0, evalErr(e, "undefined table %q", ref.Name)
+		}
+		return int64(len(tbl)), nil
+	}
+	args := make([]int64, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	switch e.Name {
+	case "irand":
+		lo, hi := args[0], args[1]
+		if lo > hi {
+			return 0, evalErr(e, "irand(%d, %d): empty range", lo, hi)
+		}
+		if env.Rand == nil {
+			return 0, evalErr(e, "irand used without a random source")
+		}
+		return lo + env.Rand.Int63n(hi-lo+1), nil
+	case "abs":
+		if args[0] < 0 {
+			return -args[0], nil
+		}
+		return args[0], nil
+	case "min":
+		m := args[0]
+		for _, v := range args[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "max":
+		m := args[0]
+		for _, v := range args[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case "sum":
+		var s int64
+		for _, v := range args {
+			s += v
+		}
+		return s, nil
+	}
+	return 0, evalErr(e, "unimplemented builtin %q", e.Name)
+}
+
+func (e *Unary) Eval(env *Env) (int64, error) {
+	v, err := e.X.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case MINUS:
+		return -v, nil
+	case NOT:
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, evalErr(e, "bad unary operator")
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *Binary) Eval(env *Env) (int64, error) {
+	l, err := e.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit logical operators.
+	switch e.Op {
+	case AND:
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := e.R.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(r != 0), nil
+	case OR:
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := e.R.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return boolVal(r != 0), nil
+	}
+	r, err := e.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case PLUS:
+		return l + r, nil
+	case MINUS:
+		return l - r, nil
+	case STAR:
+		return l * r, nil
+	case SLASH:
+		if r == 0 {
+			return 0, evalErr(e, "division by zero")
+		}
+		return l / r, nil
+	case PCT:
+		if r == 0 {
+			return 0, evalErr(e, "modulo by zero")
+		}
+		return l % r, nil
+	case EQ:
+		return boolVal(l == r), nil
+	case NE:
+		return boolVal(l != r), nil
+	case LT:
+		return boolVal(l < r), nil
+	case LE:
+		return boolVal(l <= r), nil
+	case GT:
+		return boolVal(l > r), nil
+	case GE:
+		return boolVal(l >= r), nil
+	}
+	return 0, evalErr(e, "bad binary operator")
+}
+
+func (e *Cond) Eval(env *Env) (int64, error) {
+	c, err := e.If.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if c != 0 {
+		return e.Then.Eval(env)
+	}
+	return e.Else.Eval(env)
+}
+
+// EvalBool evaluates e and interprets the result as a boolean
+// (nonzero = true). Transition predicates are evaluated this way.
+func EvalBool(e Expr, env *Env) (bool, error) {
+	v, err := e.Eval(env)
+	return v != 0, err
+}
+
+// Exec runs every statement of the program in order. Assigning to an
+// unbound variable creates it; assigning to a table element requires the
+// table to exist and the index to be in range.
+func (p *Program) Exec(env *Env) error {
+	for i := range p.Stmts {
+		s := &p.Stmts[i]
+		v, err := s.RHS.Eval(env)
+		if err != nil {
+			return err
+		}
+		if s.Idx == nil {
+			env.Set(s.Name, v)
+			continue
+		}
+		tbl, ok := env.Table(s.Name)
+		if !ok {
+			return &EvalError{Node: s.String(), Msg: fmt.Sprintf("undefined table %q", s.Name)}
+		}
+		idx, err := s.Idx.Eval(env)
+		if err != nil {
+			return err
+		}
+		if idx < 0 || idx >= int64(len(tbl)) {
+			return &EvalError{Node: s.String(), Msg: fmt.Sprintf("index %d out of range for table %q", idx, s.Name)}
+		}
+		// Table returned a copy-on-write view? No: SetTable copies in, and
+		// Table returns the live slice, so write through it.
+		env.tables[s.Name][idx] = v
+	}
+	return nil
+}
+
+// MustParseExpr is ParseExpr that panics on error; for statically known
+// model source (the pipeline models).
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

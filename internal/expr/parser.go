@@ -1,0 +1,282 @@
+package expr
+
+// Recursive-descent parser. Precedence (loosest to tightest):
+//
+//	?:   conditional
+//	||
+//	&&
+//	== != < <= > >=
+//	+ -
+//	* / %
+//	unary - !
+//	literals, names, table[index], builtin(args), (expr)
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return Token{}, errAt(t.Pos, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+// ParseExpr parses a single expression, e.g. a transition predicate.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != EOF {
+		return nil, errAt(t.Pos, "unexpected %s after expression", t)
+	}
+	return e, nil
+}
+
+// Parse parses a statement sequence, e.g. a transition action. Trailing
+// semicolons are optional after the final statement.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{src: src}
+	for p.peek().Kind != EOF {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, st)
+		// Consume statement separators.
+		for p.peek().Kind == SEMI {
+			p.advance()
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return Stmt{}, err
+	}
+	var idx Expr
+	if p.peek().Kind == LBRACK {
+		p.advance()
+		idx, err = p.parseCond()
+		if err != nil {
+			return Stmt{}, err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return Stmt{}, err
+		}
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return Stmt{}, err
+	}
+	rhs, err := p.parseCond()
+	if err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Name: name.Text, Idx: idx, RHS: rhs}, nil
+}
+
+func (p *parser) parseCond() (Expr, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != QUEST {
+		return cond, nil
+	}
+	p.advance()
+	then, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	els, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{If: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == OR {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OR, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == AND {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: AND, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().Kind; k {
+	case EQ, NE, LT, LE, GT, GE:
+		p.advance()
+		r, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: k, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		if k != PLUS && k != MINUS {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: k, L: l, R: r}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().Kind
+		if k != STAR && k != SLASH && k != PCT {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: k, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch k := p.peek().Kind; k {
+	case MINUS, NOT:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: k, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.advance()
+		return &IntLit{Val: t.Val}, nil
+	case LPAREN:
+		p.advance()
+		e, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.advance()
+		switch p.peek().Kind {
+		case LPAREN:
+			p.advance()
+			var args []Expr
+			if p.peek().Kind != RPAREN {
+				for {
+					a, err := p.parseCond()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind != COMMA {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			if !isBuiltin(t.Text) {
+				return nil, errAt(t.Pos, "unknown function %q", t.Text)
+			}
+			return &Call{Name: t.Text, Args: args}, nil
+		case LBRACK:
+			p.advance()
+			idx, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			return &Index{Name: t.Text, Idx: idx}, nil
+		}
+		return &VarRef{Name: t.Text}, nil
+	}
+	return nil, errAt(t.Pos, "expected expression, found %s", t)
+}

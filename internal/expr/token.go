@@ -1,0 +1,89 @@
+// Package expr implements the small expression/statement language used by
+// interpreted Petri nets (transition predicates and actions, Section 3 of
+// the paper) and by Tracertool user-defined functions (Section 4.4).
+//
+// The language operates on 64-bit integers. It supports variables, integer
+// tables (arrays), arithmetic, comparisons, boolean connectives, a
+// conditional operator, assignment statements and a handful of builtins —
+// most importantly irand(lo, hi), the paper's random instruction-type
+// selector.
+//
+// The paper writes actions in a bracketed form such as
+//
+//	[[][type]  type = irand[1, max-type]; ... ]
+//
+// We use a conventional C-like surface syntax instead:
+//
+//	type = irand(1, max_type); number_of_operands_needed = operands[type];
+//
+// Identifiers use underscores where the paper uses hyphens (hyphens would
+// be ambiguous with subtraction).
+package expr
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	INT
+	IDENT
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	PCT    // %
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	COMMA  // ,
+	SEMI   // ;
+	ASSIGN // =
+	EQ     // ==
+	NE     // !=
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+	AND    // &&
+	OR     // ||
+	NOT    // !
+	QUEST  // ?
+	COLON  // :
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", INT: "integer", IDENT: "identifier",
+	PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'", PCT: "'%'",
+	LPAREN: "'('", RPAREN: "')'", LBRACK: "'['", RBRACK: "']'",
+	COMMA: "','", SEMI: "';'", ASSIGN: "'='", EQ: "'=='", NE: "'!='",
+	LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	AND: "'&&'", OR: "'||'", NOT: "'!'", QUEST: "'?'", COLON: "':'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position (byte offset).
+type Token struct {
+	Kind Kind
+	Text string // for INT and IDENT
+	Val  int64  // for INT
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case INT, IDENT:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,164 @@
+package integration_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the cmd/ binaries once into a temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	dir := t.TempDir()
+	out := make(map[string]string, len(names))
+	for _, n := range names {
+		bin := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+n)
+		cmd.Dir = repoRoot(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", n, err, b)
+		}
+		out[n] = bin
+	}
+	return out
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func testdataPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(repoRoot(t), "testdata", name)
+}
+
+// TestCLISimStatPipe runs pnut-sim | pnut-stat exactly as the paper
+// pipes its tools.
+func TestCLISimStatPipe(t *testing.T) {
+	bins := buildTools(t, "pnut-sim", "pnut-stat", "pnut-filter")
+	simOut, err := exec.Command(bins["pnut-sim"],
+		"-net", testdataPath(t, "pipeline.pn"), "-horizon", "2000", "-seed", "3").Output()
+	if err != nil {
+		t.Fatalf("pnut-sim: %v", err)
+	}
+	stat := exec.Command(bins["pnut-stat"])
+	stat.Stdin = bytes.NewReader(simOut)
+	report, err := stat.Output()
+	if err != nil {
+		t.Fatalf("pnut-stat: %v", err)
+	}
+	for _, want := range []string{"RUN STATISTICS", "EVENT STATISTICS", "PLACE STATISTICS", "Issue", "Bus_busy"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// And through the filter.
+	filt := exec.Command(bins["pnut-filter"], "-places", "Bus_busy,Bus_free")
+	filt.Stdin = bytes.NewReader(simOut)
+	filtered, err := filt.Output()
+	if err != nil {
+		t.Fatalf("pnut-filter: %v", err)
+	}
+	if len(filtered) >= len(simOut) {
+		t.Errorf("filter did not shrink the trace: %d -> %d bytes", len(simOut), len(filtered))
+	}
+	stat2 := exec.Command(bins["pnut-stat"])
+	stat2.Stdin = bytes.NewReader(filtered)
+	if _, err := stat2.Output(); err != nil {
+		t.Fatalf("pnut-stat on filtered trace: %v", err)
+	}
+}
+
+// TestCLITracerAndQueries drives pnut-tracer with the Figure 7 probes
+// and a verification query; a failing query must exit nonzero.
+func TestCLITracerAndQueries(t *testing.T) {
+	bins := buildTools(t, "pnut-sim", "pnut-tracer")
+	simOut, err := exec.Command(bins["pnut-sim"],
+		"-net", testdataPath(t, "pipeline.pn"), "-horizon", "2000", "-seed", "3").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcdPath := filepath.Join(t.TempDir(), "out.vcd")
+	tr := exec.Command(bins["pnut-tracer"], "-figure7", "-to", "400",
+		"-check", "forall s in S [ Bus_busy(s) + Bus_free(s) <= 1 ]",
+		"-vcd", vcdPath)
+	tr.Stdin = bytes.NewReader(simOut)
+	out, err := tr.Output()
+	if err != nil {
+		t.Fatalf("pnut-tracer: %v", err)
+	}
+	if !strings.Contains(string(out), "Bus_busy") || !strings.Contains(string(out), "HOLDS") {
+		t.Errorf("tracer output unexpected:\n%s", out)
+	}
+	vcd, err := os.ReadFile(vcdPath)
+	if err != nil || !strings.Contains(string(vcd), "$enddefinitions") {
+		t.Errorf("VCD not written: %v", err)
+	}
+	// A query that fails makes the tool exit 1.
+	bad := exec.Command(bins["pnut-tracer"], "-check", "forall s in S [ Bus_busy(s) == 0 ]")
+	bad.Stdin = bytes.NewReader(simOut)
+	if err := bad.Run(); err == nil {
+		t.Error("failing query should exit nonzero")
+	}
+}
+
+// TestCLIReachAndAnalytic checks the state-space tools end to end.
+func TestCLIReachAndAnalytic(t *testing.T) {
+	bins := buildTools(t, "pnut-reach", "pnut-analytic", "pnut-dot")
+	out, err := exec.Command(bins["pnut-reach"],
+		"-net", testdataPath(t, "mutex.pn"),
+		"-check", "AG({crit_a + crit_b <= 1})",
+		"-invariant", "lock=1,crit_a=1,crit_b=1").Output()
+	if err != nil {
+		t.Fatalf("pnut-reach: %v", err)
+	}
+	if !strings.Contains(string(out), "HOLDS") || !strings.Contains(string(out), "INVARIANT HOLDS") {
+		t.Errorf("reach output:\n%s", out)
+	}
+	out, err = exec.Command(bins["pnut-analytic"],
+		"-net", testdataPath(t, "mutex.pn"), "-place", "crit_a", "-trans", "enter_a").Output()
+	if err != nil {
+		t.Fatalf("pnut-analytic: %v", err)
+	}
+	if !strings.Contains(string(out), "avg tokens") || !strings.Contains(string(out), "throughput") {
+		t.Errorf("analytic output:\n%s", out)
+	}
+	out, err = exec.Command(bins["pnut-dot"], "-net", testdataPath(t, "mutex.pn")).Output()
+	if err != nil || !strings.Contains(string(out), "digraph") {
+		t.Errorf("pnut-dot: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bins["pnut-dot"], "-net", testdataPath(t, "mutex.pn"), "-reach", "-timed").Output()
+	if err != nil || !strings.Contains(string(out), "style=dashed") {
+		t.Errorf("pnut-dot -reach -timed: %v\n%s", err, out)
+	}
+}
+
+// TestCLIAnimator renders a short animation from a stored trace file.
+func TestCLIAnimator(t *testing.T) {
+	bins := buildTools(t, "pnut-sim", "pnut-anim")
+	simOut, err := exec.Command(bins["pnut-sim"],
+		"-net", testdataPath(t, "pipeline.pn"), "-horizon", "30").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := exec.Command(bins["pnut-anim"], "-net", testdataPath(t, "pipeline.pn"), "-hide-idle", "-max-frames", "40")
+	an.Stdin = bytes.NewReader(simOut)
+	out, err := an.Output()
+	if err != nil {
+		t.Fatalf("pnut-anim: %v", err)
+	}
+	if !strings.Contains(string(out), "frame 1") || !strings.Contains(string(out), "Start_prefetch") {
+		t.Errorf("animation output:\n%.400s", out)
+	}
+}

@@ -1,0 +1,221 @@
+// Package integration_test exercises the P-NUT tools exactly as the
+// paper composes them: the simulator emits a trace, the trace travels
+// through the text codec (as it would through a Unix pipe), and each
+// analysis tool consumes it — verifying that the decoupling loses
+// nothing.
+package integration_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/anim"
+	"repro/internal/pipeline"
+	"repro/internal/ptl"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracer"
+)
+
+// runPipelineTrace simulates the paper model and returns the encoded
+// trace bytes plus the statistics computed live (streamed).
+func runPipelineTrace(t *testing.T, cycles int64) ([]byte, *stats.Stats) {
+	t.Helper()
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.HeaderOf(net)
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, h, false)
+	live := stats.New(h)
+	if _, err := sim.Run(net, trace.Tee{w, live}, sim.Options{Horizon: cycles, Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), live
+}
+
+// TestStreamedEqualsReplayed: statistics computed live during the run
+// must equal statistics computed from the stored trace, bit for bit.
+func TestStreamedEqualsReplayed(t *testing.T) {
+	raw, live := runPipelineTrace(t, 5_000)
+	r := trace.NewReader(bytes.NewReader(raw))
+	h, err := r.Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := stats.New(h)
+	if _, err := trace.Copy(r, replayed); err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := live.Report(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayed.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("live and replayed statistics reports differ")
+	}
+}
+
+// TestFilterThenStat: filtering down to the bus places must preserve
+// their statistics exactly (the paper's justification for the filter).
+func TestFilterThenStat(t *testing.T) {
+	raw, live := runPipelineTrace(t, 5_000)
+	r := trace.NewReader(bytes.NewReader(raw))
+	h, err := r.Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filteredBuf bytes.Buffer
+	fw := trace.NewWriter(&filteredBuf, h, false)
+	filter, err := trace.NewFilter(h, fw, []string{"Bus_busy", "Bus_free"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := trace.Copy(r, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if filteredBuf.Len() >= len(raw) {
+		t.Errorf("filtered trace (%d bytes) not smaller than full trace (%d bytes)",
+			filteredBuf.Len(), len(raw))
+	}
+	fr := trace.NewReader(bytes.NewReader(filteredBuf.Bytes()))
+	if _, err := fr.Header(); err != nil {
+		t.Fatal(err)
+	}
+	fs := stats.New(h)
+	n2, err := trace.Copy(fr, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 >= n1 {
+		t.Errorf("filtered record count %d not below full %d", n2, n1)
+	}
+	for _, place := range []string{"Bus_busy", "Bus_free"} {
+		want, _ := live.Utilization(place)
+		got, _ := fs.Utilization(place)
+		if math.Abs(want-got) > 1e-12 {
+			t.Errorf("%s: filtered stat %.9f != full stat %.9f", place, got, want)
+		}
+	}
+}
+
+// TestQueriesFromStoredTrace: the verification front end works off a
+// stored trace just as off a live one.
+func TestQueriesFromStoredTrace(t *testing.T) {
+	raw, _ := runPipelineTrace(t, 5_000)
+	seq, err := query.SeqFromReader(trace.NewReader(bytes.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := query.Check(seq, "forall s in S [ Bus_busy(s) + Bus_free(s) <= 1 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("bus invariant failed at state %d", res.Witness)
+	}
+	tr := tracer.New(seq)
+	if err := tr.AddPlace("Bus_busy"); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render(tracer.RenderOptions{From: 0, To: 200, Width: 50})
+	if !strings.Contains(out, "Bus_busy") {
+		t.Error("tracer failed on stored trace")
+	}
+}
+
+// TestAnimatorFromStoredTrace: the animator consumes the same stored
+// trace (it needs the net for arc layout, as pnut-anim does).
+func TestAnimatorFromStoredTrace(t *testing.T) {
+	raw, _ := runPipelineTrace(t, 60)
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	a := anim.New(net, &out, anim.Options{FlowSteps: 1, HideIdle: true})
+	r := trace.NewReader(bytes.NewReader(raw))
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Copy(r, a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Frames() < 10 {
+		t.Errorf("only %d frames", a.Frames())
+	}
+	if !strings.Contains(out.String(), "Start_prefetch") {
+		t.Error("animation content missing")
+	}
+}
+
+// TestPnFileRoundTripThroughTools: the .pn files shipped in testdata
+// parse, simulate and agree with the programmatic models.
+func TestPnFileRoundTripThroughTools(t *testing.T) {
+	for _, path := range []string{"pipeline", "pipeline_interpreted"} {
+		src, err := readTestdata(t, path+".pn")
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		net, err := ptl.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		s := stats.New(trace.HeaderOf(net))
+		if _, err := sim.Run(net, s, sim.Options{Horizon: 2_000, Seed: 5}); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		th, err := s.Throughput("Issue")
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if th <= 0 {
+			t.Errorf("%s: zero throughput", path)
+		}
+	}
+}
+
+func readTestdata(t *testing.T, name string) (string, error) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	return string(b), err
+}
+
+// TestVCDFromStoredTrace closes the loop to external EDA tooling.
+func TestVCDFromStoredTrace(t *testing.T) {
+	raw, _ := runPipelineTrace(t, 500)
+	seq, err := query.SeqFromReader(trace.NewReader(bytes.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracer.Figure7(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vcd strings.Builder
+	if err := tr.WriteVCD(&vcd, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"$enddefinitions", "Bus_busy", "sum_exec", "#0"} {
+		if !strings.Contains(vcd.String(), want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+}

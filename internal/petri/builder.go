@@ -1,0 +1,292 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// Builder assembles a Net. Place and transition declarations refer to
+// places by name; Build resolves names, validates the net and returns an
+// immutable Net. All errors (duplicate names, unknown places, bad
+// weights) are accumulated and reported together by Build.
+type Builder struct {
+	name   string
+	places []Place
+	trans  []*TransBuilder
+	vars   map[string]int64
+	tables map[string][]int64
+	errs   []error
+}
+
+// NewBuilder starts a net named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		vars:   make(map[string]int64),
+		tables: make(map[string][]int64),
+	}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Place declares a place with an initial token count.
+func (b *Builder) Place(name string, initial int) *Builder {
+	if name == "" {
+		b.errorf("petri: empty place name")
+		return b
+	}
+	if initial < 0 {
+		b.errorf("petri: place %q has negative initial marking %d", name, initial)
+	}
+	b.places = append(b.places, Place{Name: name, Initial: initial})
+	return b
+}
+
+// Places declares several empty places at once.
+func (b *Builder) Places(names ...string) *Builder {
+	for _, n := range names {
+		b.Place(n, 0)
+	}
+	return b
+}
+
+// Var declares an environment variable for interpreted nets.
+func (b *Builder) Var(name string, v int64) *Builder {
+	b.vars[name] = v
+	return b
+}
+
+// Table declares an environment table for interpreted nets.
+func (b *Builder) Table(name string, vals ...int64) *Builder {
+	b.tables[name] = append([]int64(nil), vals...)
+	return b
+}
+
+// namedArc is an arc by place name, resolved at Build time.
+type namedArc struct {
+	place  string
+	weight int
+}
+
+// TransBuilder accumulates one transition declaration.
+type TransBuilder struct {
+	b        *Builder
+	name     string
+	in       []namedArc
+	out      []namedArc
+	inhib    []namedArc
+	firing   Delay
+	enabling Delay
+	freq     float64
+	freqSet  bool
+	servers  int
+	pred     expr.Expr
+	action   *expr.Program
+}
+
+// Trans starts a transition declaration.
+func (b *Builder) Trans(name string) *TransBuilder {
+	tb := &TransBuilder{b: b, name: name}
+	if name == "" {
+		b.errorf("petri: empty transition name")
+	}
+	b.trans = append(b.trans, tb)
+	return tb
+}
+
+func arcWeight(weight []int) int {
+	if len(weight) == 0 {
+		return 1
+	}
+	return weight[0]
+}
+
+// In adds an input arc from place (default weight 1).
+func (tb *TransBuilder) In(place string, weight ...int) *TransBuilder {
+	tb.in = append(tb.in, namedArc{place, arcWeight(weight)})
+	return tb
+}
+
+// Out adds an output arc to place (default weight 1).
+func (tb *TransBuilder) Out(place string, weight ...int) *TransBuilder {
+	tb.out = append(tb.out, namedArc{place, arcWeight(weight)})
+	return tb
+}
+
+// Inhib adds an inhibitor arc: the transition is enabled only while place
+// holds fewer than weight tokens (default: zero tokens).
+func (tb *TransBuilder) Inhib(place string, weight ...int) *TransBuilder {
+	tb.inhib = append(tb.inhib, namedArc{place, arcWeight(weight)})
+	return tb
+}
+
+// Firing sets the firing-time distribution.
+func (tb *TransBuilder) Firing(d Delay) *TransBuilder { tb.firing = d; return tb }
+
+// FiringConst sets a constant firing time.
+func (tb *TransBuilder) FiringConst(t Time) *TransBuilder { tb.firing = Constant(t); return tb }
+
+// Enabling sets the enabling-time distribution.
+func (tb *TransBuilder) Enabling(d Delay) *TransBuilder { tb.enabling = d; return tb }
+
+// EnablingConst sets a constant enabling time.
+func (tb *TransBuilder) EnablingConst(t Time) *TransBuilder { tb.enabling = Constant(t); return tb }
+
+// Freq sets the relative firing frequency (conflict weight). A frequency
+// of exactly 0 means the transition never fires (useful for degenerate
+// parameter choices such as a hit ratio of 1); unset defaults to 1.
+func (tb *TransBuilder) Freq(f float64) *TransBuilder { tb.freq = f; tb.freqSet = true; return tb }
+
+// Servers caps simultaneous firings (0 = unlimited).
+func (tb *TransBuilder) Servers(n int) *TransBuilder { tb.servers = n; return tb }
+
+// Pred attaches a predicate given as expr source.
+func (tb *TransBuilder) Pred(src string) *TransBuilder {
+	e, err := expr.ParseExpr(src)
+	if err != nil {
+		tb.b.errorf("petri: transition %q predicate: %v", tb.name, err)
+		return tb
+	}
+	tb.pred = e
+	return tb
+}
+
+// Action attaches an action given as expr source.
+func (tb *TransBuilder) Action(src string) *TransBuilder {
+	p, err := expr.Parse(src)
+	if err != nil {
+		tb.b.errorf("petri: transition %q action: %v", tb.name, err)
+		return tb
+	}
+	tb.action = p
+	return tb
+}
+
+// Done returns the parent builder, for chaining.
+func (tb *TransBuilder) Done() *Builder { return tb.b }
+
+// Build validates and assembles the net.
+func (b *Builder) Build() (*Net, error) {
+	n := &Net{
+		Name:     b.name,
+		Vars:     b.vars,
+		Tables:   b.tables,
+		placeIdx: make(map[string]PlaceID, len(b.places)),
+		transIdx: make(map[string]TransID, len(b.trans)),
+	}
+	errs := append([]error(nil), b.errs...)
+	for _, p := range b.places {
+		if _, dup := n.placeIdx[p.Name]; dup {
+			errs = append(errs, fmt.Errorf("petri: duplicate place %q", p.Name))
+			continue
+		}
+		n.placeIdx[p.Name] = PlaceID(len(n.Places))
+		n.Places = append(n.Places, p)
+	}
+	resolve := func(trans string, arcs []namedArc, kind string) []Arc {
+		out := make([]Arc, 0, len(arcs))
+		for _, a := range arcs {
+			id, ok := n.placeIdx[a.place]
+			if !ok {
+				errs = append(errs, fmt.Errorf("petri: transition %q %s arc refers to unknown place %q", trans, kind, a.place))
+				continue
+			}
+			if a.weight < 1 {
+				errs = append(errs, fmt.Errorf("petri: transition %q %s arc to %q has weight %d (must be >= 1)", trans, kind, a.place, a.weight))
+				continue
+			}
+			out = append(out, Arc{Place: id, Weight: a.weight})
+		}
+		return out
+	}
+	for _, tb := range b.trans {
+		if _, dup := n.transIdx[tb.name]; dup {
+			errs = append(errs, fmt.Errorf("petri: duplicate transition %q", tb.name))
+			continue
+		}
+		if _, clash := n.placeIdx[tb.name]; clash {
+			errs = append(errs, fmt.Errorf("petri: transition %q has the same name as a place", tb.name))
+		}
+		if tb.freq < 0 {
+			errs = append(errs, fmt.Errorf("petri: transition %q has negative frequency %g", tb.name, tb.freq))
+		}
+		if !tb.freqSet {
+			tb.freq = 1
+		}
+		if tb.servers < 0 {
+			errs = append(errs, fmt.Errorf("petri: transition %q has negative server count %d", tb.name, tb.servers))
+		}
+		tr := Transition{
+			Name:      tb.name,
+			In:        resolve(tb.name, tb.in, "input"),
+			Out:       resolve(tb.name, tb.out, "output"),
+			Inhib:     resolve(tb.name, tb.inhib, "inhibitor"),
+			Firing:    tb.firing,
+			Enabling:  tb.enabling,
+			Freq:      tb.freq,
+			Servers:   tb.servers,
+			Predicate: tb.pred,
+			Action:    tb.action,
+		}
+		n.transIdx[tb.name] = TransID(len(n.Trans))
+		n.Trans = append(n.Trans, tr)
+	}
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("petri: net %q has %d error(s):\n  %s", b.name, len(errs), joinLines(msgs))
+	}
+	n.buildIndexes()
+	return n, nil
+}
+
+// MustBuild is Build that panics on error; for statically known models.
+func (b *Builder) MustBuild() *Net {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func joinLines(lines []string) string {
+	s := ""
+	for i, l := range lines {
+		if i > 0 {
+			s += "\n  "
+		}
+		s += l
+	}
+	return s
+}
+
+func (n *Net) buildIndexes() {
+	n.affected = make([][]TransID, len(n.Places))
+	seen := make(map[[2]int]bool)
+	add := func(p PlaceID, t TransID) {
+		k := [2]int{int(p), int(t)}
+		if !seen[k] {
+			seen[k] = true
+			n.affected[p] = append(n.affected[p], t)
+		}
+	}
+	for ti := range n.Trans {
+		tr := &n.Trans[ti]
+		for _, a := range tr.In {
+			add(a.Place, TransID(ti))
+		}
+		for _, a := range tr.Inhib {
+			add(a.Place, TransID(ti))
+		}
+		if tr.Predicate != nil {
+			n.predicated = append(n.predicated, TransID(ti))
+		}
+	}
+}

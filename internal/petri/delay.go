@@ -1,0 +1,149 @@
+package petri
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// randSource is the random source threaded through delay sampling and
+// conflict resolution. It is *rand.Rand everywhere; the alias keeps the
+// public signatures readable.
+type randSource = *rand.Rand
+
+// Delay is a firing-time or enabling-time distribution. Implementations
+// must be immutable.
+type Delay interface {
+	// Sample draws a duration. env carries the interpreted net's data
+	// state for table-driven delays; it may be nil for data-independent
+	// distributions.
+	Sample(r randSource, env *expr.Env) (Time, error)
+	// Const returns the duration and true if the distribution is a single
+	// constant; the timed reachability analyzer requires constant delays.
+	Const() (Time, bool)
+	// String renders the distribution in .pn surface syntax.
+	String() string
+}
+
+// Constant is a fixed delay of N ticks.
+type Constant Time
+
+// Sample implements Delay.
+func (c Constant) Sample(randSource, *expr.Env) (Time, error) { return Time(c), nil }
+
+// Const implements Delay.
+func (c Constant) Const() (Time, bool) { return Time(c), true }
+
+func (c Constant) String() string { return fmt.Sprintf("%d", Time(c)) }
+
+// Uniform is an integer-uniform delay on [Lo, Hi], inclusive.
+type Uniform struct {
+	Lo, Hi Time
+}
+
+// Sample implements Delay.
+func (u Uniform) Sample(r randSource, _ *expr.Env) (Time, error) {
+	if u.Lo > u.Hi {
+		return 0, fmt.Errorf("petri: uniform delay with empty range [%d,%d]", u.Lo, u.Hi)
+	}
+	if u.Lo == u.Hi {
+		return u.Lo, nil
+	}
+	if r == nil {
+		return 0, fmt.Errorf("petri: uniform delay sampled without a random source")
+	}
+	return u.Lo + r.Int63n(u.Hi-u.Lo+1), nil
+}
+
+// Const implements Delay.
+func (u Uniform) Const() (Time, bool) { return u.Lo, u.Lo == u.Hi }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d, %d)", u.Lo, u.Hi) }
+
+// Choice draws one of Durations with probability proportional to the
+// corresponding weight. It models distributions such as the paper's
+// execution times 1,2,5,10,50 with probabilities .5,.3,.1,.05,.05 when a
+// single transition (rather than five competing ones) is preferred.
+type Choice struct {
+	Durations []Time
+	Weights   []float64
+}
+
+// Sample implements Delay.
+func (c Choice) Sample(r randSource, _ *expr.Env) (Time, error) {
+	if len(c.Durations) == 0 || len(c.Durations) != len(c.Weights) {
+		return 0, fmt.Errorf("petri: choice delay with %d durations, %d weights", len(c.Durations), len(c.Weights))
+	}
+	var total float64
+	for _, w := range c.Weights {
+		if w < 0 {
+			return 0, fmt.Errorf("petri: choice delay with negative weight %g", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("petri: choice delay with zero total weight")
+	}
+	if r == nil {
+		return 0, fmt.Errorf("petri: choice delay sampled without a random source")
+	}
+	x := r.Float64() * total
+	for i, w := range c.Weights {
+		x -= w
+		if x < 0 {
+			return c.Durations[i], nil
+		}
+	}
+	return c.Durations[len(c.Durations)-1], nil
+}
+
+// Const implements Delay.
+func (c Choice) Const() (Time, bool) {
+	if len(c.Durations) == 1 {
+		return c.Durations[0], true
+	}
+	return 0, false
+}
+
+func (c Choice) String() string {
+	parts := make([]string, len(c.Durations))
+	for i, d := range c.Durations {
+		parts[i] = fmt.Sprintf("%d:%g", d, c.Weights[i])
+	}
+	return "choice(" + strings.Join(parts, ", ") + ")"
+}
+
+// ExprDelay evaluates an expression against the interpreted net's
+// environment each time it is sampled: the table-driven delays of
+// Section 3 ("calculate firing times, enabling times and the number of
+// times to iterate through loops" from the instruction type).
+type ExprDelay struct {
+	E expr.Expr
+}
+
+// Sample implements Delay.
+func (d ExprDelay) Sample(r randSource, env *expr.Env) (Time, error) {
+	if env == nil {
+		return 0, fmt.Errorf("petri: expression delay %q sampled without an environment", d.E)
+	}
+	v, err := d.E.Eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("petri: expression delay: %w", err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("petri: expression delay %q produced negative duration %d", d.E, v)
+	}
+	return v, nil
+}
+
+// Const implements Delay.
+func (d ExprDelay) Const() (Time, bool) {
+	if lit, ok := d.E.(*expr.IntLit); ok {
+		return lit.Val, true
+	}
+	return 0, false
+}
+
+func (d ExprDelay) String() string { return "expr{" + d.E.String() + "}" }

@@ -1,0 +1,59 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the net in Graphviz dot syntax: places as circles (with
+// their initial marking), transitions as boxes (annotated with times
+// and frequencies), inhibitor arcs with dot arrowheads — the standard
+// graphical conventions the paper draws its figures with.
+func DOT(n *Net) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	for _, p := range n.Places {
+		label := p.Name
+		if p.Initial > 0 {
+			label = fmt.Sprintf("%s\\n%d", p.Name, p.Initial)
+		}
+		fmt.Fprintf(&b, "  %q [shape=circle label=%q];\n", "p_"+p.Name, label)
+	}
+	for i := range n.Trans {
+		tr := &n.Trans[i]
+		var notes []string
+		if tr.Firing != nil {
+			notes = append(notes, "F="+tr.Firing.String())
+		}
+		if tr.Enabling != nil {
+			notes = append(notes, "E="+tr.Enabling.String())
+		}
+		if tr.Freq != 1 && tr.Freq != 0 {
+			notes = append(notes, fmt.Sprintf("f=%g", tr.Freq))
+		}
+		label := tr.Name
+		if len(notes) > 0 {
+			label += "\\n" + strings.Join(notes, " ")
+		}
+		fmt.Fprintf(&b, "  %q [shape=box label=%q];\n", "t_"+tr.Name, label)
+		for _, a := range tr.In {
+			attr := ""
+			if a.Weight != 1 {
+				attr = fmt.Sprintf(" [label=\"%d\"]", a.Weight)
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", "p_"+n.Places[a.Place].Name, "t_"+tr.Name, attr)
+		}
+		for _, a := range tr.Out {
+			attr := ""
+			if a.Weight != 1 {
+				attr = fmt.Sprintf(" [label=\"%d\"]", a.Weight)
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", "t_"+tr.Name, "p_"+n.Places[a.Place].Name, attr)
+		}
+		for _, a := range tr.Inhib {
+			fmt.Fprintf(&b, "  %q -> %q [arrowhead=odot];\n", "p_"+n.Places[a.Place].Name, "t_"+tr.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

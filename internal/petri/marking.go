@@ -1,0 +1,94 @@
+package petri
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Marking is a token count per place, indexed by PlaceID.
+type Marking []int
+
+// Clone returns an independent copy.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Equal reports whether two markings hold identical counts.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the total number of tokens.
+func (m Marking) Total() int {
+	t := 0
+	for _, c := range m {
+		t += c
+	}
+	return t
+}
+
+// Key returns a compact string usable as a map key.
+func (m Marking) Key() string {
+	var b strings.Builder
+	for i, c := range m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// ParseMarking parses the Key format back into a Marking.
+func ParseMarking(s string) (Marking, error) {
+	if s == "" {
+		return Marking{}, nil
+	}
+	parts := strings.Split(s, ",")
+	m := make(Marking, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("petri: bad marking component %q: %w", p, err)
+		}
+		m[i] = v
+	}
+	return m, nil
+}
+
+// Format renders the marking with place names, skipping empty places:
+// "Bus_free=1 Empty_I_buffers=6".
+func (m Marking) Format(n *Net) string {
+	var parts []string
+	for i, c := range m {
+		if c != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", n.Places[i].Name, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Covers reports whether m >= o componentwise (used by the coverability
+// construction in package reach).
+func (m Marking) Covers(o Marking) bool {
+	for i := range m {
+		if m[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}

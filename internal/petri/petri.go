@@ -1,0 +1,319 @@
+// Package petri implements the extended Timed Petri Net model of Razouk's
+// P-NUT system (Section 1 of the paper):
+//
+//   - weighted input/output arcs (e.g. pre-fetching two buffer words at a
+//     time is an input arc of weight 2);
+//   - inhibitor arcs (pre-conditions of the form "no operand fetch is
+//     pending");
+//   - firing times: while a transition fires, its tokens are "neither on
+//     the inputs nor on the outputs";
+//   - enabling times: a transition must be continuously enabled for its
+//     enabling delay before it may fire — the natural model for memory
+//     latencies and protocol timeouts;
+//   - relative firing frequencies, from which firing probabilities among
+//     simultaneously ripe transitions are computed dynamically [WPS86];
+//   - predicates and actions (interpreted nets, Section 3), written in the
+//     expr language, which let one table-driven transition replace a
+//     subnet per instruction type.
+//
+// A Net is immutable once built (see Builder); simulation state lives in
+// package sim, markings in the Marking type.
+package petri
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Time is a point or duration on the model's discrete clock. The paper's
+// models count processor cycles.
+type Time = int64
+
+// PlaceID indexes a place within its Net.
+type PlaceID int
+
+// TransID indexes a transition within its Net.
+type TransID int
+
+// Place is a condition holder. Tokens on a place represent the condition
+// being true (or, with several tokens, a count such as free buffer words).
+type Place struct {
+	Name    string
+	Initial int
+}
+
+// Arc connects a place to a transition (input or inhibitor) or a
+// transition to a place (output) with a multiplicity.
+type Arc struct {
+	Place  PlaceID
+	Weight int
+}
+
+// Transition is an event. Its pre-conditions are the In arcs (tokens
+// required), Inhib arcs (tokens forbidden) and the Predicate; its
+// post-conditions are the Out arcs and the Action.
+type Transition struct {
+	Name  string
+	In    []Arc
+	Out   []Arc
+	Inhib []Arc
+
+	// Firing is the firing-time distribution; nil means instantaneous.
+	Firing Delay
+	// Enabling is the enabling-time distribution; nil means none. The
+	// transition must be continuously enabled this long before it may fire.
+	Enabling Delay
+
+	// Freq is the relative firing frequency used to resolve conflicts
+	// probabilistically. Zero is treated as 1.
+	Freq float64
+
+	// Servers caps the number of simultaneous firings; 0 means unlimited
+	// (a queueing-network server pool). A physical unit is Servers=1.
+	Servers int
+
+	// Predicate, if non-nil, is an additional data-dependent
+	// pre-condition evaluated against the net's variable environment.
+	Predicate expr.Expr
+
+	// Action, if non-nil, runs when a firing completes (when the
+	// post-conditions become true).
+	Action *expr.Program
+}
+
+// EffFreq returns the conflict-resolution weight. The Builder defaults
+// unset frequencies to 1; an explicit 0 means the transition never fires
+// and the simulator excludes it from selection.
+func (t *Transition) EffFreq() float64 {
+	if t.Freq < 0 {
+		return 0
+	}
+	return t.Freq
+}
+
+// Timeless reports whether the transition has neither firing nor enabling
+// delay (it can occur in zero time once enabled).
+func (t *Transition) Timeless() bool { return t.Firing == nil && t.Enabling == nil }
+
+// Net is an immutable extended Timed Petri Net.
+type Net struct {
+	Name   string
+	Places []Place
+	Trans  []Transition
+
+	// Vars and Tables seed the variable environment of interpreted nets
+	// (e.g. the operands table of Figure 4).
+	Vars   map[string]int64
+	Tables map[string][]int64
+
+	placeIdx map[string]PlaceID
+	transIdx map[string]TransID
+
+	// affected[p] lists transitions whose enablement can change when the
+	// marking of place p changes (p appears among their In or Inhib arcs).
+	affected [][]TransID
+	// predicated lists transitions carrying predicates; their enablement
+	// can change whenever the environment changes.
+	predicated []TransID
+}
+
+// NumPlaces returns the number of places.
+func (n *Net) NumPlaces() int { return len(n.Places) }
+
+// NumTrans returns the number of transitions.
+func (n *Net) NumTrans() int { return len(n.Trans) }
+
+// PlaceID resolves a place name. The second result is false if the name
+// is unknown.
+func (n *Net) PlaceID(name string) (PlaceID, bool) {
+	id, ok := n.placeIdx[name]
+	return id, ok
+}
+
+// TransIDByName resolves a transition name.
+func (n *Net) TransIDByName(name string) (TransID, bool) {
+	id, ok := n.transIdx[name]
+	return id, ok
+}
+
+// MustPlace resolves a place name, panicking on unknown names. Intended
+// for statically known model code and tests.
+func (n *Net) MustPlace(name string) PlaceID {
+	id, ok := n.placeIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("petri: unknown place %q in net %q", name, n.Name))
+	}
+	return id
+}
+
+// MustTrans resolves a transition name, panicking on unknown names.
+func (n *Net) MustTrans(name string) TransID {
+	id, ok := n.transIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("petri: unknown transition %q in net %q", name, n.Name))
+	}
+	return id
+}
+
+// Affected returns the transitions whose enablement may change when the
+// marking of p changes.
+func (n *Net) Affected(p PlaceID) []TransID { return n.affected[p] }
+
+// Predicated returns the transitions that carry predicates.
+func (n *Net) Predicated() []TransID { return n.predicated }
+
+// InitialMarking returns a fresh copy of the net's initial marking.
+func (n *Net) InitialMarking() Marking {
+	m := make(Marking, len(n.Places))
+	for i, p := range n.Places {
+		m[i] = p.Initial
+	}
+	return m
+}
+
+// NewEnv returns a fresh variable environment seeded with the net's
+// declared variables and tables. r may be nil for analyses that must be
+// deterministic (irand then fails).
+func (n *Net) NewEnv(r randSource) *expr.Env {
+	env := expr.NewEnv(nil)
+	env.Rand = r
+	for k, v := range n.Vars {
+		env.Set(k, v)
+	}
+	for k, v := range n.Tables {
+		env.SetTable(k, v)
+	}
+	return env
+}
+
+// Interpreted reports whether any transition carries a predicate or
+// action (i.e. the net has a data part).
+func (n *Net) Interpreted() bool {
+	for i := range n.Trans {
+		if n.Trans[i].Predicate != nil || n.Trans[i].Action != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Timed reports whether any transition carries a firing or enabling delay.
+func (n *Net) Timed() bool {
+	for i := range n.Trans {
+		if !n.Trans[i].Timeless() {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled reports whether transition t is enabled in marking m under
+// environment env: every input place holds at least the arc weight, every
+// inhibitor place holds fewer than the arc weight, and the predicate (if
+// any) is true. env may be nil when the net is not interpreted.
+func (n *Net) Enabled(t TransID, m Marking, env *expr.Env) (bool, error) {
+	tr := &n.Trans[t]
+	for _, a := range tr.In {
+		if m[a.Place] < a.Weight {
+			return false, nil
+		}
+	}
+	for _, a := range tr.Inhib {
+		if m[a.Place] >= a.Weight {
+			return false, nil
+		}
+	}
+	if tr.Predicate != nil {
+		if env == nil {
+			return false, fmt.Errorf("petri: transition %q has a predicate but no environment was supplied", tr.Name)
+		}
+		ok, err := expr.EvalBool(tr.Predicate, env)
+		if err != nil {
+			return false, fmt.Errorf("petri: predicate of %q: %w", tr.Name, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Consume removes transition t's input tokens from m. The caller must
+// have established enablement.
+func (n *Net) Consume(t TransID, m Marking) {
+	for _, a := range n.Trans[t].In {
+		m[a.Place] -= a.Weight
+	}
+}
+
+// Produce adds transition t's output tokens to m.
+func (n *Net) Produce(t TransID, m Marking) {
+	for _, a := range n.Trans[t].Out {
+		m[a.Place] += a.Weight
+	}
+}
+
+// String returns a one-line summary.
+func (n *Net) String() string {
+	return fmt.Sprintf("net %q: %d places, %d transitions", n.Name, len(n.Places), len(n.Trans))
+}
+
+// Describe returns a multi-line human-readable description of the net:
+// the textual form the paper says fits in "roughly 25 lines" for the
+// pipeline model.
+func (n *Net) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "net %s\n", n.Name)
+	for _, p := range n.Places {
+		if p.Initial != 0 {
+			fmt.Fprintf(&b, "place %s init %d\n", p.Name, p.Initial)
+		} else {
+			fmt.Fprintf(&b, "place %s\n", p.Name)
+		}
+	}
+	arcList := func(arcs []Arc) string {
+		parts := make([]string, len(arcs))
+		for i, a := range arcs {
+			if a.Weight != 1 {
+				parts[i] = fmt.Sprintf("%s*%d", n.Places[a.Place].Name, a.Weight)
+			} else {
+				parts[i] = n.Places[a.Place].Name
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	for i := range n.Trans {
+		tr := &n.Trans[i]
+		fmt.Fprintf(&b, "trans %s\n", tr.Name)
+		if len(tr.In) > 0 {
+			fmt.Fprintf(&b, "  in %s\n", arcList(tr.In))
+		}
+		if len(tr.Out) > 0 {
+			fmt.Fprintf(&b, "  out %s\n", arcList(tr.Out))
+		}
+		if len(tr.Inhib) > 0 {
+			fmt.Fprintf(&b, "  inhib %s\n", arcList(tr.Inhib))
+		}
+		if tr.Firing != nil {
+			fmt.Fprintf(&b, "  firing %s\n", tr.Firing)
+		}
+		if tr.Enabling != nil {
+			fmt.Fprintf(&b, "  enabling %s\n", tr.Enabling)
+		}
+		if tr.Freq > 0 && tr.Freq != 1 {
+			fmt.Fprintf(&b, "  freq %g\n", tr.Freq)
+		}
+		if tr.Servers > 0 {
+			fmt.Fprintf(&b, "  servers %d\n", tr.Servers)
+		}
+		if tr.Predicate != nil {
+			fmt.Fprintf(&b, "  pred { %s }\n", tr.Predicate)
+		}
+		if tr.Action != nil {
+			fmt.Fprintf(&b, "  action { %s }\n", tr.Action)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,477 @@
+package petri
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+// prefetchNet builds the Figure 1 subnet: 6 buffer words fetched
+// two-at-a-time, bus mutual exclusion, inhibitors for pending operand
+// fetches and result stores.
+func prefetchNet(t *testing.T) *Net {
+	t.Helper()
+	b := NewBuilder("prefetch")
+	b.Place("Empty_I_buffers", 6)
+	b.Place("Full_I_buffers", 0)
+	b.Place("Bus_free", 1)
+	b.Place("Bus_busy", 0)
+	b.Place("pre_fetching", 0)
+	b.Place("Operand_fetch_pending", 0)
+	b.Place("Result_store_pending", 0)
+	b.Place("Decoder_ready", 1)
+	b.Place("Decoded_instruction", 0)
+	b.Trans("Start_prefetch").
+		In("Empty_I_buffers", 2).In("Bus_free").
+		Inhib("Operand_fetch_pending").Inhib("Result_store_pending").
+		Out("pre_fetching").Out("Bus_busy")
+	b.Trans("End_prefetch").
+		In("pre_fetching").In("Bus_busy").
+		Out("Full_I_buffers", 2).Out("Bus_free").
+		EnablingConst(5)
+	b.Trans("Decode").
+		In("Full_I_buffers").In("Decoder_ready").
+		Out("Decoded_instruction").Out("Empty_I_buffers").
+		FiringConst(1)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildLookups(t *testing.T) {
+	n := prefetchNet(t)
+	if n.NumPlaces() != 9 || n.NumTrans() != 3 {
+		t.Fatalf("got %d places, %d transitions", n.NumPlaces(), n.NumTrans())
+	}
+	if id, ok := n.PlaceID("Bus_free"); !ok || n.Places[id].Name != "Bus_free" {
+		t.Errorf("PlaceID lookup failed")
+	}
+	if _, ok := n.PlaceID("nope"); ok {
+		t.Errorf("unknown place resolved")
+	}
+	if id, ok := n.TransIDByName("Decode"); !ok || n.Trans[id].Name != "Decode" {
+		t.Errorf("TransIDByName lookup failed")
+	}
+	if !n.Timed() {
+		t.Error("net should be timed")
+	}
+	if n.Interpreted() {
+		t.Error("net should not be interpreted")
+	}
+}
+
+func TestInitialMarkingIsCopy(t *testing.T) {
+	n := prefetchNet(t)
+	m := n.InitialMarking()
+	m[0] = 99
+	if n.InitialMarking()[0] != 6 {
+		t.Error("InitialMarking aliases net state")
+	}
+}
+
+func TestEnablementWeightsAndInhibitors(t *testing.T) {
+	n := prefetchNet(t)
+	m := n.InitialMarking()
+	start := n.MustTrans("Start_prefetch")
+
+	ok, err := n.Enabled(start, m, nil)
+	if err != nil || !ok {
+		t.Fatalf("Start_prefetch should be enabled initially: %v %v", ok, err)
+	}
+	// Weight 2: a single empty buffer word is not enough.
+	m[n.MustPlace("Empty_I_buffers")] = 1
+	if ok, _ := n.Enabled(start, m, nil); ok {
+		t.Error("enabled with only 1 empty buffer word (needs 2)")
+	}
+	m[n.MustPlace("Empty_I_buffers")] = 2
+	if ok, _ := n.Enabled(start, m, nil); !ok {
+		t.Error("not enabled with exactly 2 empty buffer words")
+	}
+	// Inhibitor: a pending operand fetch blocks prefetching.
+	m[n.MustPlace("Operand_fetch_pending")] = 1
+	if ok, _ := n.Enabled(start, m, nil); ok {
+		t.Error("enabled despite pending operand fetch (inhibitor)")
+	}
+	m[n.MustPlace("Operand_fetch_pending")] = 0
+	// Bus taken.
+	m[n.MustPlace("Bus_free")] = 0
+	if ok, _ := n.Enabled(start, m, nil); ok {
+		t.Error("enabled without the bus")
+	}
+}
+
+func TestConsumeProduce(t *testing.T) {
+	n := prefetchNet(t)
+	m := n.InitialMarking()
+	start := n.MustTrans("Start_prefetch")
+	n.Consume(start, m)
+	if m[n.MustPlace("Empty_I_buffers")] != 4 {
+		t.Errorf("Empty_I_buffers = %d after consume, want 4", m[n.MustPlace("Empty_I_buffers")])
+	}
+	if m[n.MustPlace("Bus_free")] != 0 {
+		t.Error("Bus_free not consumed")
+	}
+	n.Produce(start, m)
+	if m[n.MustPlace("pre_fetching")] != 1 || m[n.MustPlace("Bus_busy")] != 1 {
+		t.Error("outputs not produced")
+	}
+}
+
+func TestPredicateEnablement(t *testing.T) {
+	b := NewBuilder("interp")
+	b.Place("p", 1)
+	b.Place("q", 0)
+	b.Var("nops", 2)
+	b.Trans("fetch").In("p").Out("p").Pred("nops > 0").Action("nops = nops - 1")
+	b.Trans("done").In("p").Out("q").Pred("nops == 0")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := n.NewEnv(rand.New(rand.NewSource(1)))
+	m := n.InitialMarking()
+	fetch, done := n.MustTrans("fetch"), n.MustTrans("done")
+	if ok, _ := n.Enabled(fetch, m, env); !ok {
+		t.Error("fetch should be enabled (nops=2)")
+	}
+	if ok, _ := n.Enabled(done, m, env); ok {
+		t.Error("done should be disabled (nops=2)")
+	}
+	env.Set("nops", 0)
+	if ok, _ := n.Enabled(fetch, m, env); ok {
+		t.Error("fetch should be disabled (nops=0)")
+	}
+	if ok, _ := n.Enabled(done, m, env); !ok {
+		t.Error("done should be enabled (nops=0)")
+	}
+	// Predicate without environment is an error.
+	if _, err := n.Enabled(fetch, m, nil); err == nil {
+		t.Error("predicate evaluation without env should fail")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"dup place", func(b *Builder) { b.Place("p", 0).Place("p", 0) }, "duplicate place"},
+		{"dup trans", func(b *Builder) { b.Place("p", 0); b.Trans("t").In("p"); b.Trans("t").In("p") }, "duplicate transition"},
+		{"unknown place", func(b *Builder) { b.Trans("t").In("ghost") }, "unknown place"},
+		{"bad weight", func(b *Builder) { b.Place("p", 0); b.Trans("t").In("p", 0) }, "weight 0"},
+		{"neg initial", func(b *Builder) { b.Place("p", -1) }, "negative initial"},
+		{"neg freq", func(b *Builder) { b.Place("p", 0); b.Trans("t").In("p").Freq(-2) }, "negative frequency"},
+		{"bad pred", func(b *Builder) { b.Place("p", 0); b.Trans("t").In("p").Pred("1 +") }, "predicate"},
+		{"bad action", func(b *Builder) { b.Place("p", 0); b.Trans("t").In("p").Action("x = ") }, "action"},
+		{"name clash", func(b *Builder) { b.Place("x", 0); b.Trans("x").In("x") }, "same name"},
+	}
+	for _, c := range cases {
+		b := NewBuilder("bad")
+		c.build(b)
+		_, err := b.Build()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDelays(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	if v, err := Constant(5).Sample(r, nil); err != nil || v != 5 {
+		t.Errorf("Constant: %d %v", v, err)
+	}
+	if v, ok := Constant(5).Const(); !ok || v != 5 {
+		t.Errorf("Constant.Const: %d %v", v, ok)
+	}
+	u := Uniform{Lo: 3, Hi: 7}
+	for i := 0; i < 200; i++ {
+		v, err := u.Sample(r, nil)
+		if err != nil || v < 3 || v > 7 {
+			t.Fatalf("Uniform sample %d: %v", v, err)
+		}
+	}
+	if _, ok := u.Const(); ok {
+		t.Error("Uniform{3,7}.Const should be false")
+	}
+	if v, ok := (Uniform{Lo: 4, Hi: 4}).Const(); !ok || v != 4 {
+		t.Error("degenerate Uniform should be const")
+	}
+	ch := Choice{Durations: []Time{1, 50}, Weights: []float64{0.95, 0.05}}
+	counts := map[Time]int{}
+	for i := 0; i < 2000; i++ {
+		v, err := ch.Sample(r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	if counts[1] < 1700 || counts[50] < 30 {
+		t.Errorf("Choice sampling skewed: %v", counts)
+	}
+	if _, err := (Choice{}).Sample(r, nil); err == nil {
+		t.Error("empty Choice should fail")
+	}
+	if _, err := (Uniform{Lo: 5, Hi: 1}).Sample(r, nil); err == nil {
+		t.Error("inverted Uniform should fail")
+	}
+}
+
+func TestExprDelay(t *testing.T) {
+	b := NewBuilder("n")
+	b.Place("p", 1)
+	b.Var("cycles", 9)
+	b.Trans("t").In("p").Firing(ExprDelay{E: mustExpr(t, "cycles * 2")})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := n.NewEnv(rand.New(rand.NewSource(1)))
+	v, err := n.Trans[0].Firing.Sample(nil, env)
+	if err != nil || v != 18 {
+		t.Errorf("expr delay = %d, %v", v, err)
+	}
+	// Negative durations are rejected.
+	d := ExprDelay{E: mustExpr(t, "0 - 4")}
+	if _, err := d.Sample(nil, env); err == nil {
+		t.Error("negative expr delay should fail")
+	}
+	// Missing env is rejected.
+	if _, err := d.Sample(nil, nil); err == nil {
+		t.Error("expr delay without env should fail")
+	}
+}
+
+func mustExpr(t *testing.T, src string) expr.Expr {
+	t.Helper()
+	e, err := expr.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMarkingHelpers(t *testing.T) {
+	m := Marking{1, 0, 3}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 1 {
+		t.Error("Clone aliases")
+	}
+	if !m.Equal(Marking{1, 0, 3}) || m.Equal(Marking{1, 0}) || m.Equal(Marking{1, 1, 3}) {
+		t.Error("Equal wrong")
+	}
+	if m.Total() != 4 {
+		t.Error("Total wrong")
+	}
+	if m.Key() != "1,0,3" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	p, err := ParseMarking("1,0,3")
+	if err != nil || !p.Equal(m) {
+		t.Errorf("ParseMarking: %v %v", p, err)
+	}
+	if _, err := ParseMarking("1,x"); err == nil {
+		t.Error("bad marking should fail to parse")
+	}
+	if !(Marking{2, 1}).Covers(Marking{1, 1}) || (Marking{0, 1}).Covers(Marking{1, 1}) {
+		t.Error("Covers wrong")
+	}
+}
+
+func TestDescribeMentionsEverything(t *testing.T) {
+	n := prefetchNet(t)
+	d := n.Describe()
+	for _, want := range []string{
+		"net prefetch", "place Empty_I_buffers init 6", "trans Start_prefetch",
+		"Empty_I_buffers*2", "inhib Operand_fetch_pending", "enabling 5", "firing 1",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestEncodeFiringAsEnabling(t *testing.T) {
+	n := prefetchNet(t)
+	enc, err := EncodeFiringAsEnabling(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode (firing 1) must be split; End_prefetch (enabling) untouched.
+	if _, ok := enc.TransIDByName("Decode__start"); !ok {
+		t.Error("missing Decode__start")
+	}
+	if _, ok := enc.TransIDByName("Decode__end"); !ok {
+		t.Error("missing Decode__end")
+	}
+	if _, ok := enc.PlaceID("Decode__busy"); !ok {
+		t.Error("missing Decode__busy place")
+	}
+	if _, ok := enc.TransIDByName("End_prefetch"); !ok {
+		t.Error("End_prefetch should be preserved")
+	}
+	endID := enc.MustTrans("Decode__end")
+	if _, ok := enc.Trans[endID].Enabling.Const(); !ok {
+		t.Error("Decode__end should have constant enabling time")
+	}
+	// A transition with both time kinds is rejected.
+	b := NewBuilder("both")
+	b.Place("p", 1)
+	b.Trans("t").In("p").FiringConst(1).EnablingConst(1)
+	bn, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeFiringAsEnabling(bn); err == nil {
+		t.Error("both-times transition should be rejected")
+	}
+}
+
+func TestEncodePreservesFrequencies(t *testing.T) {
+	// Regression: the encoder must copy frequencies through the
+	// builder's setter; writing the field directly let Build reset every
+	// frequency to the default, silently flattening a 70-20-10 mix.
+	b := NewBuilder("mix")
+	b.Place("p", 1)
+	b.Place("q", 0)
+	b.Trans("common").In("p").Out("q").Freq(70).FiringConst(1)
+	b.Trans("rare").In("p").Out("q").Freq(10)
+	b.Trans("plain").In("p").Out("q")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeFiringAsEnabling(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := enc.Trans[enc.MustTrans("common__start")].Freq; f != 70 {
+		t.Errorf("common__start freq = %g, want 70", f)
+	}
+	if f := enc.Trans[enc.MustTrans("rare")].Freq; f != 10 {
+		t.Errorf("rare freq = %g, want 10", f)
+	}
+	if f := enc.Trans[enc.MustTrans("plain")].Freq; f != 1 {
+		t.Errorf("plain freq = %g, want 1", f)
+	}
+}
+
+func TestEncodePreservesServers(t *testing.T) {
+	b := NewBuilder("srv")
+	b.Place("in", 5)
+	b.Place("out", 0)
+	b.Trans("t").In("in").Out("out").FiringConst(3).Servers(2)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeFiringAsEnabling(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, ok := enc.PlaceID("t__idle")
+	if !ok {
+		t.Fatal("missing t__idle place")
+	}
+	if enc.Places[idle].Initial != 2 {
+		t.Errorf("t__idle initial = %d, want 2", enc.Places[idle].Initial)
+	}
+}
+
+func TestAffectedIndex(t *testing.T) {
+	n := prefetchNet(t)
+	aff := n.Affected(n.MustPlace("Bus_free"))
+	found := false
+	for _, tid := range aff {
+		if n.Trans[tid].Name == "Start_prefetch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Start_prefetch not in Affected(Bus_free)")
+	}
+	// Output-only places affect nothing.
+	if len(n.Affected(n.MustPlace("Decoded_instruction"))) != 0 {
+		t.Error("Decoded_instruction should affect no transitions")
+	}
+	// Inhibitor arcs count as affecting.
+	aff = n.Affected(n.MustPlace("Operand_fetch_pending"))
+	if len(aff) != 1 || n.Trans[aff[0]].Name != "Start_prefetch" {
+		t.Error("inhibitor place should affect Start_prefetch")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	n := prefetchNet(t)
+	dot := DOT(n)
+	for _, want := range []string{
+		"digraph", "shape=circle", "shape=box",
+		"Start_prefetch", "Empty_I_buffers",
+		"arrowhead=odot", // inhibitor arcs
+		`[label="2"]`,    // weighted arc
+		"E=5",            // enabling time annotation
+		"F=1",            // firing time annotation
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+// Property: Consume followed by Produce conserves tokens exactly when
+// input and output weight sums are equal.
+func TestQuickConsumeProduceConservation(t *testing.T) {
+	f := func(w8 uint8, init uint8) bool {
+		w := int(w8%5) + 1
+		b := NewBuilder("q")
+		b.Place("a", int(init%50)+w)
+		b.Place("b", 0)
+		b.Trans("t").In("a", w).Out("b", w)
+		n, err := b.Build()
+		if err != nil {
+			return false
+		}
+		m := n.InitialMarking()
+		before := m.Total()
+		n.Consume(0, m)
+		n.Produce(0, m)
+		return m.Total() == before && m[1] == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: enablement is monotone in added tokens for nets without
+// inhibitor arcs.
+func TestQuickEnablementMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		bd := NewBuilder("q")
+		bd.Place("p", int(a%10))
+		bd.Place("q", int(b%10))
+		bd.Trans("t").In("p", 3).In("q", 2)
+		n, err := bd.Build()
+		if err != nil {
+			return false
+		}
+		m := n.InitialMarking()
+		en1, _ := n.Enabled(0, m, nil)
+		m[0]++
+		m[1]++
+		en2, _ := n.Enabled(0, m, nil)
+		return !en1 || en2 // en1 => en2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

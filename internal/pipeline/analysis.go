@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Analysis is the Section 4.2 exercise made executable: "a careful
+// mapping must be done from the modeling primitives back to some higher
+// level concept". It reads processor-level quantities off the place and
+// transition statistics of a pipeline run.
+type Analysis struct {
+	// InstructionRate is instructions per processor cycle (throughput of
+	// Issue).
+	InstructionRate float64
+	// BusUtilization is the average token count of Bus_busy.
+	BusUtilization float64
+	// BusPrefetch, BusOperand, BusStore break the bus activity down by
+	// customer (the pre_fetching / fetching / storing places).
+	BusPrefetch, BusOperand, BusStore float64
+	// BufferFill is the average number of full instruction-buffer words.
+	BufferFill float64
+	// DecoderIdle and ExecIdle are the fractions of time the stage-2 and
+	// stage-3 resources sit unclaimed.
+	DecoderIdle, ExecIdle float64
+	// IssueWait is the average number of instructions waiting to issue.
+	IssueWait float64
+	// ExecShare[i] is the fraction of time spent executing class-i+1
+	// instructions (average concurrent firings of exec_type_(i+1));
+	// empty for models without per-class transitions.
+	ExecShare []float64
+}
+
+// Analyze extracts the processor-level view from a statistics
+// accumulator fed by a pipeline-model trace.
+func Analyze(s *stats.Stats) (*Analysis, error) {
+	a := &Analysis{}
+	var err error
+	grab := func(dst *float64, f func() (float64, error)) {
+		if err != nil {
+			return
+		}
+		var v float64
+		v, err = f()
+		*dst = v
+	}
+	grab(&a.InstructionRate, func() (float64, error) { return s.Throughput("Issue") })
+	grab(&a.BusUtilization, func() (float64, error) { return s.Utilization("Bus_busy") })
+	grab(&a.BusPrefetch, func() (float64, error) { return s.Utilization("pre_fetching") })
+	grab(&a.BusOperand, func() (float64, error) { return s.Utilization("fetching") })
+	grab(&a.BusStore, func() (float64, error) { return s.Utilization("storing") })
+	grab(&a.BufferFill, func() (float64, error) { return s.Utilization("Full_I_buffers") })
+	grab(&a.DecoderIdle, func() (float64, error) { return s.Utilization("Decoder_ready") })
+	grab(&a.ExecIdle, func() (float64, error) { return s.Utilization("Execution_unit") })
+	grab(&a.IssueWait, func() (float64, error) { return s.Utilization("ready_to_issue_instruction") })
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: trace is not of a pipeline model: %w", err)
+	}
+	for i := 1; ; i++ {
+		row, ok := s.EventRowByName(fmt.Sprintf("exec_type_%d", i))
+		if !ok {
+			break
+		}
+		a.ExecShare = append(a.ExecShare, row.Avg)
+	}
+	return a, nil
+}
+
+// Report writes the higher-level reading of the statistics.
+func (a *Analysis) Report(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROCESSOR-LEVEL ANALYSIS (derived per Section 4.2)\n")
+	fmt.Fprintf(&b, "  instruction rate     %.4f instructions/cycle\n", a.InstructionRate)
+	fmt.Fprintf(&b, "  bus utilization      %.4f\n", a.BusUtilization)
+	fmt.Fprintf(&b, "    prefetching        %.4f\n", a.BusPrefetch)
+	fmt.Fprintf(&b, "    operand fetching   %.4f\n", a.BusOperand)
+	fmt.Fprintf(&b, "    result storing     %.4f\n", a.BusStore)
+	fmt.Fprintf(&b, "  buffer fill          %.4f words\n", a.BufferFill)
+	fmt.Fprintf(&b, "  decoder idle         %.4f\n", a.DecoderIdle)
+	fmt.Fprintf(&b, "  execution unit idle  %.4f\n", a.ExecIdle)
+	fmt.Fprintf(&b, "  issue queue          %.4f instructions\n", a.IssueWait)
+	for i, share := range a.ExecShare {
+		fmt.Fprintf(&b, "  executing class %d    %.4f of time\n", i+1, share)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

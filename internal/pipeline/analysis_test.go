@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestAnalyzePipeline(t *testing.T) {
+	net, err := Processor(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InstructionRate <= 0 || a.BusUtilization <= 0 {
+		t.Fatalf("analysis empty: %+v", a)
+	}
+	if math.Abs(a.BusPrefetch+a.BusOperand+a.BusStore-a.BusUtilization) > 0.02 {
+		t.Errorf("bus breakdown inconsistent: %+v", a)
+	}
+	if len(a.ExecShare) != 5 {
+		t.Errorf("exec classes = %d, want 5", len(a.ExecShare))
+	}
+	// Type-5 dominates busy time.
+	if a.ExecShare[4] <= a.ExecShare[0] {
+		t.Errorf("exec share ordering: %v", a.ExecShare)
+	}
+	var b strings.Builder
+	if err := a.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"instruction rate", "bus utilization", "prefetching", "executing class 5"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestAnalyzeRejectsForeignTrace(t *testing.T) {
+	h := trace.Header{Net: "other", Places: []string{"x"}, Trans: []string{"y"}}
+	s := stats.New(h)
+	if _, err := Analyze(s); err == nil {
+		t.Error("non-pipeline trace accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// CacheParams model the probabilistic caches sketched in Section 3:
+// "Instruction and data caches are quite common and can be easily
+// modeled probabilistically, assuming some given hit ratio." A hit is
+// served from the cache in HitCycles without touching the bus; a miss
+// pays the full memory access on the bus.
+type CacheParams struct {
+	IHitRatio float64    // instruction-cache hit ratio (applies to prefetch)
+	DHitRatio float64    // data-cache hit ratio (applies to operand fetch and store)
+	HitCycles petri.Time // cache access time
+}
+
+// DefaultCacheParams returns a 90%/85% cache with single-cycle access.
+func DefaultCacheParams() CacheParams {
+	return CacheParams{IHitRatio: 0.9, DHitRatio: 0.85, HitCycles: 1}
+}
+
+// Validate checks parameter sanity.
+func (c *CacheParams) Validate() error {
+	if c.IHitRatio < 0 || c.IHitRatio > 1 || c.DHitRatio < 0 || c.DHitRatio > 1 {
+		return fmt.Errorf("pipeline: hit ratios must be in [0,1]: %g, %g", c.IHitRatio, c.DHitRatio)
+	}
+	if c.HitCycles < 0 {
+		return fmt.Errorf("pipeline: HitCycles = %d", c.HitCycles)
+	}
+	return nil
+}
+
+// CacheProcessor builds the 3-stage pipeline extended with probabilistic
+// instruction and data caches. The hit/miss decision is made by a pair of
+// instantaneous competing transitions *before* any bus requirement, so
+// the effective hit ratio is exactly the configured one regardless of bus
+// contention; only misses then claim the bus. Cache hits bypass the bus
+// entirely, so raising the hit ratios relieves exactly the contention the
+// base model measures on Bus_busy.
+func CacheProcessor(p Params, c CacheParams) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("pipeline_cached")
+	stagePlaces(b, p)
+	b.Place("prefetch_wanted", 0)
+	b.Place("prefetch_miss", 0)
+	b.Place("icache_serving", 0)
+	b.Place("operand_miss", 0)
+	b.Place("dcache_serving", 0)
+	b.Place("store_miss", 0)
+	b.Place("store_cache_serving", 0)
+
+	// --- Stage 1 with an instruction cache ----------------------------
+	// want_prefetch inhibits on its own downstream places so exactly one
+	// prefetch transaction is outstanding, as in the base model where the
+	// bus token provided that exclusion.
+	b.Trans("want_prefetch").
+		In("Empty_I_buffers", p.PrefetchWords).
+		Inhib("Operand_fetch_pending").
+		Inhib("operand_miss").
+		Inhib("Result_store_pending").
+		Inhib("store_miss").
+		Inhib("prefetch_wanted").
+		Inhib("prefetch_miss").
+		Inhib("pre_fetching").
+		Inhib("icache_serving").
+		Out("prefetch_wanted")
+	b.Trans("icache_hit").
+		In("prefetch_wanted").
+		Out("icache_serving").
+		Freq(c.IHitRatio)
+	b.Trans("icache_miss").
+		In("prefetch_wanted").
+		Out("prefetch_miss").
+		Freq(1 - c.IHitRatio)
+	b.Trans("icache_hit_done").
+		In("icache_serving").
+		Out("Full_I_buffers", p.PrefetchWords).
+		EnablingConst(c.HitCycles)
+	b.Trans("Start_prefetch").
+		In("prefetch_miss").
+		In("Bus_free").
+		Out("pre_fetching").
+		Out("Bus_busy")
+	b.Trans("End_prefetch").
+		In("pre_fetching").
+		In("Bus_busy").
+		Out("Full_I_buffers", p.PrefetchWords).
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles)
+
+	// --- Stage 2 with a data cache -------------------------------------
+	b.Trans("Decode").
+		In("Full_I_buffers").
+		In("Decoder_ready").
+		Out("Decoded_instruction").
+		Out("Empty_I_buffers").
+		FiringConst(p.DecodeCycles)
+	b.Trans("Type_1").
+		In("Decoded_instruction").
+		Out("ready_to_issue_instruction").
+		Freq(p.TypeFreqs[0])
+	b.Trans("Type_2").
+		In("Decoded_instruction").
+		Out("EA_needed").
+		Out("Mem_instr_in_decode").
+		Freq(p.TypeFreqs[1])
+	b.Trans("Type_3").
+		In("Decoded_instruction").
+		Out("EA_needed", 2).
+		Out("Mem_instr_in_decode").
+		Freq(p.TypeFreqs[2])
+	b.Trans("calc_eaddr").
+		In("EA_needed").
+		Out("Operand_fetch_pending").
+		EnablingConst(p.EACyclesPerOperand)
+	b.Trans("dcache_hit").
+		In("Operand_fetch_pending").
+		Out("dcache_serving").
+		Freq(c.DHitRatio)
+	b.Trans("dcache_miss").
+		In("Operand_fetch_pending").
+		Out("operand_miss").
+		Freq(1 - c.DHitRatio)
+	b.Trans("dcache_hit_done").
+		In("dcache_serving").
+		EnablingConst(c.HitCycles)
+	b.Trans("Start_operand_fetch").
+		In("operand_miss").
+		In("Bus_free").
+		Out("fetching").
+		Out("Bus_busy")
+	b.Trans("End_operand_fetch").
+		In("fetching").
+		In("Bus_busy").
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles)
+	b.Trans("operands_done").
+		In("Mem_instr_in_decode").
+		Inhib("EA_needed").
+		Inhib("Operand_fetch_pending").
+		Inhib("operand_miss").
+		Inhib("fetching").
+		Inhib("dcache_serving").
+		Out("ready_to_issue_instruction")
+
+	// --- Stage 3 with write-through-cache stores ------------------------
+	b.Trans("Issue").
+		In("ready_to_issue_instruction").
+		In("Execution_unit").
+		Out("Issued_instruction").
+		Out("Decoder_ready")
+	for i := range p.ExecCycles {
+		b.Trans(fmt.Sprintf("exec_type_%d", i+1)).
+			In("Issued_instruction").
+			Out("Exec_complete").
+			FiringConst(p.ExecCycles[i]).
+			Freq(p.ExecFreqs[i])
+	}
+	b.Trans("no_store").
+		In("Exec_complete").
+		Out("Execution_unit").
+		Freq(1 - p.StoreProb)
+	b.Trans("store_result").
+		In("Exec_complete").
+		Out("Result_store_pending").
+		Freq(p.StoreProb)
+	b.Trans("store_cache_hit").
+		In("Result_store_pending").
+		Out("store_cache_serving").
+		Freq(c.DHitRatio)
+	b.Trans("store_cache_miss").
+		In("Result_store_pending").
+		Out("store_miss").
+		Freq(1 - c.DHitRatio)
+	b.Trans("store_cache_done").
+		In("store_cache_serving").
+		Out("Execution_unit").
+		EnablingConst(c.HitCycles)
+	b.Trans("Start_store").
+		In("store_miss").
+		In("Bus_free").
+		Out("storing").
+		Out("Bus_busy")
+	b.Trans("End_store").
+		In("storing").
+		In("Bus_busy").
+		Out("Bus_free").
+		Out("Execution_unit").
+		EnablingConst(p.MemoryCycles)
+	return b.Build()
+}

@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/petri"
+)
+
+// InstructionSet is the table-driven description of Section 3: instead
+// of one subnet per instruction type, a single Decode transition selects
+// the type at random and tables give the per-type operand count, the
+// extra instruction words to pull from the buffer (variable-length
+// instructions), and the execution time. "The Petri net itself would be
+// used to model what Petri nets model best: the contention for the bus
+// and the synchronization between different portions of the pipeline."
+type InstructionSet struct {
+	// Operands[t] is the number of memory operands of type t (1-based;
+	// index 0 is unused).
+	Operands []int64
+	// ExtraWords[t] is the number of instruction words beyond the first
+	// (variable-length instructions; 1-based, index 0 unused).
+	ExtraWords []int64
+	// ExecCycles[t] is the execution time of type t (1-based, index 0
+	// unused).
+	ExecCycles []int64
+}
+
+// DefaultInstructionSet returns a small CISC-flavoured set of 6 types:
+// register-register, immediate (1 extra word), load, store-address
+// (1 extra word), memory-memory (2 operands), and a long-running
+// multiply-accumulate with 2 operands and 2 extra words.
+func DefaultInstructionSet() InstructionSet {
+	return InstructionSet{
+		Operands:   []int64{0, 0, 0, 1, 1, 2, 2},
+		ExtraWords: []int64{0, 0, 1, 0, 1, 0, 2},
+		ExecCycles: []int64{0, 1, 1, 2, 2, 5, 20},
+	}
+}
+
+// Validate checks table shape.
+func (s *InstructionSet) Validate() error {
+	n := len(s.Operands)
+	if n < 2 {
+		return fmt.Errorf("pipeline: instruction set needs at least one type")
+	}
+	if len(s.ExtraWords) != n || len(s.ExecCycles) != n {
+		return fmt.Errorf("pipeline: instruction-set tables have unequal lengths %d/%d/%d",
+			len(s.Operands), len(s.ExtraWords), len(s.ExecCycles))
+	}
+	for t := 1; t < n; t++ {
+		if s.Operands[t] < 0 || s.ExtraWords[t] < 0 || s.ExecCycles[t] < 0 {
+			return fmt.Errorf("pipeline: negative table entry for type %d", t)
+		}
+	}
+	return nil
+}
+
+// MaxType returns the largest valid type index.
+func (s *InstructionSet) MaxType() int64 { return int64(len(s.Operands) - 1) }
+
+// InterpretedProcessor builds the Figure 4 style model: the full 3-stage
+// pipeline in which instruction variety lives in tables and predicates
+// rather than in net structure. The net has one decode path, one operand
+// fetch loop and one execution transition regardless of how many
+// instruction types the set defines.
+//
+// Global variables are safe here for the same reason the paper's
+// skeleton is: stage 2 processes one instruction at a time, and the
+// execution parameters are latched into exec_* variables by the Issue
+// action before the decoder can begin the next instruction.
+func InterpretedProcessor(p Params, is InstructionSet) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := is.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("pipeline_interpreted")
+	stagePlaces(b, p)
+	b.Place("Decoding_instruction", 0)
+	b.Place("Operand_phase", 0)
+	b.Place("Fetch_wait", 0)
+
+	b.Var("type", 1)
+	b.Var("number_of_operands_needed", 0)
+	b.Var("words_needed", 0)
+	b.Var("exec_cycles_needed", 0)
+	b.Var("max_type", is.MaxType())
+	b.Table("operands", is.Operands...)
+	b.Table("extra_words", is.ExtraWords...)
+	b.Table("exec_cycles", is.ExecCycles...)
+
+	addPrefetch(b, p)
+
+	// Decode selects the type and loads the control variables — the
+	// paper's action "type = irand[1, max-type]; number-of-operands-
+	// needed = operands[type];" extended with the word count.
+	b.Trans("Decode").
+		In("Full_I_buffers").
+		In("Decoder_ready").
+		Out("Decoding_instruction").
+		Out("Empty_I_buffers").
+		FiringConst(p.DecodeCycles).
+		Action(`type = irand(1, max_type);
+		        number_of_operands_needed = operands[type];
+		        words_needed = extra_words[type];`)
+
+	// Variable-length instructions: pull extra words one at a time.
+	b.Trans("consume_word").
+		In("Decoding_instruction").
+		In("Full_I_buffers").
+		Out("Decoding_instruction").
+		Out("Empty_I_buffers").
+		Pred("words_needed > 0").
+		Action("words_needed = words_needed - 1")
+	b.Trans("words_done").
+		In("Decoding_instruction").
+		Out("Operand_phase").
+		Pred("words_needed == 0")
+
+	// Operand fetch loop (Figure 4): fetch-operand while operands remain,
+	// operand-fetching-done when the counter reaches zero.
+	b.Trans("fetch_operand").
+		In("Operand_phase").
+		Out("Fetch_wait").
+		Pred("number_of_operands_needed > 0").
+		EnablingConst(p.EACyclesPerOperand) // effective-address calculation
+	b.Trans("Start_operand_fetch").
+		In("Fetch_wait").
+		In("Bus_free").
+		Out("fetching").
+		Out("Bus_busy")
+	b.Trans("end_fetch").
+		In("fetching").
+		In("Bus_busy").
+		Out("Operand_phase").
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles).
+		Action("number_of_operands_needed = number_of_operands_needed - 1")
+	b.Trans("operand_fetching_done").
+		In("Operand_phase").
+		Out("ready_to_issue_instruction").
+		Pred("number_of_operands_needed == 0")
+
+	// Issue latches the execution time before the decoder moves on.
+	b.Trans("Issue").
+		In("ready_to_issue_instruction").
+		In("Execution_unit").
+		Out("Issued_instruction").
+		Out("Decoder_ready").
+		Action("exec_cycles_needed = exec_cycles[type]")
+	b.Trans("execute").
+		In("Issued_instruction").
+		Out("Exec_complete").
+		Firing(petri.ExprDelay{E: expr.MustParseExpr("exec_cycles_needed")})
+	b.Trans("no_store").
+		In("Exec_complete").
+		Out("Execution_unit").
+		Freq(1 - p.StoreProb)
+	b.Trans("store_result").
+		In("Exec_complete").
+		Out("Result_store_pending").
+		Freq(p.StoreProb)
+	b.Trans("Start_store").
+		In("Result_store_pending").
+		In("Bus_free").
+		Out("storing").
+		Out("Bus_busy")
+	b.Trans("End_store").
+		In("storing").
+		In("Bus_busy").
+		Out("Bus_free").
+		Out("Execution_unit").
+		EnablingConst(p.MemoryCycles)
+	return b.Build()
+}

@@ -1,0 +1,303 @@
+// Package pipeline contains the paper's example models (Section 2,
+// Figures 1-3): a 3-stage pipelined microprocessor whose first stage
+// pre-fetches instructions, whose second stage decodes, calculates
+// effective addresses and fetches operands, and whose third stage
+// executes instructions and stores results.
+//
+// The package also provides the interpreted (table-driven) variant of
+// Section 3 / Figure 4, the probabilistic cache extension sketched in
+// Section 3, and a non-pipelined baseline processor used by the
+// benchmark harness to quantify what the pipeline buys.
+//
+// Place and transition names follow Figure 5 of the paper
+// (Full_I_buffers, pre_fetching, Bus_busy, Issue, exec_type_1, ...), so
+// statistics reports line up with the published table.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// Params are the model parameters of Section 2. The defaults
+// (DefaultParams) are the paper's:
+//
+//  1. 6-word instruction buffer, prefetched two words at a time;
+//  2. memory access of 5 processor cycles;
+//  3. instruction mix 70-20-10 over zero/one/two-memory-operand types;
+//  4. decode 1 cycle, effective-address calculation 2 cycles per operand;
+//  5. execution 1-2-5-10-50 cycles with probabilities .5-.3-.1-.05-.05;
+//  6. store probability .2.
+type Params struct {
+	BufferWords        int        // instruction buffer capacity (words)
+	PrefetchWords      int        // words fetched per bus transaction
+	MemoryCycles       petri.Time // one memory access, in processor cycles
+	DecodeCycles       petri.Time // decode time
+	EACyclesPerOperand petri.Time // effective-address calculation per operand
+	TypeFreqs          [3]float64 // relative frequencies of 0/1/2-operand types
+	StoreProb          float64    // probability an instruction stores a result
+	ExecCycles         []petri.Time
+	ExecFreqs          []float64
+}
+
+// DefaultParams returns the Section 2 parameters.
+func DefaultParams() Params {
+	return Params{
+		BufferWords:        6,
+		PrefetchWords:      2,
+		MemoryCycles:       5,
+		DecodeCycles:       1,
+		EACyclesPerOperand: 2,
+		TypeFreqs:          [3]float64{70, 20, 10},
+		StoreProb:          0.2,
+		ExecCycles:         []petri.Time{1, 2, 5, 10, 50},
+		ExecFreqs:          []float64{0.5, 0.3, 0.1, 0.05, 0.05},
+	}
+}
+
+// Validate checks parameter sanity.
+func (p *Params) Validate() error {
+	switch {
+	case p.BufferWords < 1:
+		return fmt.Errorf("pipeline: BufferWords = %d", p.BufferWords)
+	case p.PrefetchWords < 1 || p.PrefetchWords > p.BufferWords:
+		return fmt.Errorf("pipeline: PrefetchWords = %d with %d buffer words", p.PrefetchWords, p.BufferWords)
+	case p.MemoryCycles < 1:
+		return fmt.Errorf("pipeline: MemoryCycles = %d", p.MemoryCycles)
+	case p.DecodeCycles < 0:
+		return fmt.Errorf("pipeline: DecodeCycles = %d", p.DecodeCycles)
+	case p.EACyclesPerOperand < 0:
+		return fmt.Errorf("pipeline: EACyclesPerOperand = %d", p.EACyclesPerOperand)
+	case p.StoreProb < 0 || p.StoreProb > 1:
+		return fmt.Errorf("pipeline: StoreProb = %g", p.StoreProb)
+	case len(p.ExecCycles) == 0 || len(p.ExecCycles) != len(p.ExecFreqs):
+		return fmt.Errorf("pipeline: %d exec cycles vs %d frequencies", len(p.ExecCycles), len(p.ExecFreqs))
+	}
+	for i, f := range p.TypeFreqs {
+		if f < 0 {
+			return fmt.Errorf("pipeline: TypeFreqs[%d] = %g", i, f)
+		}
+	}
+	for i, f := range p.ExecFreqs {
+		if f < 0 {
+			return fmt.Errorf("pipeline: ExecFreqs[%d] = %g", i, f)
+		}
+	}
+	return nil
+}
+
+// stagePlaces declares the places shared by the pipeline stages.
+func stagePlaces(b *petri.Builder, p Params) {
+	b.Place("Empty_I_buffers", p.BufferWords)
+	b.Place("Full_I_buffers", 0)
+	b.Place("Bus_free", 1)
+	b.Place("Bus_busy", 0)
+	b.Place("pre_fetching", 0)
+	b.Place("fetching", 0)
+	b.Place("storing", 0)
+	b.Place("Operand_fetch_pending", 0)
+	b.Place("Result_store_pending", 0)
+	b.Place("Decoder_ready", 1)
+	b.Place("Decoded_instruction", 0)
+	b.Place("EA_needed", 0)
+	b.Place("Mem_instr_in_decode", 0)
+	b.Place("ready_to_issue_instruction", 0)
+	b.Place("Execution_unit", 1)
+	b.Place("Issued_instruction", 0)
+	b.Place("Exec_complete", 0)
+}
+
+// addPrefetch adds the Figure 1 transitions: pre-fetching is initiated
+// whenever the bus is free, there is room for PrefetchWords in the
+// instruction buffer, and no operand fetch or result store is pending
+// (the inhibitor arcs give those bus customers priority).
+func addPrefetch(b *petri.Builder, p Params) {
+	b.Trans("Start_prefetch").
+		In("Empty_I_buffers", p.PrefetchWords).
+		In("Bus_free").
+		Inhib("Operand_fetch_pending").
+		Inhib("Result_store_pending").
+		Out("pre_fetching").
+		Out("Bus_busy")
+	b.Trans("End_prefetch").
+		In("pre_fetching").
+		In("Bus_busy").
+		Out("Full_I_buffers", p.PrefetchWords).
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles)
+}
+
+// addDecode adds the Figure 2 transitions: decode, instruction-type
+// selection at the 70-20-10 mix, effective-address calculation and
+// operand fetching. Stage 2 holds one instruction at a time
+// (Decoder_ready is returned at Issue), so the completion condition
+// "all operands fetched" is expressed with inhibitor arcs over the
+// operand-progress places.
+func addDecode(b *petri.Builder, p Params) {
+	b.Trans("Decode").
+		In("Full_I_buffers").
+		In("Decoder_ready").
+		Out("Decoded_instruction").
+		Out("Empty_I_buffers").
+		FiringConst(p.DecodeCycles)
+	b.Trans("Type_1").
+		In("Decoded_instruction").
+		Out("ready_to_issue_instruction").
+		Freq(p.TypeFreqs[0])
+	b.Trans("Type_2").
+		In("Decoded_instruction").
+		Out("EA_needed").
+		Out("Mem_instr_in_decode").
+		Freq(p.TypeFreqs[1])
+	b.Trans("Type_3").
+		In("Decoded_instruction").
+		Out("EA_needed", 2).
+		Out("Mem_instr_in_decode").
+		Freq(p.TypeFreqs[2])
+	// Effective-address calculation uses an enabling time so that the
+	// EA_needed token stays visible during the calculation; the
+	// operands_done inhibitor test depends on it.
+	b.Trans("calc_eaddr").
+		In("EA_needed").
+		Out("Operand_fetch_pending").
+		EnablingConst(p.EACyclesPerOperand)
+	b.Trans("Start_operand_fetch").
+		In("Operand_fetch_pending").
+		In("Bus_free").
+		Out("fetching").
+		Out("Bus_busy")
+	b.Trans("End_operand_fetch").
+		In("fetching").
+		In("Bus_busy").
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles)
+	b.Trans("operands_done").
+		In("Mem_instr_in_decode").
+		Inhib("EA_needed").
+		Inhib("Operand_fetch_pending").
+		Inhib("fetching").
+		Out("ready_to_issue_instruction")
+}
+
+// addExecute adds the Figure 3 transitions: issue to the execution unit,
+// five competing execution transitions with the paper's firing
+// frequencies and firing times, and result storing which contends for
+// the bus while holding the execution unit.
+func addExecute(b *petri.Builder, p Params) {
+	b.Trans("Issue").
+		In("ready_to_issue_instruction").
+		In("Execution_unit").
+		Out("Issued_instruction").
+		Out("Decoder_ready")
+	for i := range p.ExecCycles {
+		b.Trans(fmt.Sprintf("exec_type_%d", i+1)).
+			In("Issued_instruction").
+			Out("Exec_complete").
+			FiringConst(p.ExecCycles[i]).
+			Freq(p.ExecFreqs[i])
+	}
+	b.Trans("no_store").
+		In("Exec_complete").
+		Out("Execution_unit").
+		Freq(1 - p.StoreProb)
+	b.Trans("store_result").
+		In("Exec_complete").
+		Out("Result_store_pending").
+		Freq(p.StoreProb)
+	b.Trans("Start_store").
+		In("Result_store_pending").
+		In("Bus_free").
+		Out("storing").
+		Out("Bus_busy")
+	b.Trans("End_store").
+		In("storing").
+		In("Bus_busy").
+		Out("Bus_free").
+		Out("Execution_unit").
+		EnablingConst(p.MemoryCycles)
+}
+
+// Processor builds the complete 3-stage pipelined processor model of
+// Section 2 (Figures 1-3 combined).
+func Processor(p Params) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("pipeline")
+	stagePlaces(b, p)
+	addPrefetch(b, p)
+	addDecode(b, p)
+	addExecute(b, p)
+	return b.Build()
+}
+
+// Prefetch builds the Figure 1 subnet in isolation: instruction
+// pre-fetching plus the Decode consumer. The operand-fetch and
+// result-store places exist (they carry the inhibitor arcs) but nothing
+// feeds them, so the subnet studies pure prefetch behaviour.
+func Prefetch(p Params) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("prefetching")
+	stagePlaces(b, p)
+	addPrefetch(b, p)
+	b.Trans("Decode").
+		In("Full_I_buffers").
+		In("Decoder_ready").
+		Out("Decoded_instruction").
+		Out("Empty_I_buffers").
+		FiringConst(p.DecodeCycles)
+	// The decoded instruction is consumed immediately so that the buffer
+	// drains at decode speed.
+	b.Trans("consume").
+		In("Decoded_instruction").
+		Out("Decoder_ready")
+	return b.Build()
+}
+
+// Decoder builds the Figure 2 subnet in isolation: decode, address
+// calculation and operand fetching, with the issue stage stubbed by an
+// always-ready consumer.
+func Decoder(p Params) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("decoder")
+	stagePlaces(b, p)
+	addDecode(b, p)
+	// Keep the buffer supplied: an infinite instruction source refills a
+	// word every cycle (stage 1 abstracted away).
+	b.Trans("refill").
+		In("Empty_I_buffers").
+		Out("Full_I_buffers").
+		EnablingConst(1)
+	// Issue is always possible (stage 3 abstracted away).
+	b.Trans("Issue").
+		In("ready_to_issue_instruction").
+		Out("Decoder_ready")
+	return b.Build()
+}
+
+// Execution builds the Figure 3 subnet in isolation: an instruction
+// source issues into the execution unit as fast as it will accept them.
+func Execution(p Params) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("execution_unit")
+	stagePlaces(b, p)
+	addExecute(b, p)
+	// Stage 2 abstracted: a new instruction is ready to issue every
+	// DecodeCycles (at least 1 cycle).
+	d := p.DecodeCycles
+	if d < 1 {
+		d = 1
+	}
+	b.Trans("next_instruction").
+		In("Decoder_ready").
+		Out("ready_to_issue_instruction").
+		EnablingConst(d)
+	return b.Build()
+}

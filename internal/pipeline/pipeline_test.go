@@ -1,0 +1,442 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.BufferWords = 0 },
+		func(p *Params) { p.PrefetchWords = 0 },
+		func(p *Params) { p.PrefetchWords = 99 },
+		func(p *Params) { p.MemoryCycles = 0 },
+		func(p *Params) { p.DecodeCycles = -1 },
+		func(p *Params) { p.EACyclesPerOperand = -1 },
+		func(p *Params) { p.StoreProb = 1.5 },
+		func(p *Params) { p.ExecCycles = nil },
+		func(p *Params) { p.ExecFreqs = p.ExecFreqs[:2] },
+		func(p *Params) { p.TypeFreqs[0] = -1 },
+		func(p *Params) { p.ExecFreqs[0] = -1 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestProcessorBuilds(t *testing.T) {
+	net, err := Processor(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 5 names must all be present.
+	for _, name := range []string{
+		"Full_I_buffers", "Empty_I_buffers", "pre_fetching", "fetching",
+		"storing", "Bus_busy", "Bus_free", "Decoder_ready", "Execution_unit",
+		"ready_to_issue_instruction",
+	} {
+		if _, ok := net.PlaceID(name); !ok {
+			t.Errorf("missing place %q", name)
+		}
+	}
+	for _, name := range []string{
+		"Issue", "Type_1", "Type_2", "Type_3",
+		"exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4", "exec_type_5",
+		"Start_prefetch", "End_prefetch", "Decode", "calc_eaddr",
+		"Start_operand_fetch", "End_operand_fetch", "operands_done",
+		"no_store", "store_result", "Start_store", "End_store",
+	} {
+		if _, ok := net.TransIDByName(name); !ok {
+			t.Errorf("missing transition %q", name)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	// The headline reproduction: simulate the Section 2 model for 10 000
+	// cycles and compare the key Figure 5 statistics. Absolute agreement
+	// with a 1987 run is not expected (different RNG, reconstructed net
+	// topology), but every structural relationship the paper reads off
+	// the table must hold, and the headline numbers should land close.
+	net, err := Processor(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+		t.Fatal(err)
+	}
+
+	issue, _ := s.Throughput("Issue")
+	if issue < 0.09 || issue > 0.16 {
+		t.Errorf("Issue throughput = %.4f, paper reports 0.1238", issue)
+	}
+
+	busBusy, _ := s.Utilization("Bus_busy")
+	if busBusy < 0.5 || busBusy > 0.85 {
+		t.Errorf("bus utilization = %.4f, paper reports 0.6582", busBusy)
+	}
+
+	// Bus activity decomposes into the three activities.
+	pre, _ := s.Utilization("pre_fetching")
+	fet, _ := s.Utilization("fetching")
+	sto, _ := s.Utilization("storing")
+	if math.Abs(pre+fet+sto-busBusy) > 0.02 {
+		t.Errorf("bus breakdown %0.4f+%0.4f+%0.4f != %0.4f", pre, fet, sto, busBusy)
+	}
+	// Prefetching dominates, storing is smallest (paper: .31/.23/.12).
+	if !(pre > fet && fet > sto) {
+		t.Errorf("bus breakdown ordering wrong: pre=%.4f fetch=%.4f store=%.4f", pre, fet, sto)
+	}
+
+	// Type selection respects the 70-20-10 mix.
+	t1, _ := s.EventRowByName("Type_1")
+	t2, _ := s.EventRowByName("Type_2")
+	t3, _ := s.EventRowByName("Type_3")
+	total := float64(t1.Ends + t2.Ends + t3.Ends)
+	if total == 0 {
+		t.Fatal("no instructions decoded")
+	}
+	if f := float64(t1.Ends) / total; f < 0.65 || f > 0.75 {
+		t.Errorf("Type_1 fraction = %.3f, want about .70", f)
+	}
+	if f := float64(t2.Ends) / total; f < 0.15 || f > 0.25 {
+		t.Errorf("Type_2 fraction = %.3f, want about .20", f)
+	}
+	if f := float64(t3.Ends) / total; f < 0.06 || f > 0.14 {
+		t.Errorf("Type_3 fraction = %.3f, want about .10", f)
+	}
+
+	// The instruction processing rate equals the sum of the execution
+	// transition throughputs (the paper reads the rate this way too).
+	var execSum float64
+	for _, name := range []string{"exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4", "exec_type_5"} {
+		th, err := s.Throughput(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execSum += th
+	}
+	if math.Abs(execSum-issue) > 0.01 {
+		t.Errorf("sum of exec throughputs %.4f != Issue throughput %.4f", execSum, issue)
+	}
+
+	// exec_type_5 is rare but dominates busy time (paper: avg 0.29
+	// concurrent vs 0.0618 for type 1).
+	e1, _ := s.EventRowByName("exec_type_1")
+	e5, _ := s.EventRowByName("exec_type_5")
+	if e5.Ends >= e1.Ends {
+		t.Errorf("type-5 executions (%d) should be far rarer than type-1 (%d)", e5.Ends, e1.Ends)
+	}
+	if e5.Avg <= e1.Avg {
+		t.Errorf("type-5 busy fraction (%.4f) should exceed type-1 (%.4f)", e5.Avg, e1.Avg)
+	}
+
+	// Decoder_ready is almost never marked (paper: 0.0014): stage 2 is
+	// the pipeline's congestion point.
+	dr, _ := s.Utilization("Decoder_ready")
+	if dr > 0.1 {
+		t.Errorf("Decoder_ready avg = %.4f, paper reports 0.0014", dr)
+	}
+
+	// The instruction buffer runs nearly full (paper: 4.621 of 6).
+	full, _ := s.Utilization("Full_I_buffers")
+	if full < 3.0 {
+		t.Errorf("Full_I_buffers avg = %.4f, paper reports 4.621", full)
+	}
+
+	// Stores happen on roughly 20% of instructions.
+	st, _ := s.EventRowByName("store_result")
+	ns, _ := s.EventRowByName("no_store")
+	frac := float64(st.Ends) / float64(st.Ends+ns.Ends)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("store fraction = %.3f, want about .20", frac)
+	}
+}
+
+func TestBusInvariantHoldsInFullModel(t *testing.T) {
+	net, err := Processor(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := net.MustPlace("Bus_free")
+	busy := net.MustPlace("Bus_busy")
+	var m []int
+	violations := 0
+	obs := trace.ObserverFunc(func(rec *trace.Record) error {
+		switch rec.Kind {
+		case trace.Initial:
+			m = append([]int(nil), rec.Marking...)
+		case trace.Start, trace.End:
+			for _, d := range rec.Deltas {
+				m[d.Place] += d.Change
+			}
+			if rec.Kind == trace.End && m[free]+m[busy] != 1 {
+				violations++
+			}
+		}
+		return nil
+	})
+	if _, err := sim.Run(net, obs, sim.Options{Horizon: 20_000, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Errorf("bus invariant violated %d times", violations)
+	}
+}
+
+func TestPrefetchSubnet(t *testing.T) {
+	net, err := Prefetch(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// With no operand/store competition the decode stage is limited by
+	// prefetch bandwidth: 2 words per 5 cycles = 0.4 words/cycle max,
+	// decode consumes 1/cycle, so prefetch saturates the bus.
+	pre, _ := s.Utilization("pre_fetching")
+	if pre < 0.8 {
+		t.Errorf("prefetch-only bus usage = %.4f, expected near 1", pre)
+	}
+	dec, _ := s.Throughput("Decode")
+	if dec < 0.3 || dec > 0.45 {
+		t.Errorf("decode throughput = %.4f, want near 0.4 (prefetch-limited)", dec)
+	}
+}
+
+func TestDecoderSubnet(t *testing.T) {
+	net, err := Decoder(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	th, _ := s.Throughput("Issue")
+	if th <= 0 {
+		t.Error("decoder subnet issued nothing")
+	}
+	// Type mix still honoured in isolation.
+	t1, _ := s.EventRowByName("Type_1")
+	t3, _ := s.EventRowByName("Type_3")
+	if t1.Ends <= t3.Ends {
+		t.Errorf("type mix wrong in decoder subnet: %d vs %d", t1.Ends, t3.Ends)
+	}
+}
+
+func TestExecutionSubnet(t *testing.T) {
+	net, err := Execution(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Execution-only throughput: mean service = 4.6 cycles + store
+	// traffic; rate should be near 1/5.7.
+	th, _ := s.Throughput("Issue")
+	if th < 0.12 || th > 0.22 {
+		t.Errorf("execution subnet throughput = %.4f", th)
+	}
+}
+
+func TestInterpretedProcessorRuns(t *testing.T) {
+	net, err := InterpretedProcessor(DefaultParams(), DefaultInstructionSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Interpreted() {
+		t.Fatal("interpreted net not marked interpreted")
+	}
+	s := stats.New(trace.HeaderOf(net))
+	res, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts == 0 {
+		t.Fatal("nothing fired")
+	}
+	th, _ := s.Throughput("Issue")
+	if th <= 0.01 {
+		t.Errorf("interpreted model throughput = %.4f", th)
+	}
+	exec, _ := s.Throughput("execute")
+	if math.Abs(exec-th) > 0.01 {
+		t.Errorf("execute throughput %.4f != issue throughput %.4f", exec, th)
+	}
+	// The loop variables must be non-negative throughout; spot-check the
+	// final environment.
+	if res.Vars["number_of_operands_needed"] < 0 || res.Vars["words_needed"] < 0 {
+		t.Errorf("loop variables went negative: %v", res.Vars)
+	}
+}
+
+func TestInterpretedNetIsSmallerThanExplicit(t *testing.T) {
+	// Section 3's point: the interpreted model's size does not grow with
+	// the instruction set. A 6-type interpreted net must stay smaller
+	// than a hypothetical per-type expansion (one decode path per type,
+	// roughly 4 transitions each).
+	net, err := InterpretedProcessor(DefaultParams(), DefaultInstructionSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := DefaultInstructionSet()
+	// Triple the instruction set.
+	for i := 0; i < 2; i++ {
+		big.Operands = append(big.Operands, big.Operands[1:]...)
+		big.ExtraWords = append(big.ExtraWords, big.ExtraWords[1:]...)
+		big.ExecCycles = append(big.ExecCycles, big.ExecCycles[1:]...)
+	}
+	netBig, err := InterpretedProcessor(DefaultParams(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netBig.NumTrans() != net.NumTrans() || netBig.NumPlaces() != net.NumPlaces() {
+		t.Errorf("interpreted net grew with instruction set: %d/%d vs %d/%d",
+			netBig.NumTrans(), netBig.NumPlaces(), net.NumTrans(), net.NumPlaces())
+	}
+}
+
+func TestCacheProcessorRelievesBus(t *testing.T) {
+	p := DefaultParams()
+	base, err := Processor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := CacheProcessor(p, DefaultCacheParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBase := stats.New(trace.HeaderOf(base))
+	if _, err := sim.Run(base, sBase, sim.Options{Horizon: 20_000, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sCached := stats.New(trace.HeaderOf(cached))
+	if _, err := sim.Run(cached, sCached, sim.Options{Horizon: 20_000, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	busBase, _ := sBase.Utilization("Bus_busy")
+	busCached, _ := sCached.Utilization("Bus_busy")
+	if busCached >= busBase {
+		t.Errorf("caches should relieve the bus: %.4f (cached) vs %.4f (base)", busCached, busBase)
+	}
+	thBase, _ := sBase.Throughput("Issue")
+	thCached, _ := sCached.Throughput("Issue")
+	if thCached <= thBase {
+		t.Errorf("caches should raise throughput: %.4f vs %.4f", thCached, thBase)
+	}
+}
+
+func TestCacheExtremes(t *testing.T) {
+	p := DefaultParams()
+	// Hit ratio 1: the bus is used by nothing in stage 1/2 except
+	// never-firing miss paths.
+	all := CacheParams{IHitRatio: 1, DHitRatio: 1, HitCycles: 1}
+	net, err := CacheProcessor(p, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	bus, _ := s.Utilization("Bus_busy")
+	if bus > 0.001 {
+		t.Errorf("with perfect caches the bus should be idle, got %.4f", bus)
+	}
+	th, _ := s.Throughput("Issue")
+	if th < 0.15 {
+		t.Errorf("perfect-cache throughput = %.4f, should beat the base model's ~0.12", th)
+	}
+	// Hit ratio 0 must behave like an uncached machine (all misses).
+	none := CacheParams{IHitRatio: 0, DHitRatio: 0, HitCycles: 1}
+	net0, err := CacheProcessor(p, none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := stats.New(trace.HeaderOf(net0))
+	if _, err := sim.Run(net0, s0, sim.Options{Horizon: 10_000, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := s0.EventRowByName("icache_hit")
+	if hits.Ends != 0 {
+		t.Errorf("zero hit ratio produced %d hits", hits.Ends)
+	}
+}
+
+func TestSequentialBaselineSlower(t *testing.T) {
+	p := DefaultParams()
+	pipe, err := Processor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SequentialProcessor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stats.New(trace.HeaderOf(pipe))
+	if _, err := sim.Run(pipe, sp, sim.Options{Horizon: 30_000, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	ss := stats.New(trace.HeaderOf(seq))
+	if _, err := sim.Run(seq, ss, sim.Options{Horizon: 30_000, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	thPipe, _ := sp.Throughput("Issue")
+	thSeq, _ := ss.Throughput("Issue")
+	if thSeq <= 0 {
+		t.Fatal("sequential model issued nothing")
+	}
+	speedup := thPipe / thSeq
+	if speedup < 1.3 {
+		t.Errorf("pipeline speedup = %.2fx over sequential; expected clearly > 1", speedup)
+	}
+	if speedup > 3.5 {
+		t.Errorf("pipeline speedup = %.2fx is implausibly high for a 3-stage pipeline", speedup)
+	}
+}
+
+func TestMemorySpeedSensitivity(t *testing.T) {
+	// The introduction's claim: memory speed has a strong impact.
+	rate := func(mem int64) float64 {
+		p := DefaultParams()
+		p.MemoryCycles = mem
+		net, err := Processor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := stats.New(trace.HeaderOf(net))
+		if _, err := sim.Run(net, s, sim.Options{Horizon: 20_000, Seed: 4}); err != nil {
+			t.Fatal(err)
+		}
+		th, _ := s.Throughput("Issue")
+		return th
+	}
+	fast, slow := rate(1), rate(10)
+	if fast <= slow {
+		t.Errorf("faster memory should raise throughput: mem=1 gives %.4f, mem=10 gives %.4f", fast, slow)
+	}
+	if fast/slow < 1.3 {
+		t.Errorf("memory speed impact too weak: %.4f vs %.4f", fast, slow)
+	}
+}

@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// randomParams maps arbitrary bytes onto a valid parameter set within
+// sane modeling ranges.
+func randomParams(buf, pre, mem, dec, ea, store uint8) Params {
+	p := DefaultParams()
+	p.BufferWords = int(buf%8) + 2
+	p.PrefetchWords = int(pre%uint8(p.BufferWords)) + 1
+	p.MemoryCycles = int64(mem%10) + 1
+	p.DecodeCycles = int64(dec % 4)
+	p.EACyclesPerOperand = int64(ea % 4)
+	p.StoreProb = float64(store%10) / 10
+	return p
+}
+
+// Property: across random parameter sets, the model builds, runs, makes
+// progress, and preserves the structural identities the paper reads off
+// Figure 5.
+func TestQuickParameterSpace(t *testing.T) {
+	f := func(buf, pre, mem, dec, ea, store uint8, seed int64) bool {
+		p := randomParams(buf, pre, mem, dec, ea, store)
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		net, err := Processor(p)
+		if err != nil {
+			return false
+		}
+		s := stats.New(trace.HeaderOf(net))
+		if _, err := sim.Run(net, s, sim.Options{Horizon: 4_000, Seed: seed}); err != nil {
+			return false
+		}
+		issue, _ := s.Throughput("Issue")
+		if issue <= 0 {
+			return false // the pipeline must always make progress
+		}
+		// Exec throughputs sum to the issue rate.
+		var execSum float64
+		for _, name := range []string{"exec_type_1", "exec_type_2", "exec_type_3", "exec_type_4", "exec_type_5"} {
+			th, err := s.Throughput(name)
+			if err != nil {
+				return false
+			}
+			execSum += th
+		}
+		if math.Abs(execSum-issue) > 0.02 {
+			return false
+		}
+		// Bus decomposition.
+		bus, _ := s.Utilization("Bus_busy")
+		pre1, _ := s.Utilization("pre_fetching")
+		fet, _ := s.Utilization("fetching")
+		sto, _ := s.Utilization("storing")
+		return math.Abs(pre1+fet+sto-bus) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the bus mutual-exclusion invariant holds at every settled
+// state for random parameters and seeds.
+func TestQuickBusInvariantAcrossParams(t *testing.T) {
+	f := func(mem, buf uint8, seed int64) bool {
+		p := DefaultParams()
+		p.MemoryCycles = int64(mem%12) + 1
+		p.BufferWords = int(buf%6) + 2
+		if p.PrefetchWords > p.BufferWords {
+			p.PrefetchWords = p.BufferWords
+		}
+		net, err := Processor(p)
+		if err != nil {
+			return false
+		}
+		free := net.MustPlace("Bus_free")
+		busy := net.MustPlace("Bus_busy")
+		m := net.InitialMarking()
+		ok := true
+		obs := trace.ObserverFunc(func(rec *trace.Record) error {
+			switch rec.Kind {
+			case trace.Initial:
+				m = rec.Marking.Clone()
+			case trace.Start, trace.End:
+				for _, d := range rec.Deltas {
+					m[d.Place] += d.Change
+				}
+				if rec.Kind == trace.End && m[free]+m[busy] != 1 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		if _, err := sim.Run(net, obs, sim.Options{Horizon: 2_000, Seed: seed}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeadlockFreedomSmallConfigs proves (not samples) deadlock freedom
+// for small configurations via the untimed reachability graph.
+func TestDeadlockFreedomSmallConfigs(t *testing.T) {
+	for _, cfg := range []struct{ buf, pre int }{{2, 1}, {2, 2}, {4, 2}, {6, 2}, {6, 3}} {
+		p := DefaultParams()
+		p.BufferWords = cfg.buf
+		p.PrefetchWords = cfg.pre
+		net, err := Processor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := reach.Build(net, reach.Options{MaxStates: 500_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Truncated {
+			t.Fatalf("buf=%d pre=%d: graph truncated at %d states", cfg.buf, cfg.pre, len(g.Nodes))
+		}
+		if dl := g.Deadlocks(); len(dl) != 0 {
+			t.Errorf("buf=%d pre=%d: %d deadlock states, e.g. %s",
+				cfg.buf, cfg.pre, len(dl), g.Nodes[dl[0]].Marking.Format(net))
+		}
+		if dead := g.DeadTransitions(); len(dead) != 0 {
+			t.Errorf("buf=%d pre=%d: dead transitions %v", cfg.buf, cfg.pre, dead)
+		}
+		// The paper's invariants, proven over the whole state space.
+		if _, err := g.CheckInvariant(map[string]int{"Bus_free": 1, "Bus_busy": 1}); err != nil {
+			// Bus_free+Bus_busy is 1 only in settled states; the untimed
+			// graph fires atomically, so it holds in *every* node here.
+			t.Errorf("buf=%d pre=%d: bus invariant: %v", cfg.buf, cfg.pre, err)
+		}
+		if !reach.Holds(g, reach.MustParseFormula("AG(EF({Decoder_ready == 1}))")) {
+			t.Errorf("buf=%d pre=%d: decoder can be lost forever", cfg.buf, cfg.pre)
+		}
+	}
+}
+
+// TestSequentialNeverOverlaps: in the baseline model at most one
+// activity place is ever marked (no pipelining by construction).
+func TestSequentialNeverOverlaps(t *testing.T) {
+	net, err := SequentialProcessor(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	activity := []string{"ifetching", "fetching", "storing"}
+	ids := make([]int, len(activity))
+	for i, name := range activity {
+		ids[i] = int(net.MustPlace(name))
+	}
+	m := net.InitialMarking()
+	overlaps := 0
+	obs := trace.ObserverFunc(func(rec *trace.Record) error {
+		switch rec.Kind {
+		case trace.Initial:
+			m = rec.Marking.Clone()
+		case trace.Start, trace.End:
+			for _, d := range rec.Deltas {
+				m[d.Place] += d.Change
+			}
+			busy := 0
+			for _, id := range ids {
+				if m[id] > 0 {
+					busy++
+				}
+			}
+			if busy > 1 {
+				overlaps++
+			}
+		}
+		return nil
+	})
+	if _, err := sim.Run(net, obs, sim.Options{Horizon: 20_000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if overlaps > 0 {
+		t.Errorf("sequential model overlapped bus activities %d times", overlaps)
+	}
+}

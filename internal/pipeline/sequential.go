@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// SequentialProcessor builds a non-pipelined baseline with the same
+// instruction mix, memory speed and execution-time distribution as
+// Processor, but in which fetch, decode, operand access, execution and
+// store proceed strictly one after another for one instruction at a
+// time (no prefetch buffer, no stage overlap). The paper's motivation —
+// that pipelining's benefit under bus contention is hard to predict —
+// is quantified by comparing the Issue throughput of the two models.
+func SequentialProcessor(p Params) (*petri.Net, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := petri.NewBuilder("sequential")
+	b.Place("CPU_ready", 1)
+	b.Place("Bus_free", 1)
+	b.Place("Bus_busy", 0)
+	b.Place("ifetching", 0)
+	b.Place("Fetched", 0)
+	b.Place("Decoded_instruction", 0)
+	b.Place("EA_needed", 0)
+	b.Place("Mem_instr_in_decode", 0)
+	b.Place("Operand_fetch_pending", 0)
+	b.Place("fetching", 0)
+	b.Place("ready_to_issue_instruction", 0)
+	b.Place("Issued_instruction", 0)
+	b.Place("Exec_complete", 0)
+	b.Place("Result_store_pending", 0)
+	b.Place("storing", 0)
+
+	// Instruction fetch: one word per instruction, full memory latency,
+	// no overlap with anything else.
+	b.Trans("Start_ifetch").
+		In("CPU_ready").
+		In("Bus_free").
+		Out("ifetching").
+		Out("Bus_busy")
+	b.Trans("End_ifetch").
+		In("ifetching").
+		In("Bus_busy").
+		Out("Fetched").
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles)
+	b.Trans("Decode").
+		In("Fetched").
+		Out("Decoded_instruction").
+		FiringConst(p.DecodeCycles)
+	b.Trans("Type_1").
+		In("Decoded_instruction").
+		Out("ready_to_issue_instruction").
+		Freq(p.TypeFreqs[0])
+	b.Trans("Type_2").
+		In("Decoded_instruction").
+		Out("EA_needed").
+		Out("Mem_instr_in_decode").
+		Freq(p.TypeFreqs[1])
+	b.Trans("Type_3").
+		In("Decoded_instruction").
+		Out("EA_needed", 2).
+		Out("Mem_instr_in_decode").
+		Freq(p.TypeFreqs[2])
+	b.Trans("calc_eaddr").
+		In("EA_needed").
+		Out("Operand_fetch_pending").
+		EnablingConst(p.EACyclesPerOperand)
+	b.Trans("Start_operand_fetch").
+		In("Operand_fetch_pending").
+		In("Bus_free").
+		Out("fetching").
+		Out("Bus_busy")
+	b.Trans("End_operand_fetch").
+		In("fetching").
+		In("Bus_busy").
+		Out("Bus_free").
+		EnablingConst(p.MemoryCycles)
+	b.Trans("operands_done").
+		In("Mem_instr_in_decode").
+		Inhib("EA_needed").
+		Inhib("Operand_fetch_pending").
+		Inhib("fetching").
+		Out("ready_to_issue_instruction")
+	// Issue is immediate: the "execution unit" is the CPU itself, which
+	// is by construction idle here.
+	b.Trans("Issue").
+		In("ready_to_issue_instruction").
+		Out("Issued_instruction")
+	for i := range p.ExecCycles {
+		b.Trans(fmt.Sprintf("exec_type_%d", i+1)).
+			In("Issued_instruction").
+			Out("Exec_complete").
+			FiringConst(p.ExecCycles[i]).
+			Freq(p.ExecFreqs[i])
+	}
+	// After execution the CPU either stores the result (taking the bus
+	// again) or moves straight to the next instruction.
+	b.Trans("no_store").
+		In("Exec_complete").
+		Out("CPU_ready").
+		Freq(1 - p.StoreProb)
+	b.Trans("store_result").
+		In("Exec_complete").
+		Out("Result_store_pending").
+		Freq(p.StoreProb)
+	b.Trans("Start_store").
+		In("Result_store_pending").
+		In("Bus_free").
+		Out("storing").
+		Out("Bus_busy")
+	b.Trans("End_store").
+		In("storing").
+		In("Bus_busy").
+		Out("Bus_free").
+		Out("CPU_ready").
+		EnablingConst(p.MemoryCycles)
+	return b.Build()
+}

@@ -1,0 +1,114 @@
+package ptl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/petri"
+)
+
+func parseExprBody(src string) (petri.Delay, error) {
+	e, err := expr.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return petri.ExprDelay{E: e}, nil
+}
+
+// Format renders a net as .pn source that Parse accepts (round-trip
+// safe). Places print in declaration order, transitions likewise;
+// variables and tables print sorted by name.
+func Format(n *petri.Net) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "net %s\n", n.Name)
+	var vars []string
+	for k := range n.Vars {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	for _, k := range vars {
+		fmt.Fprintf(&b, "var %s %d\n", k, n.Vars[k])
+	}
+	var tables []string
+	for k := range n.Tables {
+		tables = append(tables, k)
+	}
+	sort.Strings(tables)
+	for _, k := range tables {
+		fmt.Fprintf(&b, "table %s", k)
+		for _, v := range n.Tables[k] {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for _, p := range n.Places {
+		if p.Initial != 0 {
+			fmt.Fprintf(&b, "place %s init %d\n", p.Name, p.Initial)
+		} else {
+			fmt.Fprintf(&b, "place %s\n", p.Name)
+		}
+	}
+	arcList := func(arcs []petri.Arc) string {
+		parts := make([]string, len(arcs))
+		for i, a := range arcs {
+			if a.Weight != 1 {
+				parts[i] = fmt.Sprintf("%s*%d", n.Places[a.Place].Name, a.Weight)
+			} else {
+				parts[i] = n.Places[a.Place].Name
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	for i := range n.Trans {
+		tr := &n.Trans[i]
+		fmt.Fprintf(&b, "trans %s\n", tr.Name)
+		if len(tr.In) > 0 {
+			fmt.Fprintf(&b, "  in %s\n", arcList(tr.In))
+		}
+		if len(tr.Out) > 0 {
+			fmt.Fprintf(&b, "  out %s\n", arcList(tr.Out))
+		}
+		if len(tr.Inhib) > 0 {
+			fmt.Fprintf(&b, "  inhib %s\n", arcList(tr.Inhib))
+		}
+		if tr.Firing != nil {
+			fmt.Fprintf(&b, "  firing %s\n", formatDelay(tr.Firing))
+		}
+		if tr.Enabling != nil {
+			fmt.Fprintf(&b, "  enabling %s\n", formatDelay(tr.Enabling))
+		}
+		if tr.Freq != 1 {
+			fmt.Fprintf(&b, "  freq %g\n", tr.Freq)
+		}
+		if tr.Servers > 0 {
+			fmt.Fprintf(&b, "  servers %d\n", tr.Servers)
+		}
+		if tr.Predicate != nil {
+			fmt.Fprintf(&b, "  pred { %s }\n", tr.Predicate)
+		}
+		if tr.Action != nil {
+			fmt.Fprintf(&b, "  action { %s }\n", strings.TrimSpace(tr.Action.String()))
+		}
+	}
+	return b.String()
+}
+
+func formatDelay(d petri.Delay) string {
+	switch d := d.(type) {
+	case petri.Constant:
+		return fmt.Sprintf("%d", petri.Time(d))
+	case petri.Uniform:
+		return fmt.Sprintf("uniform(%d, %d)", d.Lo, d.Hi)
+	case petri.Choice:
+		parts := make([]string, len(d.Durations))
+		for i := range d.Durations {
+			parts[i] = fmt.Sprintf("%d:%g", d.Durations[i], d.Weights[i])
+		}
+		return "choice(" + strings.Join(parts, ", ") + ")"
+	case petri.ExprDelay:
+		return "expr{" + d.E.String() + "}"
+	}
+	return d.String()
+}

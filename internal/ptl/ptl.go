@@ -1,0 +1,362 @@
+// Package ptl implements the textual Petri-net language (.pn files) of
+// the P-NUT tools. The paper notes the complete pipeline model "can be
+// expressed ... textually (for some of our textually based tools) in
+// roughly 25 lines"; this package defines that text form.
+//
+// The format is line oriented:
+//
+//	# comment
+//	net pipeline
+//	var max_type 3
+//	table operands 0 0 1 2
+//	place Empty_I_buffers init 6
+//	place Full_I_buffers
+//	trans Start_prefetch
+//	  in Empty_I_buffers*2, Bus_free
+//	  inhib Operand_fetch_pending, Result_store_pending
+//	  out pre_fetching, Bus_busy
+//	trans End_prefetch
+//	  in pre_fetching, Bus_busy
+//	  out Full_I_buffers*2, Bus_free
+//	  enabling 5
+//	trans Decode
+//	  in Full_I_buffers, Decoder_ready
+//	  out Decoded_instruction, Empty_I_buffers
+//	  firing 1
+//	  freq 1
+//	  servers 1
+//	  pred { nops > 0 }
+//	  action { nops = nops - 1; }
+//
+// Delays accept four forms: a constant ("firing 5"), a uniform range
+// ("firing uniform(1, 3)"), a weighted choice
+// ("firing choice(1:0.5, 2:0.3, 50:0.2)") and a data-dependent
+// expression ("firing expr{ exec_cycles[type] }").
+package ptl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ptl: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse compiles .pn source into a net.
+func Parse(src string) (*petri.Net, error) {
+	p := &parser{}
+	return p.parse(src)
+}
+
+type parser struct {
+	b     *petri.Builder
+	tb    *petri.TransBuilder
+	line  int
+	named bool
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// logicalLines joins brace continuations: a line whose '{' is not closed
+// swallows following lines until braces balance.
+func logicalLines(src string) []struct {
+	text string
+	line int
+} {
+	var out []struct {
+		text string
+		line int
+	}
+	raw := strings.Split(src, "\n")
+	i := 0
+	for i < len(raw) {
+		start := i
+		text := raw[i]
+		depth := strings.Count(text, "{") - strings.Count(text, "}")
+		for depth > 0 && i+1 < len(raw) {
+			i++
+			text += "\n" + raw[i]
+			depth += strings.Count(raw[i], "{") - strings.Count(raw[i], "}")
+		}
+		out = append(out, struct {
+			text string
+			line int
+		}{text, start + 1})
+		i++
+	}
+	return out
+}
+
+func (p *parser) parse(src string) (*petri.Net, error) {
+	p.b = petri.NewBuilder("")
+	for _, ll := range logicalLines(src) {
+		p.line = ll.line
+		line := strings.TrimSpace(ll.text)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kw, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch kw {
+		case "net":
+			err = p.parseNet(rest)
+		case "var":
+			err = p.parseVar(rest)
+		case "table":
+			err = p.parseTable(rest)
+		case "place":
+			err = p.parsePlace(rest)
+		case "trans":
+			err = p.parseTrans(rest)
+		case "in", "out", "inhib":
+			err = p.parseArcs(kw, rest)
+		case "firing", "enabling":
+			err = p.parseDelay(kw, rest)
+		case "freq":
+			err = p.parseFreq(rest)
+		case "servers":
+			err = p.parseServers(rest)
+		case "pred":
+			err = p.parseBody(rest, func(body string) { p.tb.Pred(body) })
+		case "action":
+			err = p.parseBody(rest, func(body string) { p.tb.Action(body) })
+		default:
+			err = p.errf("unknown keyword %q", kw)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !p.named {
+		return nil, &ParseError{Line: 1, Msg: "missing 'net <name>' line"}
+	}
+	net, err := p.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("ptl: %w", err)
+	}
+	return net, nil
+}
+
+func (p *parser) parseNet(rest string) error {
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return p.errf("net wants exactly one name, got %q", rest)
+	}
+	p.named = true
+	p.b = petri.NewBuilder(rest)
+	return nil
+}
+
+func (p *parser) parseVar(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return p.errf("var wants a name and a value, got %q", rest)
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return p.errf("bad var value %q", fields[1])
+	}
+	p.b.Var(fields[0], v)
+	return nil
+}
+
+func (p *parser) parseTable(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return p.errf("table wants a name and at least one value, got %q", rest)
+	}
+	vals := make([]int64, len(fields)-1)
+	for i, f := range fields[1:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return p.errf("bad table value %q", f)
+		}
+		vals[i] = v
+	}
+	p.b.Table(fields[0], vals...)
+	return nil
+}
+
+func (p *parser) parsePlace(rest string) error {
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 1:
+		p.b.Place(fields[0], 0)
+		return nil
+	case 3:
+		if fields[1] != "init" {
+			return p.errf("expected 'init', got %q", fields[1])
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return p.errf("bad initial marking %q", fields[2])
+		}
+		p.b.Place(fields[0], n)
+		return nil
+	}
+	return p.errf("place wants 'place <name> [init <n>]', got %q", rest)
+}
+
+func (p *parser) parseTrans(rest string) error {
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return p.errf("trans wants exactly one name, got %q", rest)
+	}
+	p.tb = p.b.Trans(rest)
+	return nil
+}
+
+func (p *parser) needTrans() error {
+	if p.tb == nil {
+		return p.errf("attribute line outside a transition")
+	}
+	return nil
+}
+
+func (p *parser) parseArcs(kind, rest string) error {
+	if err := p.needTrans(); err != nil {
+		return err
+	}
+	if rest == "" {
+		return p.errf("%s wants at least one place", kind)
+	}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		name, weight := part, 1
+		if i := strings.IndexByte(part, '*'); i >= 0 {
+			name = strings.TrimSpace(part[:i])
+			w, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+			if err != nil {
+				return p.errf("bad arc weight in %q", part)
+			}
+			weight = w
+		}
+		if name == "" {
+			return p.errf("empty place name in %s list", kind)
+		}
+		switch kind {
+		case "in":
+			p.tb.In(name, weight)
+		case "out":
+			p.tb.Out(name, weight)
+		case "inhib":
+			p.tb.Inhib(name, weight)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseDelay(kind, rest string) error {
+	if err := p.needTrans(); err != nil {
+		return err
+	}
+	d, err := p.parseDelaySpec(rest)
+	if err != nil {
+		return err
+	}
+	if kind == "firing" {
+		p.tb.Firing(d)
+	} else {
+		p.tb.Enabling(d)
+	}
+	return nil
+}
+
+func (p *parser) parseDelaySpec(rest string) (petri.Delay, error) {
+	rest = strings.TrimSpace(rest)
+	switch {
+	case strings.HasPrefix(rest, "uniform(") && strings.HasSuffix(rest, ")"):
+		body := rest[len("uniform(") : len(rest)-1]
+		parts := strings.Split(body, ",")
+		if len(parts) != 2 {
+			return nil, p.errf("uniform wants two bounds, got %q", rest)
+		}
+		lo, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		hi, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+			return nil, p.errf("bad uniform bounds %q", rest)
+		}
+		return petri.Uniform{Lo: lo, Hi: hi}, nil
+	case strings.HasPrefix(rest, "choice(") && strings.HasSuffix(rest, ")"):
+		body := rest[len("choice(") : len(rest)-1]
+		var ch petri.Choice
+		for _, part := range strings.Split(body, ",") {
+			dur, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				return nil, p.errf("choice entries are duration:weight, got %q", part)
+			}
+			d, err1 := strconv.ParseInt(strings.TrimSpace(dur), 10, 64)
+			w, err2 := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+			if err1 != nil || err2 != nil || d < 0 || w < 0 {
+				return nil, p.errf("bad choice entry %q", part)
+			}
+			ch.Durations = append(ch.Durations, d)
+			ch.Weights = append(ch.Weights, w)
+		}
+		if len(ch.Durations) == 0 {
+			return nil, p.errf("empty choice")
+		}
+		return ch, nil
+	case strings.HasPrefix(rest, "expr{") && strings.HasSuffix(rest, "}"):
+		body := rest[len("expr{") : len(rest)-1]
+		e, err := parseExprBody(body)
+		if err != nil {
+			return nil, p.errf("bad delay expression: %v", err)
+		}
+		return e, nil
+	default:
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || v < 0 {
+			return nil, p.errf("bad delay %q", rest)
+		}
+		return petri.Constant(v), nil
+	}
+}
+
+func (p *parser) parseFreq(rest string) error {
+	if err := p.needTrans(); err != nil {
+		return err
+	}
+	f, err := strconv.ParseFloat(rest, 64)
+	if err != nil || f < 0 {
+		return p.errf("bad frequency %q", rest)
+	}
+	p.tb.Freq(f)
+	return nil
+}
+
+func (p *parser) parseServers(rest string) error {
+	if err := p.needTrans(); err != nil {
+		return err
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return p.errf("bad server count %q", rest)
+	}
+	p.tb.Servers(n)
+	return nil
+}
+
+// parseBody extracts "{ ... }" and hands the body to sink.
+func (p *parser) parseBody(rest string, sink func(string)) error {
+	if err := p.needTrans(); err != nil {
+		return err
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "{") || !strings.HasSuffix(rest, "}") {
+		return p.errf("expected '{ ... }', got %q", rest)
+	}
+	sink(strings.TrimSpace(rest[1 : len(rest)-1]))
+	return nil
+}

@@ -1,0 +1,313 @@
+package ptl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// pipelinePN is the paper's complete pipeline model in the textual form
+// — the paper says "roughly 25 lines"; this compact transcription of
+// Figures 1-3 (one attribute list per transition) is the same order of
+// magnitude.
+const pipelinePN = `
+net pipeline
+place Empty_I_buffers init 6
+place Full_I_buffers
+place Bus_free init 1
+place Bus_busy
+place pre_fetching
+place fetching
+place storing
+place Operand_fetch_pending
+place Result_store_pending
+place Decoder_ready init 1
+place Decoded_instruction
+place EA_needed
+place Mem_instr_in_decode
+place ready_to_issue_instruction
+place Execution_unit init 1
+place Issued_instruction
+place Exec_complete
+trans Start_prefetch
+  in Empty_I_buffers*2, Bus_free
+  inhib Operand_fetch_pending, Result_store_pending
+  out pre_fetching, Bus_busy
+trans End_prefetch
+  in pre_fetching, Bus_busy
+  out Full_I_buffers*2, Bus_free
+  enabling 5
+trans Decode
+  in Full_I_buffers, Decoder_ready
+  out Decoded_instruction, Empty_I_buffers
+  firing 1
+trans Type_1
+  in Decoded_instruction
+  out ready_to_issue_instruction
+  freq 70
+trans Type_2
+  in Decoded_instruction
+  out EA_needed, Mem_instr_in_decode
+  freq 20
+trans Type_3
+  in Decoded_instruction
+  out EA_needed*2, Mem_instr_in_decode
+  freq 10
+trans calc_eaddr
+  in EA_needed
+  out Operand_fetch_pending
+  enabling 2
+trans Start_operand_fetch
+  in Operand_fetch_pending, Bus_free
+  out fetching, Bus_busy
+trans End_operand_fetch
+  in fetching, Bus_busy
+  out Bus_free
+  enabling 5
+trans operands_done
+  in Mem_instr_in_decode
+  inhib EA_needed, Operand_fetch_pending, fetching
+  out ready_to_issue_instruction
+trans Issue
+  in ready_to_issue_instruction, Execution_unit
+  out Issued_instruction, Decoder_ready
+trans exec_type_1
+  in Issued_instruction
+  out Exec_complete
+  firing 1
+  freq 0.5
+trans exec_type_2
+  in Issued_instruction
+  out Exec_complete
+  firing 2
+  freq 0.3
+trans exec_type_3
+  in Issued_instruction
+  out Exec_complete
+  firing 5
+  freq 0.1
+trans exec_type_4
+  in Issued_instruction
+  out Exec_complete
+  firing 10
+  freq 0.05
+trans exec_type_5
+  in Issued_instruction
+  out Exec_complete
+  firing 50
+  freq 0.05
+trans no_store
+  in Exec_complete
+  out Execution_unit
+  freq 0.8
+trans store_result
+  in Exec_complete
+  out Result_store_pending
+  freq 0.2
+trans Start_store
+  in Result_store_pending, Bus_free
+  out storing, Bus_busy
+trans End_store
+  in storing, Bus_busy
+  out Bus_free, Execution_unit
+  enabling 5
+`
+
+func TestParsePipelineMatchesProgrammatic(t *testing.T) {
+	parsed, err := Parse(pipelinePN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumPlaces() != built.NumPlaces() || parsed.NumTrans() != built.NumTrans() {
+		t.Fatalf("parsed %d/%d, built %d/%d",
+			parsed.NumPlaces(), parsed.NumTrans(), built.NumPlaces(), built.NumTrans())
+	}
+	// Both nets must produce identical traces for identical seeds
+	// (transition order matches).
+	run := func(n *petri.Net) string {
+		c := trace.NewCollect(trace.HeaderOf(n))
+		if _, err := sim.Run(n, c, sim.Options{Horizon: 2_000, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		return c.String()
+	}
+	if run(parsed) != run(built) {
+		t.Error("textual and programmatic pipeline models diverge")
+	}
+}
+
+func TestRoundTripFormatParse(t *testing.T) {
+	nets := []*petri.Net{}
+	base, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets = append(nets, base)
+	interp, err := pipeline.InterpretedProcessor(pipeline.DefaultParams(), pipeline.DefaultInstructionSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets = append(nets, interp)
+	for _, n := range nets {
+		text := Format(n)
+		re, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", n.Name, err, text)
+		}
+		if Format(re) != text {
+			t.Errorf("%s: Format/Parse not idempotent", n.Name)
+		}
+		if re.NumPlaces() != n.NumPlaces() || re.NumTrans() != n.NumTrans() {
+			t.Errorf("%s: size changed in round trip", n.Name)
+		}
+	}
+}
+
+func TestInterpretedRoundTripBehaviour(t *testing.T) {
+	interp, err := pipeline.InterpretedProcessor(pipeline.DefaultParams(), pipeline.DefaultInstructionSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse(Format(interp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStats := func(n *petri.Net) float64 {
+		s := stats.New(trace.HeaderOf(n))
+		if _, err := sim.Run(n, s, sim.Options{Horizon: 5_000, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		th, _ := s.Throughput("Issue")
+		return th
+	}
+	a, b := runStats(interp), runStats(re)
+	if a != b {
+		t.Errorf("interpreted round trip diverges: %g vs %g", a, b)
+	}
+}
+
+func TestDelayForms(t *testing.T) {
+	src := `
+net delays
+var base 3
+place p init 1
+place q
+trans a
+  in p
+  out q
+  firing uniform(1, 4)
+trans b
+  in q
+  out p
+  enabling choice(1:0.5, 10:0.5)
+trans c
+  in p
+  out p
+  firing expr{ base * 2 }
+  freq 0.01
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n.Trans[n.MustTrans("a")]
+	if _, ok := a.Firing.(petri.Uniform); !ok {
+		t.Errorf("a.Firing = %T", a.Firing)
+	}
+	bb := n.Trans[n.MustTrans("b")]
+	if _, ok := bb.Enabling.(petri.Choice); !ok {
+		t.Errorf("b.Enabling = %T", bb.Enabling)
+	}
+	c := n.Trans[n.MustTrans("c")]
+	if _, ok := c.Firing.(petri.ExprDelay); !ok {
+		t.Errorf("c.Firing = %T", c.Firing)
+	}
+	// And the whole thing simulates.
+	if _, err := sim.Run(n, nil, sim.Options{Horizon: 200, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiLineAction(t *testing.T) {
+	src := `
+net ml
+place p init 1
+trans t
+  in p
+  out p
+  firing 1
+  action {
+    x = 1;
+    y = x + 1;
+  }
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(n, nil, sim.Options{MaxStarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vars["y"] != 2 {
+		t.Errorf("y = %d", res.Vars["y"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no net", "place p\n"},
+		{"bad keyword", "net x\nzorp p\n"},
+		{"bad place", "net x\nplace p frob 3\n"},
+		{"bad init", "net x\nplace p init qq\n"},
+		{"two names", "net x y\n"},
+		{"attr outside trans", "net x\nplace p\nin p\n"},
+		{"bad weight", "net x\nplace p\ntrans t\nin p*z\n"},
+		{"bad delay", "net x\nplace p\ntrans t\nin p\nfiring soon\n"},
+		{"bad uniform", "net x\nplace p\ntrans t\nin p\nfiring uniform(3)\n"},
+		{"bad choice", "net x\nplace p\ntrans t\nin p\nenabling choice(1)\n"},
+		{"bad expr delay", "net x\nplace p\ntrans t\nin p\nfiring expr{1 +}\n"},
+		{"bad freq", "net x\nplace p\ntrans t\nin p\nfreq fast\n"},
+		{"bad servers", "net x\nplace p\ntrans t\nin p\nservers -2\n"},
+		{"bad pred", "net x\nplace p\ntrans t\nin p\npred nops > 0\n"},
+		{"bad var", "net x\nvar v\n"},
+		{"bad table", "net x\ntable t\n"},
+		{"unknown place in arc", "net x\nplace p\ntrans t\nin ghost\n"},
+		{"empty arc name", "net x\nplace p\ntrans t\nin p,,p\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := Parse("net x\nplace p\nzorp\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should cite line 3: %v", err)
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "# header comment\nnet x\n\nplace p init 1\n# about t\ntrans t\n  in p\n  out p\n  enabling 2\n"
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "x" || n.NumPlaces() != 1 || n.NumTrans() != 1 {
+		t.Errorf("parsed: %s", n)
+	}
+}

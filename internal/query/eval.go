@@ -1,0 +1,272 @@
+package query
+
+import "fmt"
+
+// Result reports the verdict of a query over a trace.
+type Result struct {
+	// Holds is the truth value of the query.
+	Holds bool
+	// Witness is the index of the decisive state: for a failed forall,
+	// the first violating state; for a successful exists, the first
+	// satisfying state. -1 when no single state is decisive.
+	Witness int
+	// Checked counts the states the quantifier ranged over.
+	Checked int
+}
+
+// env binds state variables to state indices during evaluation.
+type env struct {
+	seq  *Seq
+	vars map[string]int
+}
+
+func (e *env) bind(name string, idx int) func() {
+	old, had := e.vars[name]
+	e.vars[name] = idx
+	return func() {
+		if had {
+			e.vars[name] = old
+		} else {
+			delete(e.vars, name)
+		}
+	}
+}
+
+func (e *env) lookup(name string) (int, error) {
+	idx, ok := e.vars[name]
+	if !ok {
+		return 0, fmt.Errorf("query: unbound state variable %q", name)
+	}
+	return idx, nil
+}
+
+// Eval runs the query against a state sequence.
+func (q *Query) Eval(seq *Seq) (Result, error) {
+	e := &env{seq: seq, vars: make(map[string]int)}
+	include, err := evalSet(q.set, e)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Witness: -1}
+	for i := range seq.States {
+		if !include[i] {
+			continue
+		}
+		res.Checked++
+		undo := e.bind(q.Var, i)
+		v, err := evalPexpr(q.body, e)
+		undo()
+		if err != nil {
+			return Result{}, err
+		}
+		holds := v != 0
+		if q.Quant == Forall && !holds {
+			res.Holds = false
+			res.Witness = i
+			return res, nil
+		}
+		if q.Quant == Exists && holds {
+			res.Holds = true
+			res.Witness = i
+			return res, nil
+		}
+	}
+	res.Holds = q.Quant == Forall
+	return res, nil
+}
+
+// evalSet computes the membership vector of a set expression.
+func evalSet(s setExpr, e *env) ([]bool, error) {
+	n := len(e.seq.States)
+	switch s := s.(type) {
+	case setAll:
+		inc := make([]bool, n)
+		for i := range inc {
+			inc[i] = true
+		}
+		return inc, nil
+	case setDiff:
+		inc, err := evalSet(s.base, e)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range s.refs {
+			if r >= 0 && r < n {
+				inc[r] = false
+			}
+		}
+		return inc, nil
+	case setComp:
+		inc, err := evalSet(s.base, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := range inc {
+			if !inc[i] {
+				continue
+			}
+			undo := e.bind(s.v, i)
+			v, err := evalPexpr(s.pred, e)
+			undo()
+			if err != nil {
+				return nil, err
+			}
+			inc[i] = v != 0
+		}
+		return inc, nil
+	}
+	return nil, fmt.Errorf("query: unknown set expression %T", s)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalPexpr(p pexpr, e *env) (int64, error) {
+	switch p := p.(type) {
+	case pInt:
+		return p.v, nil
+	case pApply:
+		idx, err := e.lookup(p.sv)
+		if err != nil {
+			return 0, err
+		}
+		v, ok := e.seq.Value(p.name, &e.seq.States[idx])
+		if !ok {
+			return 0, fmt.Errorf("query: %q is neither a place nor a transition", p.name)
+		}
+		return v, nil
+	case pTime:
+		idx, err := e.lookup(p.sv)
+		if err != nil {
+			return 0, err
+		}
+		return int64(e.seq.States[idx].Time), nil
+	case pIndex:
+		idx, err := e.lookup(p.sv)
+		if err != nil {
+			return 0, err
+		}
+		return int64(e.seq.States[idx].Index), nil
+	case pDur:
+		idx, err := e.lookup(p.sv)
+		if err != nil {
+			return 0, err
+		}
+		cur := e.seq.States[idx].Time
+		if idx+1 < len(e.seq.States) {
+			return int64(e.seq.States[idx+1].Time - cur), nil
+		}
+		return int64(e.seq.FinalTime - cur), nil
+	case pInev:
+		return evalInev(p, e)
+	case pUnary:
+		v, err := evalPexpr(p.x, e)
+		if err != nil {
+			return 0, err
+		}
+		if p.op == tBang {
+			return b2i(v == 0), nil
+		}
+		return -v, nil
+	case pBinary:
+		l, err := evalPexpr(p.l, e)
+		if err != nil {
+			return 0, err
+		}
+		switch p.op {
+		case tAnd:
+			if l == 0 {
+				return 0, nil
+			}
+			r, err := evalPexpr(p.r, e)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		case tOr:
+			if l != 0 {
+				return 1, nil
+			}
+			r, err := evalPexpr(p.r, e)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		}
+		r, err := evalPexpr(p.r, e)
+		if err != nil {
+			return 0, err
+		}
+		switch p.op {
+		case tPlus:
+			return l + r, nil
+		case tMinus:
+			return l - r, nil
+		case tStar:
+			return l * r, nil
+		case tSlash:
+			if r == 0 {
+				return 0, fmt.Errorf("query: division by zero")
+			}
+			return l / r, nil
+		case tEQ:
+			return b2i(l == r), nil
+		case tNE:
+			return b2i(l != r), nil
+		case tLT:
+			return b2i(l < r), nil
+		case tLE:
+			return b2i(l <= r), nil
+		case tGT:
+			return b2i(l > r), nil
+		case tGE:
+			return b2i(l >= r), nil
+		}
+	}
+	return 0, fmt.Errorf("query: unknown expression %T", p)
+}
+
+// evalInev implements the linear-trace reading of the paper's temporal
+// operator: from the state bound to p.sv, scanning forward (inclusive),
+// f must eventually hold, with g holding at every earlier scanned state.
+// Within f and g the variable C names the scanned state.
+func evalInev(p pInev, e *env) (int64, error) {
+	start, err := e.lookup(p.sv)
+	if err != nil {
+		return 0, err
+	}
+	for j := start; j < len(e.seq.States); j++ {
+		undo := e.bind("C", j)
+		fv, err := evalPexpr(p.f, e)
+		if err != nil {
+			undo()
+			return 0, err
+		}
+		if fv != 0 {
+			undo()
+			return 1, nil
+		}
+		gv, err := evalPexpr(p.g, e)
+		undo()
+		if err != nil {
+			return 0, err
+		}
+		if gv == 0 {
+			return 0, nil
+		}
+	}
+	return 0, nil
+}
+
+// Check is a convenience that parses and evaluates src in one call.
+func Check(seq *Seq, src string) (Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return q.Eval(seq)
+}

@@ -1,0 +1,617 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// --- lexer -----------------------------------------------------------
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tInt
+	tIdent
+	tHash   // #
+	tLParen // (
+	tRParen // )
+	tLBrack // [
+	tRBrack // ]
+	tLBrace // {
+	tRBrace // }
+	tComma
+	tPipe // |
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tBang
+	tLT
+	tLE
+	tGT
+	tGE
+	tEQ
+	tNE
+	tAnd // &&
+	tOr  // ||
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tInt, tIdent:
+		return fmt.Sprintf("%q", t.text)
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(k tokKind, text string) {
+		toks = append(toks, token{kind: k, text: text, pos: i})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+			continue
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad integer %q", src[i:j])
+			}
+			toks = append(toks, token{kind: tInt, text: src[i:j], val: v, pos: i})
+			i = j
+			continue
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' ||
+				src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, token{kind: tIdent, text: src[i:j], pos: i})
+			i = j
+			continue
+		}
+		two := func(k tokKind, text string) { toks = append(toks, token{kind: k, text: text, pos: i}); i += 2 }
+		one := func(k tokKind) { emit(k, string(c)); i++ }
+		var peek byte
+		if i+1 < len(src) {
+			peek = src[i+1]
+		}
+		switch c {
+		case '#':
+			one(tHash)
+		case '(':
+			one(tLParen)
+		case ')':
+			one(tRParen)
+		case '[':
+			one(tLBrack)
+		case ']':
+			one(tRBrack)
+		case '{':
+			one(tLBrace)
+		case '}':
+			one(tRBrace)
+		case ',':
+			one(tComma)
+		case '+':
+			one(tPlus)
+		case '-':
+			one(tMinus)
+		case '*':
+			one(tStar)
+		case '/':
+			one(tSlash)
+		case '|':
+			if peek == '|' {
+				two(tOr, "||")
+			} else {
+				one(tPipe)
+			}
+		case '&':
+			if peek == '&' {
+				two(tAnd, "&&")
+			} else {
+				return nil, fmt.Errorf("query: stray '&' at offset %d", i)
+			}
+		case '!':
+			if peek == '=' {
+				two(tNE, "!=")
+			} else {
+				one(tBang)
+			}
+		case '<':
+			if peek == '=' {
+				two(tLE, "<=")
+			} else {
+				one(tLT)
+			}
+		case '>':
+			if peek == '=' {
+				two(tGE, ">=")
+			} else {
+				one(tGT)
+			}
+		case '=':
+			if peek == '=' {
+				two(tEQ, "==")
+			} else {
+				// The paper writes single '=' for equality; accept it.
+				emit(tEQ, "=")
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", string(c), i)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: len(src)})
+	return toks, nil
+}
+
+// --- AST --------------------------------------------------------------
+
+// Quant is the quantifier of a query.
+type Quant int
+
+// Quantifiers.
+const (
+	Forall Quant = iota
+	Exists
+)
+
+func (q Quant) String() string {
+	if q == Forall {
+		return "forall"
+	}
+	return "exists"
+}
+
+// setExpr denotes a set of states.
+type setExpr interface{ isSet() }
+
+// setAll is S, the set of all states in the trace.
+type setAll struct{}
+
+// setDiff removes explicitly numbered states (#0, #7, ...).
+type setDiff struct {
+	base setExpr
+	refs []int
+}
+
+// setComp is the comprehension {v in base | pred}.
+type setComp struct {
+	v    string
+	base setExpr
+	pred pexpr
+}
+
+func (setAll) isSet()  {}
+func (setDiff) isSet() {}
+func (setComp) isSet() {}
+
+// pexpr is a predicate/value expression; everything evaluates to int64
+// with nonzero meaning true.
+type pexpr interface{ isPexpr() }
+
+type pInt struct{ v int64 }
+
+// pApply is name(statevar): the value of a place or transition in the
+// state bound to statevar (or C inside inev).
+type pApply struct {
+	name string
+	sv   string
+}
+
+// pTime is time(statevar).
+type pTime struct{ sv string }
+
+// pIndex is index(statevar) — the state number, handy in tests.
+type pIndex struct{ sv string }
+
+// pDur is dur(statevar): how long the state persisted — the time until
+// the next state (or the end of the run for the last state). A logic
+// analyzer's "pulse width"; zero for states that are passed through
+// instantaneously.
+type pDur struct{ sv string }
+
+// pInev is inev(statevar, f) or inev(statevar, f, g): along the trace
+// from the bound state, f eventually holds, with g holding at every
+// state before that (g defaults to true).
+type pInev struct {
+	sv   string
+	f, g pexpr
+}
+
+type pUnary struct {
+	op tokKind // tMinus or tBang
+	x  pexpr
+}
+
+type pBinary struct {
+	op   tokKind
+	l, r pexpr
+}
+
+func (pInt) isPexpr()    {}
+func (pApply) isPexpr()  {}
+func (pTime) isPexpr()   {}
+func (pIndex) isPexpr()  {}
+func (pDur) isPexpr()    {}
+func (pInev) isPexpr()   {}
+func (pUnary) isPexpr()  {}
+func (pBinary) isPexpr() {}
+
+// Query is a parsed verification query.
+type Query struct {
+	Quant Quant
+	Var   string
+	src   string
+	set   setExpr
+	body  pexpr
+}
+
+// String returns the original source of the query.
+func (q *Query) String() string { return q.src }
+
+// --- parser -----------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return token{}, fmt.Errorf("query: expected %s, found %s at offset %d", what, t, t.pos)
+	}
+	return p.advance(), nil
+}
+
+// Parse parses a query such as
+//
+//	forall s in S [ Bus_busy(s) + Bus_free(s) == 1 ]
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{src: src}
+	kw, err := p.expect(tIdent, "forall or exists")
+	if err != nil {
+		return nil, err
+	}
+	switch kw.text {
+	case "forall":
+		q.Quant = Forall
+	case "exists", "Exists":
+		q.Quant = Exists
+	default:
+		return nil, fmt.Errorf("query: expected forall or exists, found %q", kw.text)
+	}
+	v, err := p.expect(tIdent, "a state variable")
+	if err != nil {
+		return nil, err
+	}
+	q.Var = v.text
+	if in, err := p.expect(tIdent, "'in'"); err != nil || in.text != "in" {
+		return nil, fmt.Errorf("query: expected 'in' after state variable")
+	}
+	q.set, err = p.parseSet()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLBrack, "'['"); err != nil {
+		return nil, err
+	}
+	q.body, err = p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tRBrack, "']'"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, fmt.Errorf("query: unexpected %s after query", t)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSet() (setExpr, error) {
+	base, err := p.parseSetPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tMinus {
+		p.advance()
+		if _, err := p.expect(tLBrace, "'{' after '-'"); err != nil {
+			return nil, err
+		}
+		var refs []int
+		for {
+			if _, err := p.expect(tHash, "'#'"); err != nil {
+				return nil, err
+			}
+			n, err := p.expect(tInt, "a state number")
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, int(n.val))
+			if p.peek().kind != tComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tRBrace, "'}'"); err != nil {
+			return nil, err
+		}
+		base = setDiff{base: base, refs: refs}
+	}
+	return base, nil
+}
+
+func (p *parser) parseSetPrimary() (setExpr, error) {
+	switch t := p.peek(); t.kind {
+	case tIdent:
+		if t.text == "S" {
+			p.advance()
+			return setAll{}, nil
+		}
+		return nil, fmt.Errorf("query: unknown set %q (only S is defined)", t.text)
+	case tLParen:
+		p.advance()
+		s, err := p.parseSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case tLBrace:
+		p.advance()
+		v, err := p.expect(tIdent, "a state variable")
+		if err != nil {
+			return nil, err
+		}
+		if in, err := p.expect(tIdent, "'in'"); err != nil || in.text != "in" {
+			return nil, fmt.Errorf("query: expected 'in' in set comprehension")
+		}
+		base, err := p.parseSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPipe, "'|'"); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrace, "'}'"); err != nil {
+			return nil, err
+		}
+		return setComp{v: v.text, base: base, pred: pred}, nil
+	}
+	return nil, fmt.Errorf("query: expected a set, found %s", p.peek())
+}
+
+func (p *parser) parseOr() (pexpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tOr {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = pBinary{op: tOr, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (pexpr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tAnd {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = pBinary{op: tAnd, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (pexpr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().kind; k {
+	case tEQ, tNE, tLT, tLE, tGT, tGE:
+		p.advance()
+		r, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return pBinary{op: k, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (pexpr, error) {
+	l, err := p.parseProd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tPlus && k != tMinus {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseProd()
+		if err != nil {
+			return nil, err
+		}
+		l = pBinary{op: k, l: l, r: r}
+	}
+}
+
+func (p *parser) parseProd() (pexpr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tStar && k != tSlash {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = pBinary{op: k, l: l, r: r}
+	}
+}
+
+func (p *parser) parseUnary() (pexpr, error) {
+	switch p.peek().kind {
+	case tBang:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return pUnary{op: tBang, x: x}, nil
+	case tMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return pUnary{op: tMinus, x: x}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (pexpr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tInt:
+		p.advance()
+		return pInt{v: t.val}, nil
+	case tLParen:
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tIdent:
+		p.advance()
+		switch t.text {
+		case "true":
+			return pInt{v: 1}, nil
+		case "false":
+			return pInt{v: 0}, nil
+		case "inev":
+			if _, err := p.expect(tLParen, "'('"); err != nil {
+				return nil, err
+			}
+			sv, err := p.expect(tIdent, "a state variable")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tComma, "','"); err != nil {
+				return nil, err
+			}
+			f, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			var g pexpr = pInt{v: 1}
+			if p.peek().kind == tComma {
+				p.advance()
+				g, err = p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return pInev{sv: sv.text, f: f, g: g}, nil
+		case "time", "index", "dur":
+			if _, err := p.expect(tLParen, "'('"); err != nil {
+				return nil, err
+			}
+			sv, err := p.expect(tIdent, "a state variable")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRParen, "')'"); err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "time":
+				return pTime{sv: sv.text}, nil
+			case "dur":
+				return pDur{sv: sv.text}, nil
+			}
+			return pIndex{sv: sv.text}, nil
+		}
+		// name(statevar): place or transition applied to a state.
+		if _, err := p.expect(tLParen, "'(' (state application)"); err != nil {
+			return nil, err
+		}
+		sv, err := p.expect(tIdent, "a state variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return pApply{name: t.text, sv: sv.text}, nil
+	}
+	return nil, fmt.Errorf("query: expected an expression, found %s", t)
+}

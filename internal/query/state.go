@@ -1,0 +1,172 @@
+// Package query implements the trace-verification language of Section
+// 4.4: first-order queries over the states of a simulation trace
+// ("forall s in S [...]", "exists s in (S - {#0}) [...]") with the
+// temporal operator inev, as used by Tracertool and inspired by the
+// reachability-graph analyzer of [MR87].
+//
+// Example queries, straight from the paper (hyphens written as
+// underscores):
+//
+//	forall s in S [ Bus_busy(s) + Bus_free(s) == 1 ]
+//	exists s in (S - {#0}) [ Empty_I_buffers(s) == 6 ]
+//	exists s in S [ exec_type_5(s) > 0 ]
+//	forall s in {s2 in S | Bus_busy(s2) > 0} [ inev(s, Bus_free(C) > 0, true) ]
+//
+// A name applied to a state variable denotes the token count of the
+// place (or the number of concurrent firings of the transition) with
+// that name in that state. Inside inev, C denotes the state being
+// examined along the future of the bound state. The paper writes bare
+// condition names where we require explicit comparisons ("Bus_busy(s)"
+// as a boolean); both are accepted — a bare application in boolean
+// position means "> 0".
+package query
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// State is one state of a trace: the marking and the concurrent-firing
+// counts after applying some prefix of the trace records.
+type State struct {
+	// Index is the state number; #0 is the initial state.
+	Index int
+	// Time is the simulation clock at which the state was entered.
+	Time petri.Time
+	// Marking holds tokens per place.
+	Marking petri.Marking
+	// Active holds concurrent firings per transition.
+	Active []int
+}
+
+// Seq is the full state sequence of a trace, as consumed by queries and
+// by Tracertool.
+type Seq struct {
+	Header trace.Header
+	States []State
+	// FinalTime is the clock at the end of the run (from the Final
+	// record), which may exceed the time of the last state.
+	FinalTime petri.Time
+}
+
+// Len returns the number of states.
+func (q *Seq) Len() int { return len(q.States) }
+
+// Value resolves name in state st: place token count or transition
+// concurrent-firing count.
+func (q *Seq) Value(name string, st *State) (int64, bool) {
+	if id, ok := q.Header.PlaceID(name); ok {
+		return int64(st.Marking[id]), true
+	}
+	if id, ok := q.Header.TransID(name); ok {
+		return int64(st.Active[id]), true
+	}
+	return 0, false
+}
+
+// KnownName reports whether name denotes a place or transition.
+func (q *Seq) KnownName(name string) bool {
+	if _, ok := q.Header.PlaceID(name); ok {
+		return true
+	}
+	_, ok := q.Header.TransID(name)
+	return ok
+}
+
+// Builder accumulates a Seq from a record stream; it implements
+// trace.Observer so it can be driven directly by the simulator or by
+// trace.Copy from a stored trace.
+type Builder struct {
+	seq     Seq
+	marking petri.Marking
+	active  []int
+	started bool
+}
+
+// NewBuilder returns a sequence builder for traces described by h.
+func NewBuilder(h trace.Header) *Builder {
+	return &Builder{
+		seq:    Seq{Header: h},
+		active: make([]int, len(h.Trans)),
+	}
+}
+
+// Record implements trace.Observer.
+func (b *Builder) Record(rec *trace.Record) error {
+	switch rec.Kind {
+	case trace.Initial:
+		if len(rec.Marking) != len(b.seq.Header.Places) {
+			return fmt.Errorf("query: initial marking has %d places, header has %d",
+				len(rec.Marking), len(b.seq.Header.Places))
+		}
+		b.marking = rec.Marking.Clone()
+		b.started = true
+		b.push(rec.Time)
+	case trace.Start, trace.End:
+		if !b.started {
+			return fmt.Errorf("query: trace event before initial state")
+		}
+		for _, d := range rec.Deltas {
+			if int(d.Place) >= len(b.marking) {
+				return fmt.Errorf("query: delta for unknown place %d", d.Place)
+			}
+			b.marking[d.Place] += d.Change
+		}
+		if int(rec.Trans) >= len(b.active) {
+			return fmt.Errorf("query: event for unknown transition %d", rec.Trans)
+		}
+		if rec.Kind == trace.Start {
+			b.active[rec.Trans]++
+		} else {
+			b.active[rec.Trans]--
+		}
+		b.push(rec.Time)
+	case trace.Final:
+		b.seq.FinalTime = rec.Time
+	default:
+		return fmt.Errorf("query: unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+func (b *Builder) push(t petri.Time) {
+	st := State{
+		Index:   len(b.seq.States),
+		Time:    t,
+		Marking: b.marking.Clone(),
+		Active:  append([]int(nil), b.active...),
+	}
+	b.seq.States = append(b.seq.States, st)
+}
+
+// Seq returns the accumulated sequence.
+func (b *Builder) Seq() *Seq {
+	if b.seq.FinalTime == 0 && len(b.seq.States) > 0 {
+		b.seq.FinalTime = b.seq.States[len(b.seq.States)-1].Time
+	}
+	return &b.seq
+}
+
+// SeqFromReader drains a stored trace into a Seq.
+func SeqFromReader(r *trace.Reader) (*Seq, error) {
+	h, err := r.Header()
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(h)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return b.Seq(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Record(&rec); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package reach
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the reachability graph in Graphviz dot syntax, with node
+// labels showing the non-empty places of each marking and edges labeled
+// by the firing transition. Deadlock nodes are drawn doubled.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Net.Name+"_reach")
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		if len(n.Out) == 0 {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s label=\"#%d\\n%s\"];\n",
+			n.ID, shape, n.ID, strings.ReplaceAll(n.Marking.Format(g.Net), " ", "\\n"))
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", n.ID, e.To, g.Net.Trans[e.Trans].Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the timed graph; time-advance edges are labeled with
+// their delta and drawn dashed.
+func (g *TimedGraph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Net.Name+"_treach")
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		if len(n.Out) == 0 {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s label=\"#%d\\n%s\"];\n",
+			n.ID, shape, n.ID, strings.ReplaceAll(n.Marking.Format(g.Net), " ", "\\n"))
+		for _, e := range n.Out {
+			if e.Trans == TimeAdvance {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed label=\"+%d\"];\n", n.ID, e.To, e.Delta)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", n.ID, e.To, g.Net.Trans[e.Trans].Name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package reach
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+)
+
+func TestGraphDOT(t *testing.T) {
+	g, err := Build(mutexNet(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "n0", "enter_a", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("graph DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deadlock nodes draw doubled.
+	b := petri.NewBuilder("dead")
+	b.Place("a", 1)
+	b.Place("bb", 0)
+	b.Trans("t").In("a").Out("bb")
+	dg, err := Build(b.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dg.DOT(), "doublecircle") {
+		t.Error("deadlock node not marked in DOT")
+	}
+}
+
+func TestTimedGraphDOT(t *testing.T) {
+	b := petri.NewBuilder("fly")
+	b.Place("a", 1)
+	b.Place("bb", 0)
+	b.Trans("t").In("a").Out("bb").FiringConst(4)
+	g, err := BuildTimed(b.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "style=dashed", "+4"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("timed DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package reach implements the P-NUT reachability graph analyzer: the
+// untimed and timed state-space constructions referenced in Section 4
+// ([MR87] for untimed interactive state-space analysis, [RP84] for the
+// timed reachability graphs), together with the branching-time
+// temporal-logic checker used to verify "high-level specification of
+// the expected behavior of a system".
+//
+// Where Tracertool (package tracer) tests a property on one simulation
+// trace, the reachability analyzer proves it over all possible
+// behaviours — the paper contrasts exactly these two modes.
+package reach
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Options control graph construction.
+type Options struct {
+	// MaxStates caps the number of nodes explored (default 100 000).
+	MaxStates int
+	// BoundCap flags a place as potentially unbounded when its token
+	// count exceeds this value (default 4096). Use Coverability for a
+	// definite answer on nets without inhibitor arcs.
+	BoundCap int
+}
+
+func (o *Options) defaults() {
+	if o.MaxStates <= 0 {
+		o.MaxStates = 100_000
+	}
+	if o.BoundCap <= 0 {
+		o.BoundCap = 4096
+	}
+}
+
+// Edge is one graph transition.
+type Edge struct {
+	Trans petri.TransID
+	To    int
+}
+
+// Node is one reachable marking.
+type Node struct {
+	ID      int
+	Marking petri.Marking
+	Out     []Edge
+}
+
+// Graph is a reachability graph. Node 0 is the initial marking.
+type Graph struct {
+	Net   *petri.Net
+	Nodes []*Node
+	// Truncated is true if MaxStates was hit; analyses are then lower
+	// bounds only.
+	Truncated bool
+	// CapExceeded names a place whose token count exceeded BoundCap
+	// (empty if none): a strong hint of unboundedness.
+	CapExceeded string
+}
+
+// Build constructs the untimed reachability graph: firing times and
+// enabling times are ignored and every enabled transition can fire
+// atomically. Interpreted nets (predicates or actions) are rejected —
+// their state includes program variables, which the graph cannot
+// enumerate faithfully.
+func Build(net *petri.Net, opt Options) (*Graph, error) {
+	opt.defaults()
+	if net.Interpreted() {
+		return nil, fmt.Errorf("reach: net %q is interpreted (predicates/actions); reachability requires a plain net", net.Name)
+	}
+	g := &Graph{Net: net}
+	index := make(map[string]int)
+	m0 := net.InitialMarking()
+	g.Nodes = append(g.Nodes, &Node{ID: 0, Marking: m0})
+	index[m0.Key()] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		node := g.Nodes[id]
+		for ti := range net.Trans {
+			t := petri.TransID(ti)
+			ok, err := net.Enabled(t, node.Marking, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			next := node.Marking.Clone()
+			net.Consume(t, next)
+			net.Produce(t, next)
+			for pi, c := range next {
+				if c > opt.BoundCap && g.CapExceeded == "" {
+					g.CapExceeded = net.Places[pi].Name
+				}
+			}
+			key := next.Key()
+			nid, seen := index[key]
+			if !seen {
+				if len(g.Nodes) >= opt.MaxStates {
+					g.Truncated = true
+					continue
+				}
+				nid = len(g.Nodes)
+				g.Nodes = append(g.Nodes, &Node{ID: nid, Marking: next})
+				index[key] = nid
+				work = append(work, nid)
+			}
+			node.Out = append(node.Out, Edge{Trans: t, To: nid})
+		}
+	}
+	return g, nil
+}
+
+// Deadlocks returns the IDs of nodes with no outgoing edges.
+func (g *Graph) Deadlocks() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if len(n.Out) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Bound returns the maximum token count place reaches across the graph.
+func (g *Graph) Bound(place string) (int, error) {
+	id, ok := g.Net.PlaceID(place)
+	if !ok {
+		return 0, fmt.Errorf("reach: unknown place %q", place)
+	}
+	max := 0
+	for _, n := range g.Nodes {
+		if n.Marking[id] > max {
+			max = n.Marking[id]
+		}
+	}
+	return max, nil
+}
+
+// DeadTransitions returns the transitions that fire on no edge of the
+// graph (L0-dead in the classical liveness hierarchy).
+func (g *Graph) DeadTransitions() []string {
+	fired := make([]bool, g.Net.NumTrans())
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			fired[e.Trans] = true
+		}
+	}
+	var out []string
+	for i, f := range fired {
+		if !f {
+			out = append(out, g.Net.Trans[i].Name)
+		}
+	}
+	return out
+}
+
+// CheckInvariant verifies that the weighted token sum over the named
+// places is the same in every reachable marking (a P-invariant, e.g.
+// Bus_free + Bus_busy = 1). It returns the invariant value, or an error
+// naming the first violating node.
+func (g *Graph) CheckInvariant(weights map[string]int) (int, error) {
+	ids := make(map[petri.PlaceID]int, len(weights))
+	for name, w := range weights {
+		id, ok := g.Net.PlaceID(name)
+		if !ok {
+			return 0, fmt.Errorf("reach: unknown place %q in invariant", name)
+		}
+		ids[id] = w
+	}
+	sum := func(m petri.Marking) int {
+		s := 0
+		for id, w := range ids {
+			s += w * m[id]
+		}
+		return s
+	}
+	want := sum(g.Nodes[0].Marking)
+	for _, n := range g.Nodes[1:] {
+		if got := sum(n.Marking); got != want {
+			return 0, fmt.Errorf("reach: invariant violated at node %d (%s): %d != %d",
+				n.ID, n.Marking.Format(g.Net), got, want)
+		}
+	}
+	return want, nil
+}
+
+// Summary renders a human-readable analysis overview.
+func (g *Graph) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reachability graph of %q: %d states", g.Net.Name, len(g.Nodes))
+	if g.Truncated {
+		fmt.Fprintf(&b, " (truncated)")
+	}
+	fmt.Fprintf(&b, "\n")
+	if g.CapExceeded != "" {
+		fmt.Fprintf(&b, "  place %q exceeded the bound cap (likely unbounded)\n", g.CapExceeded)
+	}
+	dl := g.Deadlocks()
+	fmt.Fprintf(&b, "  deadlocks: %d\n", len(dl))
+	for i, id := range dl {
+		if i == 5 {
+			fmt.Fprintf(&b, "    ...\n")
+			break
+		}
+		fmt.Fprintf(&b, "    #%d %s\n", id, g.Nodes[id].Marking.Format(g.Net))
+	}
+	if dead := g.DeadTransitions(); len(dead) > 0 {
+		fmt.Fprintf(&b, "  dead transitions: %s\n", strings.Join(dead, ", "))
+	}
+	return b.String()
+}
+
+// --- coverability (Karp-Miller) ---------------------------------------
+
+// Omega is the unbounded-place pseudo-count in coverability markings.
+const Omega = int(^uint(0) >> 1) // max int
+
+// CoverNode is a node of the Karp-Miller coverability tree, with Omega
+// marking components for unbounded places.
+type CoverNode struct {
+	Marking petri.Marking
+}
+
+// Coverability runs the Karp-Miller construction and returns the set of
+// places that are unbounded. Nets with inhibitor arcs are rejected: the
+// construction is not sound for them (and reachability itself is
+// undecidable).
+func Coverability(net *petri.Net, opt Options) (unbounded []string, err error) {
+	opt.defaults()
+	if net.Interpreted() {
+		return nil, fmt.Errorf("reach: interpreted nets are not supported by coverability")
+	}
+	for i := range net.Trans {
+		if len(net.Trans[i].Inhib) > 0 {
+			return nil, fmt.Errorf("reach: net %q has inhibitor arcs; Karp-Miller coverability is unsound for them", net.Name)
+		}
+	}
+	type node struct {
+		m      petri.Marking
+		parent *node
+	}
+	enabled := func(t petri.TransID, m petri.Marking) bool {
+		for _, a := range net.Trans[t].In {
+			if m[a.Place] != Omega && m[a.Place] < a.Weight {
+				return false
+			}
+		}
+		return true
+	}
+	fire := func(t petri.TransID, m petri.Marking) petri.Marking {
+		next := m.Clone()
+		for _, a := range net.Trans[t].In {
+			if next[a.Place] != Omega {
+				next[a.Place] -= a.Weight
+			}
+		}
+		for _, a := range net.Trans[t].Out {
+			if next[a.Place] != Omega {
+				next[a.Place] += a.Weight
+			}
+		}
+		return next
+	}
+	covers := func(big, small petri.Marking) bool {
+		for i := range big {
+			if small[i] == Omega && big[i] != Omega {
+				return false
+			}
+			if big[i] != Omega && big[i] < small[i] {
+				return false
+			}
+		}
+		return true
+	}
+	isOmega := make([]bool, net.NumPlaces())
+	seen := make(map[string]bool)
+	root := &node{m: net.InitialMarking()}
+	work := []*node{root}
+	seen[root.m.Key()] = true
+	count := 0
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		count++
+		if count > opt.MaxStates {
+			return nil, fmt.Errorf("reach: coverability exceeded %d states", opt.MaxStates)
+		}
+		for ti := range net.Trans {
+			t := petri.TransID(ti)
+			if !enabled(t, n.m) {
+				continue
+			}
+			next := fire(t, n.m)
+			// Accelerate: if an ancestor is strictly covered, pump the
+			// strictly larger places to Omega.
+			for a := n; a != nil; a = a.parent {
+				if covers(next, a.m) && !next.Equal(a.m) {
+					for i := range next {
+						if a.m[i] != Omega && next[i] != Omega && next[i] > a.m[i] {
+							next[i] = Omega
+							isOmega[i] = true
+						}
+					}
+				}
+			}
+			key := next.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			work = append(work, &node{m: next, parent: n})
+		}
+	}
+	for i, u := range isOmega {
+		if u {
+			unbounded = append(unbounded, net.Places[i].Name)
+		}
+	}
+	sort.Strings(unbounded)
+	return unbounded, nil
+}

@@ -1,0 +1,321 @@
+package reach
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// TimeAdvance labels edges of the timed graph that advance the clock to
+// the next event (completing any firings that become due) rather than
+// starting a transition.
+const TimeAdvance petri.TransID = -1
+
+// TimedEdge is one edge of a timed reachability graph: either the start
+// of a firing (Trans >= 0, Delta == 0) or a time advance (Trans ==
+// TimeAdvance, Delta > 0).
+type TimedEdge struct {
+	Trans petri.TransID
+	Delta petri.Time
+	To    int
+}
+
+// TimedNode is one state of the timed graph [RP84]: a marking plus the
+// remaining firing times of in-progress transitions and the remaining
+// enabling times of enabled transitions. Only relative times appear, so
+// behaviourally identical states merge regardless of absolute clock.
+type TimedNode struct {
+	ID      int
+	Marking petri.Marking
+	// Pending holds (transition, remaining firing time), sorted.
+	Pending []Remaining
+	// Enab holds (transition, remaining enabling time) for enabled
+	// transitions, sorted by transition.
+	Enab []Remaining
+	Out  []TimedEdge
+}
+
+// Remaining pairs a transition with a remaining duration.
+type Remaining struct {
+	Trans petri.TransID
+	Left  petri.Time
+}
+
+// Ripe reports whether some transition may start firing immediately.
+func (n *TimedNode) Ripe() bool {
+	for _, e := range n.Enab {
+		if e.Left == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *TimedNode) key() string {
+	var b strings.Builder
+	b.WriteString(n.Marking.Key())
+	b.WriteByte('|')
+	for _, p := range n.Pending {
+		fmt.Fprintf(&b, "%d:%d,", p.Trans, p.Left)
+	}
+	b.WriteByte('|')
+	for _, e := range n.Enab {
+		fmt.Fprintf(&b, "%d:%d,", e.Trans, e.Left)
+	}
+	return b.String()
+}
+
+// TimedGraph is the timed reachability graph of a net whose delays are
+// all constant.
+type TimedGraph struct {
+	Net       *petri.Net
+	Nodes     []*TimedNode
+	Truncated bool
+}
+
+// constDelay extracts a constant delay, rejecting distributions.
+func constDelay(d petri.Delay, kind, trans string) (petri.Time, error) {
+	if d == nil {
+		return 0, nil
+	}
+	v, ok := d.Const()
+	if !ok {
+		return 0, fmt.Errorf("reach: %s time of %q is not constant; the timed graph requires deterministic delays", kind, trans)
+	}
+	return v, nil
+}
+
+// BuildTimed constructs the timed reachability graph. The construction
+// follows the simulator's semantics exactly, but branches over every
+// ripe transition where the simulator draws one at random; firing
+// frequencies are therefore irrelevant here (except that frequency-0
+// transitions never fire). Nets with non-constant delays, predicates or
+// actions are rejected.
+func BuildTimed(net *petri.Net, opt Options) (*TimedGraph, error) {
+	opt.defaults()
+	if net.Interpreted() {
+		return nil, fmt.Errorf("reach: net %q is interpreted; the timed graph requires a plain net", net.Name)
+	}
+	for i := range net.Trans {
+		if _, err := constDelay(net.Trans[i].Firing, "firing", net.Trans[i].Name); err != nil {
+			return nil, err
+		}
+		if _, err := constDelay(net.Trans[i].Enabling, "enabling", net.Trans[i].Name); err != nil {
+			return nil, err
+		}
+	}
+	g := &TimedGraph{Net: net}
+	index := make(map[string]int)
+
+	intern := func(n *TimedNode) (int, bool) {
+		k := n.key()
+		if id, ok := index[k]; ok {
+			return id, false
+		}
+		if len(g.Nodes) >= opt.MaxStates {
+			g.Truncated = true
+			return -1, false
+		}
+		n.ID = len(g.Nodes)
+		index[k] = n.ID
+		g.Nodes = append(g.Nodes, n)
+		return n.ID, true
+	}
+
+	root := &TimedNode{Marking: net.InitialMarking()}
+	if err := refreshEnab(net, root, nil); err != nil {
+		return nil, err
+	}
+	if _, ok := intern(root); !ok && len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("reach: could not intern initial state")
+	}
+	for work := []int{0}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		node := g.Nodes[id]
+		succs, err := timedSuccessors(net, node)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range succs {
+			nid, fresh := intern(s.node)
+			if nid < 0 {
+				continue
+			}
+			node.Out = append(node.Out, TimedEdge{Trans: s.label, Delta: s.delta, To: nid})
+			if fresh {
+				work = append(work, nid)
+			}
+		}
+	}
+	return g, nil
+}
+
+type timedSucc struct {
+	node  *TimedNode
+	label petri.TransID
+	delta petri.Time
+}
+
+// refreshEnab recomputes the enabled set of n, keeping existing timers
+// for transitions of prev that stay enabled and starting fresh timers
+// for newly enabled ones. restart forces a fresh timer for one
+// transition (the one that just fired).
+func refreshEnab(net *petri.Net, n *TimedNode, prev []Remaining, restart ...petri.TransID) error {
+	active := make(map[petri.TransID]int)
+	for _, p := range n.Pending {
+		active[p.Trans]++
+	}
+	old := make(map[petri.TransID]petri.Time, len(prev))
+	for _, e := range prev {
+		old[e.Trans] = e.Left
+	}
+	forceRestart := make(map[petri.TransID]bool, len(restart))
+	for _, t := range restart {
+		forceRestart[t] = true
+	}
+	n.Enab = n.Enab[:0]
+	for ti := range net.Trans {
+		t := petri.TransID(ti)
+		tr := &net.Trans[ti]
+		if tr.EffFreq() == 0 {
+			continue
+		}
+		if tr.Servers > 0 && active[t] >= tr.Servers {
+			continue
+		}
+		ok, err := net.Enabled(t, n.Marking, nil)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		left, had := old[t]
+		if !had || forceRestart[t] {
+			if tr.Enabling != nil {
+				left, _ = tr.Enabling.Const()
+			} else {
+				left = 0
+			}
+		}
+		n.Enab = append(n.Enab, Remaining{Trans: t, Left: left})
+	}
+	sort.Slice(n.Enab, func(i, j int) bool { return n.Enab[i].Trans < n.Enab[j].Trans })
+	return nil
+}
+
+// timedSuccessors expands one node.
+func timedSuccessors(net *petri.Net, node *TimedNode) ([]timedSucc, error) {
+	var succs []timedSucc
+	// Start events: one successor per ripe transition.
+	for _, e := range node.Enab {
+		if e.Left != 0 {
+			continue
+		}
+		t := e.Trans
+		next := &TimedNode{
+			Marking: node.Marking.Clone(),
+			Pending: append([]Remaining(nil), node.Pending...),
+		}
+		net.Consume(t, next.Marking)
+		f, _ := constOf(net.Trans[t].Firing)
+		if f == 0 {
+			net.Produce(t, next.Marking)
+		} else {
+			next.Pending = append(next.Pending, Remaining{Trans: t, Left: f})
+			sortPending(next.Pending)
+		}
+		if err := refreshEnab(net, next, node.Enab, t); err != nil {
+			return nil, err
+		}
+		succs = append(succs, timedSucc{node: next, label: t})
+	}
+	if len(succs) > 0 {
+		return succs, nil
+	}
+	// No ripe transition: advance time to the next completion or
+	// ripening.
+	var delta petri.Time
+	has := false
+	for _, p := range node.Pending {
+		if !has || p.Left < delta {
+			delta, has = p.Left, true
+		}
+	}
+	for _, e := range node.Enab {
+		if e.Left > 0 && (!has || e.Left < delta) {
+			delta, has = e.Left, true
+		}
+	}
+	if !has {
+		return nil, nil // deadlock
+	}
+	next := &TimedNode{Marking: node.Marking.Clone()}
+	for _, p := range node.Pending {
+		if p.Left-delta == 0 {
+			net.Produce(p.Trans, next.Marking)
+		} else {
+			next.Pending = append(next.Pending, Remaining{Trans: p.Trans, Left: p.Left - delta})
+		}
+	}
+	sortPending(next.Pending)
+	aged := make([]Remaining, len(node.Enab))
+	for i, e := range node.Enab {
+		left := e.Left - delta
+		if left < 0 {
+			left = 0
+		}
+		aged[i] = Remaining{Trans: e.Trans, Left: left}
+	}
+	if err := refreshEnab(net, next, aged); err != nil {
+		return nil, err
+	}
+	return []timedSucc{{node: next, label: TimeAdvance, delta: delta}}, nil
+}
+
+func sortPending(p []Remaining) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].Left != p[j].Left {
+			return p[i].Left < p[j].Left
+		}
+		return p[i].Trans < p[j].Trans
+	})
+}
+
+func constOf(d petri.Delay) (petri.Time, bool) {
+	if d == nil {
+		return 0, true
+	}
+	return d.Const()
+}
+
+// Deadlocks returns nodes with no outgoing edges.
+func (g *TimedGraph) Deadlocks() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if len(n.Out) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// MaxTokens returns the largest token count place reaches in the timed
+// graph (the timed bound can be much tighter than the untimed one,
+// which is the point of timed analysis).
+func (g *TimedGraph) MaxTokens(place string) (int, error) {
+	id, ok := g.Net.PlaceID(place)
+	if !ok {
+		return 0, fmt.Errorf("reach: unknown place %q", place)
+	}
+	max := 0
+	for _, n := range g.Nodes {
+		if n.Marking[id] > max {
+			max = n.Marking[id]
+		}
+	}
+	return max, nil
+}

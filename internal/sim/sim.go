@@ -1,0 +1,424 @@
+// Package sim is the P-NUT simulation engine: "a simple simulation
+// engine which pushes tokens around a Timed Petri Net" (Section 4.1).
+//
+// The engine implements the paper's extended-TPN semantics:
+//
+//   - A transition is enabled when its input places hold the arc weights,
+//     its inhibitor places do not, and its predicate (if any) is true.
+//   - A transition with an enabling time must be continuously enabled for
+//     that long before it may fire; losing enablement resets the timer.
+//     After each firing the timer restarts.
+//   - When a transition fires, input tokens are removed immediately; if
+//     it has a firing time the output tokens appear that much later
+//     (during the firing the tokens are "neither on the inputs nor on the
+//     outputs"). Actions run when the firing completes.
+//   - When several transitions are ready at the same instant, one is
+//     chosen with probability proportional to its relative firing
+//     frequency [WPS86]; selection repeats until no transition is ready,
+//     then the clock advances to the next completion or ripening.
+//
+// The engine knows nothing about analysis: it emits trace records to an
+// Observer (package trace), which may be a file writer, a statistics
+// accumulator, a tracer, an animator, or any Tee of those.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// Options control one simulation experiment.
+type Options struct {
+	// Seed seeds the run's private random source. Equal seeds give equal
+	// traces.
+	Seed int64
+	// Horizon stops the run when the clock would pass it. The run ends
+	// exactly at Horizon (pending firings are not completed), matching a
+	// fixed-length experiment such as the paper's 10 000-cycle run.
+	Horizon petri.Time
+	// MaxStarts, if positive, stops the run after that many firings have
+	// started. Either Horizon or MaxStarts must be set.
+	MaxStarts int64
+	// MaxStepsPerInstant guards against zero-time livelock (a loop of
+	// timeless transitions). Default 1 000 000.
+	MaxStepsPerInstant int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Clock     petri.Time
+	Starts    int64
+	Ends      int64
+	Quiescent bool          // the net ran out of events before the horizon
+	Final     petri.Marking // marking when the run stopped
+	Vars      map[string]int64
+}
+
+// ErrLivelock is returned when more than MaxStepsPerInstant firings start
+// at a single instant.
+var ErrLivelock = errors.New("sim: livelock: too many firings at one instant")
+
+type completion struct {
+	at    petri.Time
+	seq   int64
+	trans petri.TransID
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type transState struct {
+	enabled bool
+	ripeAt  petri.Time // valid while enabled
+	active  int        // concurrent firings in progress
+}
+
+type engine struct {
+	net   *petri.Net
+	opt   Options
+	rng   *rand.Rand
+	env   *expr.Env
+	obs   trace.Observer
+	clock petri.Time
+	m     petri.Marking
+	ts    []transState
+	pend  completionHeap
+	seq   int64
+
+	starts, ends int64
+
+	// scratch buffers reused across records
+	deltas []trace.Delta
+	ripe   []petri.TransID
+}
+
+// Run simulates net, streaming the trace to obs (which may be nil to
+// discard it), and returns the run summary.
+func Run(net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
+	if opt.Horizon <= 0 && opt.MaxStarts <= 0 {
+		return Result{}, errors.New("sim: Options must set Horizon or MaxStarts")
+	}
+	if opt.MaxStepsPerInstant <= 0 {
+		opt.MaxStepsPerInstant = 1_000_000
+	}
+	if obs == nil {
+		obs = trace.ObserverFunc(func(*trace.Record) error { return nil })
+	}
+	e := &engine{
+		net: net,
+		opt: opt,
+		rng: rand.New(rand.NewSource(opt.Seed)),
+		obs: obs,
+		m:   net.InitialMarking(),
+		ts:  make([]transState, net.NumTrans()),
+	}
+	e.env = net.NewEnv(e.rng)
+	if err := e.run(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Clock:     e.clock,
+		Starts:    e.starts,
+		Ends:      e.ends,
+		Quiescent: e.quiescent(),
+		Final:     e.m,
+		Vars:      e.env.Snapshot(),
+	}, nil
+}
+
+func (e *engine) quiescent() bool {
+	if len(e.pend) > 0 {
+		return false
+	}
+	for i := range e.ts {
+		if e.ts[i].enabled && e.net.Trans[i].EffFreq() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) emit(rec *trace.Record) error { return e.obs.Record(rec) }
+
+func (e *engine) run() error {
+	init := trace.Record{Kind: trace.Initial, Time: 0, Marking: e.m.Clone()}
+	if err := e.emit(&init); err != nil {
+		return err
+	}
+	if err := e.refreshAll(); err != nil {
+		return err
+	}
+	if err := e.settle(); err != nil {
+		return err
+	}
+	for !e.done() {
+		next, any := e.nextEventTime()
+		if !any {
+			break // quiescent
+		}
+		if e.opt.Horizon > 0 && next > e.opt.Horizon {
+			e.clock = e.opt.Horizon
+			break
+		}
+		e.clock = next
+		if err := e.completeDue(); err != nil {
+			return err
+		}
+		if err := e.settle(); err != nil {
+			return err
+		}
+	}
+	if e.opt.Horizon > 0 && e.clock < e.opt.Horizon && e.quiescent() {
+		// A quiescent net simply idles until the end of the experiment.
+		e.clock = e.opt.Horizon
+	}
+	fin := trace.Record{Kind: trace.Final, Time: e.clock, Starts: e.starts, Ends: e.ends}
+	return e.emit(&fin)
+}
+
+func (e *engine) done() bool {
+	return e.opt.MaxStarts > 0 && e.starts >= e.opt.MaxStarts
+}
+
+// nextEventTime returns the earliest pending completion or ripening.
+func (e *engine) nextEventTime() (petri.Time, bool) {
+	var next petri.Time
+	any := false
+	if len(e.pend) > 0 {
+		next = e.pend[0].at
+		any = true
+	}
+	for i := range e.ts {
+		st := &e.ts[i]
+		if !st.enabled || e.capped(petri.TransID(i)) || e.net.Trans[i].EffFreq() == 0 {
+			continue
+		}
+		if !any || st.ripeAt < next {
+			next = st.ripeAt
+			any = true
+		}
+	}
+	return next, any
+}
+
+func (e *engine) capped(t petri.TransID) bool {
+	s := e.net.Trans[t].Servers
+	return s > 0 && e.ts[t].active >= s
+}
+
+// refresh recomputes the enabled state of transition t, starting or
+// clearing its enabling timer as needed.
+func (e *engine) refresh(t petri.TransID) error {
+	now, err := e.net.Enabled(t, e.m, e.env)
+	if err != nil {
+		return err
+	}
+	st := &e.ts[t]
+	switch {
+	case now && !st.enabled:
+		st.enabled = true
+		if err := e.startTimer(t); err != nil {
+			return err
+		}
+	case !now && st.enabled:
+		st.enabled = false
+	}
+	return nil
+}
+
+// startTimer samples the enabling delay for t and sets its ripening time.
+func (e *engine) startTimer(t petri.TransID) error {
+	st := &e.ts[t]
+	var d petri.Time
+	if del := e.net.Trans[t].Enabling; del != nil {
+		var err error
+		d, err = del.Sample(e.rng, e.env)
+		if err != nil {
+			return fmt.Errorf("sim: enabling time of %q: %w", e.net.Trans[t].Name, err)
+		}
+		if d < 0 {
+			return fmt.Errorf("sim: negative enabling time %d for %q", d, e.net.Trans[t].Name)
+		}
+	}
+	st.ripeAt = e.clock + d
+	return nil
+}
+
+func (e *engine) refreshAll() error {
+	for i := range e.ts {
+		if err := e.refresh(petri.TransID(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshAffected rechecks the transitions whose enablement can have
+// changed after the marking of the given places changed, plus (if env
+// might have changed) all predicated transitions.
+func (e *engine) refreshAffected(places []trace.Delta, envChanged bool) error {
+	for _, d := range places {
+		for _, t := range e.net.Affected(d.Place) {
+			if err := e.refresh(t); err != nil {
+				return err
+			}
+		}
+	}
+	if envChanged {
+		for _, t := range e.net.Predicated() {
+			if err := e.refresh(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// settle starts every firing that can start at the current instant.
+func (e *engine) settle() error {
+	for step := 0; ; step++ {
+		if step > e.opt.MaxStepsPerInstant {
+			return fmt.Errorf("%w (t=%d)", ErrLivelock, e.clock)
+		}
+		if e.done() {
+			return nil
+		}
+		e.ripe = e.ripe[:0]
+		for i := range e.ts {
+			t := petri.TransID(i)
+			st := &e.ts[i]
+			if st.enabled && !e.capped(t) && st.ripeAt <= e.clock && e.net.Trans[i].EffFreq() != 0 {
+				e.ripe = append(e.ripe, t)
+			}
+		}
+		if len(e.ripe) == 0 {
+			return nil
+		}
+		pick := e.choose(e.ripe)
+		if err := e.fire(pick); err != nil {
+			return err
+		}
+	}
+}
+
+// choose selects among simultaneously ready transitions with probability
+// proportional to relative firing frequency.
+func (e *engine) choose(ripe []petri.TransID) petri.TransID {
+	if len(ripe) == 1 {
+		return ripe[0]
+	}
+	total := 0.0
+	for _, t := range ripe {
+		total += e.net.Trans[t].EffFreq()
+	}
+	x := e.rng.Float64() * total
+	for _, t := range ripe {
+		x -= e.net.Trans[t].EffFreq()
+		if x < 0 {
+			return t
+		}
+	}
+	return ripe[len(ripe)-1]
+}
+
+// fire starts one firing of t: consume inputs, emit the Start record, and
+// either complete immediately (zero firing time) or schedule completion.
+func (e *engine) fire(t petri.TransID) error {
+	tr := &e.net.Trans[t]
+	var dur petri.Time
+	if tr.Firing != nil {
+		var err error
+		dur, err = tr.Firing.Sample(e.rng, e.env)
+		if err != nil {
+			return fmt.Errorf("sim: firing time of %q: %w", tr.Name, err)
+		}
+		if dur < 0 {
+			return fmt.Errorf("sim: negative firing time %d for %q", dur, tr.Name)
+		}
+	}
+	e.deltas = e.deltas[:0]
+	for _, a := range tr.In {
+		e.deltas = append(e.deltas, trace.Delta{Place: a.Place, Change: -a.Weight})
+	}
+	e.net.Consume(t, e.m)
+	e.starts++
+	rec := trace.Record{Kind: trace.Start, Time: e.clock, Trans: t, Deltas: e.deltas}
+	if err := e.emit(&rec); err != nil {
+		return err
+	}
+	if err := e.refreshAffected(e.deltas, false); err != nil {
+		return err
+	}
+	// The enabling timer restarts for the next firing if t is still
+	// enabled (continuous enablement is counted per firing).
+	if e.ts[t].enabled {
+		if err := e.startTimer(t); err != nil {
+			return err
+		}
+	}
+	if dur == 0 {
+		return e.complete(t)
+	}
+	e.ts[t].active++
+	e.seq++
+	heap.Push(&e.pend, completion{at: e.clock + dur, seq: e.seq, trans: t})
+	return nil
+}
+
+// complete finishes one firing of t: produce outputs, run the action,
+// emit the End record.
+func (e *engine) complete(t petri.TransID) error {
+	tr := &e.net.Trans[t]
+	e.deltas = e.deltas[:0]
+	for _, a := range tr.Out {
+		e.deltas = append(e.deltas, trace.Delta{Place: a.Place, Change: a.Weight})
+	}
+	e.net.Produce(t, e.m)
+	e.ends++
+	envChanged := false
+	if tr.Action != nil {
+		if err := tr.Action.Exec(e.env); err != nil {
+			return fmt.Errorf("sim: action of %q: %w", tr.Name, err)
+		}
+		envChanged = true
+	}
+	rec := trace.Record{Kind: trace.End, Time: e.clock, Trans: t, Deltas: e.deltas}
+	if err := e.emit(&rec); err != nil {
+		return err
+	}
+	return e.refreshAffected(e.deltas, envChanged)
+}
+
+// completeDue finishes every firing scheduled for the current clock.
+func (e *engine) completeDue() error {
+	for len(e.pend) > 0 && e.pend[0].at == e.clock {
+		c := heap.Pop(&e.pend).(completion)
+		e.ts[c.trans].active--
+		if err := e.complete(c.trans); err != nil {
+			return err
+		}
+	}
+	return nil
+}

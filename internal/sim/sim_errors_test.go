@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+func TestObserverErrorAborts(t *testing.T) {
+	b := petri.NewBuilder("o")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").EnablingConst(1)
+	net := b.MustBuild()
+	boom := errors.New("observer boom")
+	count := 0
+	obs := trace.ObserverFunc(func(rec *trace.Record) error {
+		count++
+		if count >= 3 {
+			return boom
+		}
+		return nil
+	})
+	_, err := Run(net, obs, Options{Horizon: 100})
+	if !errors.Is(err, boom) {
+		t.Errorf("observer error not propagated: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("records after abort: %d", count)
+	}
+}
+
+func TestActionRuntimeErrorSurfaces(t *testing.T) {
+	b := petri.NewBuilder("a")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").EnablingConst(1).Action("x = 1 / 0")
+	net := b.MustBuild()
+	_, err := Run(net, nil, Options{Horizon: 10})
+	if err == nil || !strings.Contains(err.Error(), "action") {
+		t.Errorf("action error not surfaced: %v", err)
+	}
+}
+
+func TestPredicateRuntimeErrorSurfaces(t *testing.T) {
+	b := petri.NewBuilder("p")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").Pred("undefined_variable > 0").EnablingConst(1)
+	net := b.MustBuild()
+	_, err := Run(net, nil, Options{Horizon: 10})
+	if err == nil || !strings.Contains(err.Error(), "predicate") {
+		t.Errorf("predicate error not surfaced: %v", err)
+	}
+}
+
+func TestExprDelayErrorSurfaces(t *testing.T) {
+	b := petri.NewBuilder("d")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").
+		Firing(petri.ExprDelay{E: expr.MustParseExpr("nosuch_table[0]")})
+	net := b.MustBuild()
+	_, err := Run(net, nil, Options{Horizon: 10})
+	if err == nil || !strings.Contains(err.Error(), "firing time") {
+		t.Errorf("delay error not surfaced: %v", err)
+	}
+}
+
+func TestNegativeExprDelayRejected(t *testing.T) {
+	b := petri.NewBuilder("n")
+	b.Place("p", 1)
+	b.Var("d", -3)
+	b.Trans("t").In("p").Out("p").Enabling(petri.ExprDelay{E: expr.MustParseExpr("d")})
+	net := b.MustBuild()
+	_, err := Run(net, nil, Options{Horizon: 10})
+	if err == nil {
+		t.Error("negative enabling delay accepted")
+	}
+}
+
+func TestHorizonAndMaxStartsTogether(t *testing.T) {
+	b := petri.NewBuilder("hs")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").EnablingConst(1)
+	net := b.MustBuild()
+	// MaxStarts binds first.
+	res, err := Run(net, nil, Options{Horizon: 1_000, MaxStarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts != 5 {
+		t.Errorf("starts = %d", res.Starts)
+	}
+	if res.Clock >= 1_000 {
+		t.Errorf("clock = %d, should stop well before horizon", res.Clock)
+	}
+	// Horizon binds first.
+	res, err = Run(net, nil, Options{Horizon: 3, MaxStarts: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clock != 3 {
+		t.Errorf("clock = %d", res.Clock)
+	}
+	if res.Starts >= 1_000 {
+		t.Errorf("starts = %d", res.Starts)
+	}
+}
+
+func TestFreqZeroNeverFires(t *testing.T) {
+	b := petri.NewBuilder("z")
+	b.Place("p", 1)
+	b.Place("a", 0)
+	b.Place("bb", 0)
+	b.Trans("never").In("p").Out("a").Freq(0)
+	b.Trans("always").In("p").Out("bb").EnablingConst(2)
+	net := b.MustBuild()
+	c := trace.NewCollect(trace.HeaderOf(net))
+	res, err := Run(net, c, Options{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final[net.MustPlace("a")] != 0 {
+		t.Error("freq-0 transition fired")
+	}
+	if res.Final[net.MustPlace("bb")] != 1 {
+		t.Error("competing transition should have won")
+	}
+	// A net whose only enabled transition has freq 0 is quiescent.
+	b2 := petri.NewBuilder("z2")
+	b2.Place("p", 1)
+	b2.Place("q", 0)
+	b2.Trans("never").In("p").Out("q").Freq(0)
+	res2, err := Run(b2.MustBuild(), nil, Options{Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Quiescent || res2.Starts != 0 {
+		t.Errorf("freq-0-only net: %+v", res2)
+	}
+}
+
+func TestUniformEnablingDelaysVary(t *testing.T) {
+	b := petri.NewBuilder("u")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").Enabling(petri.Uniform{Lo: 1, Hi: 6})
+	net := b.MustBuild()
+	c := trace.NewCollect(trace.HeaderOf(net))
+	if _, err := Run(net, c, Options{Horizon: 5_000, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Inter-firing gaps must take several distinct values in [1,6].
+	var prev petri.Time
+	gaps := make(map[petri.Time]bool)
+	for i := range c.Records {
+		r := &c.Records[i]
+		if r.Kind == trace.Start {
+			if r.Time > 0 {
+				gaps[r.Time-prev] = true
+			}
+			prev = r.Time
+		}
+	}
+	if len(gaps) < 4 {
+		t.Errorf("gaps not varied: %v", gaps)
+	}
+	for g := range gaps {
+		if g < 1 || g > 6 {
+			t.Errorf("gap %d outside [1,6]", g)
+		}
+	}
+}
+
+func TestSourceTransitionWithDelay(t *testing.T) {
+	// A transition with no inputs is always enabled; with an enabling
+	// time it acts as a periodic source.
+	b := petri.NewBuilder("src")
+	b.Place("out", 0)
+	b.Trans("tick").Out("out").EnablingConst(4)
+	net := b.MustBuild()
+	res, err := Run(net, nil, Options{Horizon: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final[net.MustPlace("out")] != 10 {
+		t.Errorf("source produced %d tokens, want 10", res.Final[net.MustPlace("out")])
+	}
+}
+
+func TestCompletionOrderDeterministic(t *testing.T) {
+	// Two firings completing at the same instant must complete in start
+	// order (FIFO by sequence), keeping traces deterministic.
+	b := petri.NewBuilder("fifo")
+	b.Place("a", 2)
+	b.Place("out", 0)
+	b.Trans("t").In("a").Out("out").FiringConst(5)
+	net := b.MustBuild()
+	run := func() string {
+		c := trace.NewCollect(trace.HeaderOf(net))
+		if _, err := Run(net, c, Options{Horizon: 10, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return c.String()
+	}
+	if run() != run() {
+		t.Error("same-instant completions non-deterministic")
+	}
+}

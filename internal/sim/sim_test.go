@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// collect runs net and returns the collected trace and result.
+func collect(t *testing.T, net *petri.Net, opt Options) (*trace.Collect, Result) {
+	t.Helper()
+	c := trace.NewCollect(trace.HeaderOf(net))
+	res, err := Run(net, c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res
+}
+
+// eventTimes extracts the times of records of the given kind for a named
+// transition.
+func eventTimes(c *trace.Collect, kind trace.Kind, name string) []petri.Time {
+	id, ok := c.Header.TransID(name)
+	if !ok {
+		return nil
+	}
+	var out []petri.Time
+	for i := range c.Records {
+		r := &c.Records[i]
+		if r.Kind == kind && r.Trans == id {
+			out = append(out, r.Time)
+		}
+	}
+	return out
+}
+
+func TestFiringTimeDelaysOutputs(t *testing.T) {
+	b := petri.NewBuilder("chain")
+	b.Place("a", 1)
+	b.Place("b", 0)
+	b.Trans("t").In("a").Out("b").FiringConst(7)
+	net := b.MustBuild()
+	c, res := collect(t, net, Options{Horizon: 100})
+	starts := eventTimes(c, trace.Start, "t")
+	ends := eventTimes(c, trace.End, "t")
+	if len(starts) != 1 || starts[0] != 0 {
+		t.Fatalf("starts = %v", starts)
+	}
+	if len(ends) != 1 || ends[0] != 7 {
+		t.Fatalf("ends = %v", ends)
+	}
+	if res.Final[net.MustPlace("b")] != 1 {
+		t.Errorf("final marking: %v", res.Final)
+	}
+	if !res.Quiescent {
+		t.Error("net should be quiescent")
+	}
+}
+
+func TestEnablingTimeDelaysFiring(t *testing.T) {
+	b := petri.NewBuilder("en")
+	b.Place("a", 1)
+	b.Place("b", 0)
+	b.Trans("t").In("a").Out("b").EnablingConst(5)
+	net := b.MustBuild()
+	c, _ := collect(t, net, Options{Horizon: 100})
+	starts := eventTimes(c, trace.Start, "t")
+	ends := eventTimes(c, trace.End, "t")
+	// Enabled at 0, ripe at 5, firing is instantaneous.
+	if len(starts) != 1 || starts[0] != 5 || len(ends) != 1 || ends[0] != 5 {
+		t.Fatalf("starts=%v ends=%v", starts, ends)
+	}
+}
+
+func TestEnablingTimerResetsOnDisable(t *testing.T) {
+	// thief takes the shared token at t=2 and returns it at t=4; the
+	// enabling timer of slow (delay 5) must restart at 4, so slow fires
+	// at 9, not at 5.
+	b := petri.NewBuilder("reset")
+	b.Place("shared", 1)
+	b.Place("trigger", 1)
+	b.Place("out", 0)
+	b.Trans("thief").In("trigger").In("shared").Out("shared_back").FiringConst(0).EnablingConst(2)
+	b.Place("shared_back", 0)
+	b.Trans("return").In("shared_back").Out("shared").EnablingConst(2)
+	b.Trans("slow").In("shared").Out("out").EnablingConst(5)
+	net := b.MustBuild()
+	c, _ := collect(t, net, Options{Horizon: 100})
+	// thief is ripe at 2 and competes with nothing (slow ripens at 5).
+	starts := eventTimes(c, trace.Start, "slow")
+	if len(starts) != 1 || starts[0] != 9 {
+		t.Fatalf("slow starts = %v, want [9]", starts)
+	}
+}
+
+func TestInhibitorBlocksFiring(t *testing.T) {
+	b := petri.NewBuilder("inhib")
+	b.Place("go", 1)
+	b.Place("blocker", 1)
+	b.Place("out", 0)
+	b.Place("cleared", 0)
+	b.Trans("t").In("go").Out("out").Inhib("blocker")
+	b.Trans("clear").In("blocker").Out("cleared").EnablingConst(10)
+	net := b.MustBuild()
+	c, _ := collect(t, net, Options{Horizon: 100})
+	starts := eventTimes(c, trace.Start, "t")
+	// t can only fire once clear removed the blocker token at t=10.
+	if len(starts) != 1 || starts[0] != 10 {
+		t.Fatalf("starts = %v, want [10]", starts)
+	}
+}
+
+func TestFrequencyRatios(t *testing.T) {
+	// Three competing instruction types at 70-20-10, the paper's mix.
+	b := petri.NewBuilder("mix")
+	b.Place("instr", 1)
+	b.Place("done", 0)
+	b.Trans("Type_1").In("instr").Out("done").Freq(70)
+	b.Trans("Type_2").In("instr").Out("done").Freq(20)
+	b.Trans("Type_3").In("instr").Out("done").Freq(10)
+	b.Trans("recycle").In("done").Out("instr").EnablingConst(1)
+	net := b.MustBuild()
+	c, _ := collect(t, net, Options{Horizon: 30_000, Seed: 42})
+	n1 := len(eventTimes(c, trace.Start, "Type_1"))
+	n2 := len(eventTimes(c, trace.Start, "Type_2"))
+	n3 := len(eventTimes(c, trace.Start, "Type_3"))
+	total := n1 + n2 + n3
+	if total < 25_000 {
+		t.Fatalf("too few selections: %d", total)
+	}
+	f1 := float64(n1) / float64(total)
+	f2 := float64(n2) / float64(total)
+	f3 := float64(n3) / float64(total)
+	if f1 < 0.67 || f1 > 0.73 || f2 < 0.17 || f2 > 0.23 || f3 < 0.08 || f3 > 0.12 {
+		t.Errorf("mix = %.3f/%.3f/%.3f, want about .70/.20/.10", f1, f2, f3)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	net := mixNet(t)
+	run := func() string {
+		c := trace.NewCollect(trace.HeaderOf(net))
+		if _, err := Run(net, c, Options{Horizon: 1000, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		return c.String()
+	}
+	if run() != run() {
+		t.Error("equal seeds produced different traces")
+	}
+	c2 := trace.NewCollect(trace.HeaderOf(net))
+	if _, err := Run(net, c2, Options{Horizon: 1000, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if run() == c2.String() {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func mixNet(t *testing.T) *petri.Net {
+	t.Helper()
+	b := petri.NewBuilder("mix")
+	b.Place("instr", 1)
+	b.Place("done", 0)
+	b.Trans("a").In("instr").Out("done").Freq(1).FiringConst(2)
+	b.Trans("b").In("instr").Out("done").Freq(1).FiringConst(3)
+	b.Trans("recycle").In("done").Out("instr").EnablingConst(1)
+	return b.MustBuild()
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	net := mixNet(t)
+	_, res := collect(t, net, Options{Horizon: 500})
+	if res.Clock != 500 {
+		t.Errorf("clock = %d, want 500", res.Clock)
+	}
+	if res.Quiescent {
+		t.Error("run should not be quiescent")
+	}
+}
+
+func TestMaxStartsStopsRun(t *testing.T) {
+	net := mixNet(t)
+	_, res := collect(t, net, Options{MaxStarts: 10})
+	if res.Starts != 10 {
+		t.Errorf("starts = %d, want 10", res.Starts)
+	}
+}
+
+func TestQuiescentIdlesToHorizon(t *testing.T) {
+	b := petri.NewBuilder("oneshot")
+	b.Place("a", 1)
+	b.Place("b", 0)
+	b.Trans("t").In("a").Out("b").FiringConst(3)
+	net := b.MustBuild()
+	_, res := collect(t, net, Options{Horizon: 100})
+	if !res.Quiescent || res.Clock != 100 {
+		t.Errorf("quiescent=%v clock=%d", res.Quiescent, res.Clock)
+	}
+}
+
+func TestLivelockDetected(t *testing.T) {
+	b := petri.NewBuilder("live")
+	b.Place("a", 1)
+	b.Trans("spin").In("a").Out("a")
+	net := b.MustBuild()
+	_, err := Run(net, nil, Options{Horizon: 10, MaxStepsPerInstant: 100})
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("expected livelock error, got %v", err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	net := mixNet(t)
+	if _, err := Run(net, nil, Options{}); err == nil {
+		t.Error("options without stop condition accepted")
+	}
+}
+
+func TestTokensInLimboDuringFiring(t *testing.T) {
+	// While t fires (duration 10), the token must be on neither a nor b:
+	// watcher has both a and b as inhibitors plus a private trigger, and
+	// can only fire while the token is in limbo.
+	b := petri.NewBuilder("limbo")
+	b.Place("a", 1)
+	b.Place("b", 0)
+	b.Place("trigger", 1)
+	b.Place("seen", 0)
+	b.Trans("t").In("a").Out("b").FiringConst(10)
+	b.Trans("watcher").In("trigger").Out("seen").Inhib("a").Inhib("b").EnablingConst(5)
+	net := b.MustBuild()
+	c, res := collect(t, net, Options{Horizon: 100})
+	starts := eventTimes(c, trace.Start, "watcher")
+	if len(starts) != 1 || starts[0] != 5 {
+		t.Fatalf("watcher starts = %v, want [5]", starts)
+	}
+	if res.Final[net.MustPlace("seen")] != 1 {
+		t.Error("watcher never fired")
+	}
+}
+
+func TestServersCap(t *testing.T) {
+	// Five input tokens, service 10 ticks each, 2 servers: completions
+	// at 10,10,20,20,30.
+	b := petri.NewBuilder("srv")
+	b.Place("q", 5)
+	b.Place("done", 0)
+	b.Trans("serve").In("q").Out("done").FiringConst(10).Servers(2)
+	net := b.MustBuild()
+	c, _ := collect(t, net, Options{Horizon: 100})
+	ends := eventTimes(c, trace.End, "serve")
+	want := []petri.Time{10, 10, 20, 20, 30}
+	if len(ends) != len(want) {
+		t.Fatalf("ends = %v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestUnlimitedServers(t *testing.T) {
+	b := petri.NewBuilder("pool")
+	b.Place("q", 5)
+	b.Place("done", 0)
+	b.Trans("serve").In("q").Out("done").FiringConst(10)
+	net := b.MustBuild()
+	c, _ := collect(t, net, Options{Horizon: 100})
+	ends := eventTimes(c, trace.End, "serve")
+	if len(ends) != 5 {
+		t.Fatalf("ends = %v", ends)
+	}
+	for _, e := range ends {
+		if e != 10 {
+			t.Fatalf("all five firings should end at 10: %v", ends)
+		}
+	}
+}
+
+func TestInterpretedOperandFetchLoop(t *testing.T) {
+	// Figure 4: a table-driven operand fetch loop. The Decode action
+	// fixes the type deterministically here (irand(3,3)) so the loop
+	// count is known: type 3 needs 2 operands.
+	b := petri.NewBuilder("fig4")
+	b.Var("max_type", 3)
+	b.Var("number_of_operands_needed", 0)
+	b.Table("operands", 0, 0, 1, 2) // index 0 unused
+	b.Place("Full_I_buffers", 1)
+	b.Place("Decoder_ready", 1)
+	b.Place("Decoded_instruction", 0)
+	b.Place("fetching", 0)
+	b.Place("ready_to_issue", 0)
+	b.Trans("Decode").
+		In("Full_I_buffers").In("Decoder_ready").
+		Out("Decoded_instruction").
+		FiringConst(1).
+		Action("type = irand(3, 3); number_of_operands_needed = operands[type];")
+	b.Trans("fetch_operand").
+		In("Decoded_instruction").Out("fetching").
+		Pred("number_of_operands_needed > 0")
+	b.Trans("end_fetch").
+		In("fetching").Out("Decoded_instruction").
+		EnablingConst(5).
+		Action("number_of_operands_needed = number_of_operands_needed - 1")
+	b.Trans("operand_fetching_done").
+		In("Decoded_instruction").Out("ready_to_issue").
+		Pred("number_of_operands_needed == 0")
+	net := b.MustBuild()
+	c, res := collect(t, net, Options{Horizon: 1000})
+	if got := len(eventTimes(c, trace.Start, "fetch_operand")); got != 2 {
+		t.Errorf("fetch_operand fired %d times, want 2", got)
+	}
+	if res.Final[net.MustPlace("ready_to_issue")] != 1 {
+		t.Error("instruction never became ready to issue")
+	}
+	if res.Vars["number_of_operands_needed"] != 0 {
+		t.Errorf("loop variable = %d", res.Vars["number_of_operands_needed"])
+	}
+	// Done at decode(1) + 2 fetches (5 each) = 11.
+	done := eventTimes(c, trace.Start, "operand_fetching_done")
+	if len(done) != 1 || done[0] != 11 {
+		t.Errorf("operand_fetching_done at %v, want [11]", done)
+	}
+}
+
+func TestEncodingEquivalenceSingleServer(t *testing.T) {
+	// For a deterministic single-server chain, the firing-as-enabling
+	// encoding must preserve all completion times of the original
+	// transitions.
+	b := petri.NewBuilder("chain")
+	b.Place("a", 3)
+	b.Place("b", 0)
+	b.Place("c", 0)
+	b.Trans("first").In("a").Out("b").FiringConst(4).Servers(1)
+	b.Trans("second").In("b").Out("c").FiringConst(3).Servers(1)
+	net := b.MustBuild()
+	enc, err := petri.EncodeFiringAsEnabling(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := collect(t, net, Options{Horizon: 200})
+	c2, _ := collect(t, enc, Options{Horizon: 200})
+	orig := eventTimes(c1, trace.End, "second")
+	encd := eventTimes(c2, trace.End, "second__end")
+	if len(orig) != 3 || len(encd) != 3 {
+		t.Fatalf("orig=%v enc=%v", orig, encd)
+	}
+	for i := range orig {
+		if orig[i] != encd[i] {
+			t.Fatalf("completion times differ: orig=%v enc=%v", orig, encd)
+		}
+	}
+}
+
+func TestBusMutualExclusionInvariant(t *testing.T) {
+	// The paper's correctness concern: Bus_busy + Bus_free must always
+	// equal 1 as long as bus transfers are modeled with instantaneous
+	// handoffs. Check every intermediate marking of a contended run.
+	b := petri.NewBuilder("bus")
+	b.Place("Bus_free", 1)
+	b.Place("Bus_busy", 0)
+	b.Place("want_a", 3)
+	b.Place("want_b", 3)
+	b.Place("using_a", 0)
+	b.Place("using_b", 0)
+	b.Place("done_a", 0)
+	b.Place("done_b", 0)
+	b.Trans("start_a").In("want_a").In("Bus_free").Out("using_a").Out("Bus_busy")
+	b.Trans("end_a").In("using_a").In("Bus_busy").Out("done_a").Out("Bus_free").EnablingConst(5)
+	b.Trans("start_b").In("want_b").In("Bus_free").Out("using_b").Out("Bus_busy")
+	b.Trans("end_b").In("using_b").In("Bus_busy").Out("done_b").Out("Bus_free").EnablingConst(3)
+	net := b.MustBuild()
+
+	// The sum Bus_free+Bus_busy is transiently 0 between the Start and
+	// the zero-time End of a handoff transition (the token is in limbo),
+	// so the invariant is asserted at End records, where the state is
+	// settled.
+	free := net.MustPlace("Bus_free")
+	busy := net.MustPlace("Bus_busy")
+	m2 := net.InitialMarking()
+	bad2 := 0
+	obs2 := trace.ObserverFunc(func(rec *trace.Record) error {
+		switch rec.Kind {
+		case trace.Initial:
+			m2 = rec.Marking.Clone()
+		case trace.Start, trace.End:
+			for _, d := range rec.Deltas {
+				m2[d.Place] += d.Change
+			}
+			if rec.Kind == trace.End && m2[free]+m2[busy] != 1 {
+				bad2++
+			}
+		}
+		return nil
+	})
+	if _, err := Run(net, obs2, Options{Horizon: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if bad2 != 0 {
+		t.Errorf("bus invariant violated %d times at End records", bad2)
+	}
+}
+
+// Property: over random two-place nets with a conservative transition,
+// total token count never changes.
+func TestQuickTokenConservation(t *testing.T) {
+	f := func(init uint8, w uint8, dur uint8) bool {
+		weight := int(w%3) + 1
+		b := petri.NewBuilder("q")
+		b.Place("a", int(init%20)+weight)
+		b.Place("b", 0)
+		b.Trans("ab").In("a", weight).Out("b", weight).FiringConst(petri.Time(dur % 5))
+		b.Trans("ba").In("b", weight).Out("a", weight).EnablingConst(petri.Time(dur%3) + 1)
+		net, err := b.Build()
+		if err != nil {
+			return false
+		}
+		total := net.InitialMarking().Total()
+		m := net.InitialMarking()
+		inLimbo := 0
+		ok := true
+		obs := trace.ObserverFunc(func(rec *trace.Record) error {
+			switch rec.Kind {
+			case trace.Start:
+				for _, d := range rec.Deltas {
+					m[d.Place] += d.Change
+					inLimbo -= d.Change
+				}
+			case trace.End:
+				for _, d := range rec.Deltas {
+					m[d.Place] += d.Change
+					inLimbo -= d.Change
+				}
+			}
+			if m.Total()+inLimbo != total {
+				ok = false
+			}
+			return nil
+		})
+		if _, err := Run(net, obs, Options{Horizon: 200, MaxStarts: 500}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// BatchMeans estimates a confidence interval from a *single* long run
+// by the classical batch-means method: the run is cut into fixed-length
+// batches, the metric is computed per batch, and the batches are
+// treated as approximately independent samples. It implements
+// trace.Observer and can be Tee'd alongside Stats.
+//
+// Two metrics are supported, matching what the stat tool reports:
+// the time-weighted mean token count of a place (utilization) and the
+// completion rate of a transition (throughput).
+type BatchMeans struct {
+	batchLen petri.Time
+	place    petri.PlaceID // -1 if a transition metric
+	trans    petri.TransID // -1 if a place metric
+
+	started    bool
+	cur        int   // current token count (place metric)
+	ends       int64 // completions in the current batch (transition metric)
+	lastT      petri.Time
+	integral   float64
+	batchStart petri.Time
+	batches    []float64
+}
+
+// NewPlaceBatches builds a batch-means estimator of a place's
+// time-weighted mean token count.
+func NewPlaceBatches(h trace.Header, place string, batchLen petri.Time) (*BatchMeans, error) {
+	id, ok := h.PlaceID(place)
+	if !ok {
+		return nil, fmt.Errorf("stats: unknown place %q", place)
+	}
+	if batchLen <= 0 {
+		return nil, fmt.Errorf("stats: batch length must be positive, got %d", batchLen)
+	}
+	return &BatchMeans{batchLen: batchLen, place: id, trans: -1}, nil
+}
+
+// NewTransitionBatches builds a batch-means estimator of a transition's
+// throughput (completions per tick).
+func NewTransitionBatches(h trace.Header, transition string, batchLen petri.Time) (*BatchMeans, error) {
+	id, ok := h.TransID(transition)
+	if !ok {
+		return nil, fmt.Errorf("stats: unknown transition %q", transition)
+	}
+	if batchLen <= 0 {
+		return nil, fmt.Errorf("stats: batch length must be positive, got %d", batchLen)
+	}
+	return &BatchMeans{batchLen: batchLen, place: -1, trans: id}, nil
+}
+
+// advance integrates the current value up to time t, closing batches at
+// every boundary crossed.
+func (b *BatchMeans) advance(t petri.Time) {
+	for t >= b.batchStart+b.batchLen {
+		boundary := b.batchStart + b.batchLen
+		if b.place >= 0 {
+			b.integral += float64(b.cur) * float64(boundary-b.lastT)
+			b.batches = append(b.batches, b.integral/float64(b.batchLen))
+			b.integral = 0
+		} else {
+			b.batches = append(b.batches, float64(b.ends)/float64(b.batchLen))
+			b.ends = 0
+		}
+		b.lastT = boundary
+		b.batchStart = boundary
+	}
+	if b.place >= 0 {
+		b.integral += float64(b.cur) * float64(t-b.lastT)
+	}
+	b.lastT = t
+}
+
+// Record implements trace.Observer.
+func (b *BatchMeans) Record(rec *trace.Record) error {
+	switch rec.Kind {
+	case trace.Initial:
+		b.started = true
+		b.lastT = rec.Time
+		b.batchStart = rec.Time
+		if b.place >= 0 {
+			if int(b.place) >= len(rec.Marking) {
+				return fmt.Errorf("stats: batch place %d out of range", b.place)
+			}
+			b.cur = rec.Marking[b.place]
+		}
+	case trace.Start, trace.End:
+		if !b.started {
+			return fmt.Errorf("stats: batch event before initial state")
+		}
+		b.advance(rec.Time)
+		if b.place >= 0 {
+			for _, d := range rec.Deltas {
+				if d.Place == b.place {
+					b.cur += d.Change
+				}
+			}
+		} else if rec.Kind == trace.End && rec.Trans == b.trans {
+			b.ends++
+		}
+	case trace.Final:
+		b.advance(rec.Time) // closes every full batch; the tail is discarded
+	}
+	return nil
+}
+
+// Batches returns the completed batch values.
+func (b *BatchMeans) Batches() []float64 {
+	return append([]float64(nil), b.batches...)
+}
+
+// Summary summarizes the batches (mean, stddev, 95% CI).
+func (b *BatchMeans) Summary() Summary {
+	return Summarize(b.batches)
+}

@@ -1,0 +1,44 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestBatchMeansAgreesWithStats lives in an external test package
+// because it exercises batch means on the pipeline model, and package
+// pipeline itself depends on stats for its Analyze helper.
+func TestBatchMeansAgreesWithStats(t *testing.T) {
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.HeaderOf(net)
+	s := stats.New(h)
+	bm, err := stats.NewPlaceBatches(h, "Bus_busy", 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(net, trace.Tee{s, bm}, sim.Options{Horizon: 50_000, Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
+	global, _ := s.Utilization("Bus_busy")
+	sum := bm.Summary()
+	if len(bm.Batches()) != 50 {
+		t.Fatalf("expected 50 batches, got %d", len(bm.Batches()))
+	}
+	if math.Abs(sum.Mean-global) > 0.01 {
+		t.Errorf("batch mean %.4f vs global %.4f", sum.Mean, global)
+	}
+	if sum.CI95 <= 0 || sum.CI95 > 0.1 {
+		t.Errorf("CI half-width implausible: %+v", sum)
+	}
+	if math.Abs(sum.Mean-global) > 3*sum.CI95+1e-9 {
+		t.Errorf("global value far outside CI: %+v vs %.4f", sum, global)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestBatchMeansDeterministicWave(t *testing.T) {
+	// A 10-tick square wave: on for 5, off for 5 -> every 10-tick batch
+	// has mean exactly 0.5.
+	b := petri.NewBuilder("wave")
+	b.Place("on", 0)
+	b.Place("off", 1)
+	b.Trans("rise").In("off").Out("on").EnablingConst(5)
+	b.Trans("fall").In("on").Out("off").EnablingConst(5)
+	net := b.MustBuild()
+	h := trace.HeaderOf(net)
+	bm, err := NewPlaceBatches(h, "on", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(net, bm, sim.Options{Horizon: 100}); err != nil {
+		t.Fatal(err)
+	}
+	batches := bm.Batches()
+	if len(batches) != 10 {
+		t.Fatalf("batches = %v", batches)
+	}
+	for i, v := range batches {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Errorf("batch %d = %v, want 0.5", i, v)
+		}
+	}
+	sum := bm.Summary()
+	if math.Abs(sum.Mean-0.5) > 1e-12 || sum.StdDev > 1e-12 {
+		t.Errorf("summary: %+v", sum)
+	}
+}
+
+func TestBatchMeansThroughput(t *testing.T) {
+	b := petri.NewBuilder("tick")
+	b.Place("p", 1)
+	b.Trans("t").In("p").Out("p").EnablingConst(2)
+	net := b.MustBuild()
+	h := trace.HeaderOf(net)
+	bm, err := NewTransitionBatches(h, "t", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(net, bm, sim.Options{Horizon: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// One completion every 2 ticks. A completion landing exactly on a
+	// batch boundary belongs to the *next* batch, so the first batch
+	// holds 9 events (t=2..18) and every later one holds 10 (t=20k..20k+18).
+	batches := bm.Batches()
+	if len(batches) != 10 {
+		t.Fatalf("batches: %v", batches)
+	}
+	if math.Abs(batches[0]-0.45) > 1e-12 {
+		t.Errorf("first batch = %v, want 0.45", batches[0])
+	}
+	for i, v := range batches[1:] {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Errorf("batch %d = %v, want 0.5", i+1, v)
+		}
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	h := trace.Header{Net: "x", Places: []string{"p"}, Trans: []string{"t"}}
+	if _, err := NewPlaceBatches(h, "ghost", 10); err == nil {
+		t.Error("unknown place accepted")
+	}
+	if _, err := NewTransitionBatches(h, "ghost", 10); err == nil {
+		t.Error("unknown transition accepted")
+	}
+	if _, err := NewPlaceBatches(h, "p", 0); err == nil {
+		t.Error("zero batch length accepted")
+	}
+	bm, _ := NewPlaceBatches(h, "p", 10)
+	if err := bm.Record(&trace.Record{Kind: trace.Start, Trans: 0}); err == nil {
+		t.Error("event before initial accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// The paper's Section 4.3 closes with the P-NUT group "exploring ...
+// giving users feedback about bottlenecks in the system". This file is
+// that feature: token residence times by Little's law. For a place in
+// steady state, the mean time a token spends on it is
+//
+//	W = L / λ
+//
+// where L is the time-weighted mean token count (which the stat tool
+// already computes) and λ is the token departure rate (completions of
+// consuming transitions weighted by their input-arc multiplicities).
+// Places where W is large relative to the service times around them are
+// the queues where work piles up — the bottlenecks.
+
+// ResidenceRow describes one place's queueing behaviour.
+type ResidenceRow struct {
+	Place string
+	// AvgTokens is L, the mean queue length.
+	AvgTokens float64
+	// Throughput is λ, tokens leaving per tick.
+	Throughput float64
+	// Residence is W = L/λ, mean ticks a token spends on the place;
+	// infinite (reported as -1) if nothing ever left.
+	Residence float64
+}
+
+// Residence computes the mean token residence time of one place. The
+// net supplies the arc structure that the trace alone does not carry.
+func (s *Stats) Residence(net *petri.Net, place string) (ResidenceRow, error) {
+	id, ok := net.PlaceID(place)
+	if !ok {
+		return ResidenceRow{}, fmt.Errorf("stats: unknown place %q", place)
+	}
+	if len(s.places) != net.NumPlaces() || len(s.trans) != net.NumTrans() {
+		return ResidenceRow{}, fmt.Errorf("stats: trace shape does not match net %q", net.Name)
+	}
+	row := ResidenceRow{Place: place}
+	pr := s.placeRow(id)
+	row.AvgTokens = pr.Avg
+	d := s.Duration()
+	if d <= 0 {
+		return row, nil
+	}
+	var departed float64
+	for ti := range net.Trans {
+		for _, a := range net.Trans[ti].In {
+			if a.Place == id {
+				departed += float64(s.ends[ti]) * float64(a.Weight)
+			}
+		}
+	}
+	row.Throughput = departed / float64(d)
+	if row.Throughput > 0 {
+		row.Residence = row.AvgTokens / row.Throughput
+	} else if row.AvgTokens > 0 {
+		row.Residence = -1 // tokens present but none ever left
+	}
+	return row, nil
+}
+
+// Bottlenecks returns every place's residence row, sorted by residence
+// time descending (unbounded-wait places first, then longest queues).
+// Places that never held a token are omitted.
+func (s *Stats) Bottlenecks(net *petri.Net) ([]ResidenceRow, error) {
+	var rows []ResidenceRow
+	for _, p := range net.Places {
+		row, err := s.Residence(net, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		if row.AvgTokens == 0 && row.Throughput == 0 {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, rj := rows[i].Residence, rows[j].Residence
+		if (ri < 0) != (rj < 0) {
+			return ri < 0 // unbounded waits first
+		}
+		if ri != rj {
+			return ri > rj
+		}
+		return rows[i].Place < rows[j].Place
+	})
+	return rows, nil
+}
+
+// BottleneckReport writes the sorted residence table.
+func (s *Stats) BottleneckReport(net *petri.Net, w io.Writer) error {
+	rows, err := s.Bottlenecks(net)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "BOTTLENECK ANALYSIS (token residence by Little's law)\n")
+	fmt.Fprintf(&b, "%-32s %12s %12s %12s\n", "place", "avg tokens", "departures", "residence")
+	for _, r := range rows {
+		res := fmt.Sprintf("%.2f", r.Residence)
+		if r.Residence < 0 {
+			res = "never left"
+		}
+		fmt.Fprintf(&b, "%-32s %12.4f %12.4f %12s\n", r.Place, r.AvgTokens, r.Throughput, res)
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}

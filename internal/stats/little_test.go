@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// delayLine: tokens enter a place every 4 ticks and leave after a
+// 6-tick service — Little's law gives residence exactly 6.
+func delayLine(t *testing.T) *petri.Net {
+	t.Helper()
+	b := petri.NewBuilder("line")
+	b.Place("src", 1)
+	b.Place("queue", 0)
+	b.Place("sink", 0)
+	b.Trans("arrive").In("src").Out("src").Out("queue").EnablingConst(4)
+	b.Trans("serve").In("queue").Out("sink").EnablingConst(6).Servers(1)
+	return b.MustBuild()
+}
+
+func TestResidenceLittlesLaw(t *testing.T) {
+	// Stable station: arrivals every 8 ticks, service 6 ticks — each
+	// token spends exactly the service time on the queue place.
+	b := petri.NewBuilder("stable")
+	b.Place("src", 1)
+	b.Place("queue", 0)
+	b.Place("sink", 0)
+	b.Trans("arrive").In("src").Out("src").Out("queue").EnablingConst(8)
+	b.Trans("serve").In("queue").Out("sink").EnablingConst(6)
+	stable := b.MustBuild()
+	s2 := New(trace.HeaderOf(stable))
+	if _, err := sim.Run(stable, s2, sim.Options{Horizon: 100_000}); err != nil {
+		t.Fatal(err)
+	}
+	row2, err := s2.Residence(stable, "queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each token waits exactly the 6-tick service: W = 6.
+	if math.Abs(row2.Residence-6) > 0.05 {
+		t.Errorf("residence = %.4f, want 6 (L=%.4f λ=%.4f)", row2.Residence, row2.AvgTokens, row2.Throughput)
+	}
+	if math.Abs(row2.Throughput-0.125) > 0.001 {
+		t.Errorf("throughput = %.4f, want 0.125", row2.Throughput)
+	}
+}
+
+func TestResidenceNeverLeft(t *testing.T) {
+	b := petri.NewBuilder("trap")
+	b.Place("src", 1)
+	b.Place("trap", 0)
+	b.Trans("fill").In("src").Out("src").Out("trap").EnablingConst(5)
+	net := b.MustBuild()
+	s := New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 1_000}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := s.Residence(net, "trap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Residence != -1 {
+		t.Errorf("tokens never leave trap; residence = %v", row.Residence)
+	}
+}
+
+func TestBottleneckOrdering(t *testing.T) {
+	net := delayLine(t)
+	s := New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Bottlenecks(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no bottleneck rows")
+	}
+	// sink never drains: it must sort first.
+	if rows[0].Place != "sink" || rows[0].Residence != -1 {
+		t.Errorf("rows[0] = %+v", rows[0])
+	}
+	var b strings.Builder
+	if err := s.BottleneckReport(net, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "never left") || !strings.Contains(b.String(), "queue") {
+		t.Errorf("report:\n%s", b.String())
+	}
+}
+
+func TestResidenceErrors(t *testing.T) {
+	net := delayLine(t)
+	s := New(trace.HeaderOf(net))
+	if _, err := s.Residence(net, "ghost"); err == nil {
+		t.Error("unknown place accepted")
+	}
+	other := New(trace.Header{Net: "x", Places: []string{"a"}, Trans: []string{"t"}})
+	if _, err := other.Residence(net, "queue"); err == nil {
+		t.Error("mismatched net accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/sim"
+)
+
+func replNet(t *testing.T) *petri.Net {
+	t.Helper()
+	b := petri.NewBuilder("coin")
+	b.Place("p", 1)
+	b.Place("heads_won", 0)
+	b.Place("tails_won", 0)
+	b.Trans("flip_heads").In("p").Out("heads_won").Freq(1).EnablingConst(1)
+	b.Trans("flip_tails").In("p").Out("tails_won").Freq(1).EnablingConst(1)
+	b.Trans("again_h").In("heads_won").Out("p")
+	b.Trans("again_t").In("tails_won").Out("p")
+	return b.MustBuild()
+}
+
+func TestReplicateCoinFlip(t *testing.T) {
+	net := replNet(t)
+	sum, err := Replicate(net, sim.Options{Horizon: 2_000, Seed: 1}, 10,
+		func(s *Stats) (float64, error) { return s.Throughput("flip_heads") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fair coin, one flip per tick: heads throughput ~0.5.
+	if math.Abs(sum.Mean-0.5) > 0.05 {
+		t.Errorf("mean = %v", sum)
+	}
+	if sum.N != 10 || sum.StdDev < 0 || sum.CI95 <= 0 {
+		t.Errorf("summary malformed: %+v", sum)
+	}
+	if sum.Min > sum.Mean || sum.Max < sum.Mean {
+		t.Errorf("range does not bracket mean: %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "95% CI") {
+		t.Errorf("String: %s", sum)
+	}
+}
+
+func TestReplicateDistinctSeeds(t *testing.T) {
+	net := replNet(t)
+	sum, err := Replicate(net, sim.Options{Horizon: 500, Seed: 7}, 5,
+		func(s *Stats) (float64, error) { return s.Throughput("flip_heads") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only 500 flips, replications differ: nonzero spread proves
+	// the seeds were distinct.
+	if sum.StdDev == 0 {
+		t.Error("replications identical; seeds not varied")
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	net := replNet(t)
+	if _, err := Replicate(net, sim.Options{Horizon: 100}, 1,
+		func(s *Stats) (float64, error) { return 0, nil }); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Replicate(net, sim.Options{}, 3,
+		func(s *Stats) (float64, error) { return 0, nil }); err == nil {
+		t.Error("invalid sim options accepted")
+	}
+	if _, err := Replicate(net, sim.Options{Horizon: 100}, 3,
+		func(s *Stats) (float64, error) { return s.Throughput("nope") }); err == nil {
+		t.Error("metric error not propagated")
+	}
+}
+
+func TestSummarizeSmallSamples(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+	s := Summarize([]float64{4})
+	if s.N != 1 || s.Mean != 4 || s.StdDev != 0 {
+		t.Errorf("single: %+v", s)
+	}
+	s = Summarize([]float64{1, 3})
+	if s.Mean != 2 || math.Abs(s.StdDev-math.Sqrt2) > 1e-12 {
+		t.Errorf("pair: %+v", s)
+	}
+	// df=1 uses the heavy t quantile.
+	if s.CI95 < 10 {
+		t.Errorf("CI for df=1 should use t=12.7: %+v", s)
+	}
+	// Large sample approaches the normal quantile.
+	large := make([]float64, 100)
+	for i := range large {
+		large[i] = float64(i % 2)
+	}
+	ls := Summarize(large)
+	want := 1.96 * ls.StdDev / 10
+	if math.Abs(ls.CI95-want) > 1e-9 {
+		t.Errorf("large-sample CI = %v, want %v", ls.CI95, want)
+	}
+}

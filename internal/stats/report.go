@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report writes the three sections of the Figure 5 report — RUN
+// STATISTICS, EVENT STATISTICS and PLACE STATISTICS — as aligned plain
+// text (the paper emitted tbl/troff source; the information and row
+// layout are the same).
+func (s *Stats) Report(w io.Writer) error {
+	s.flush()
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "RUN STATISTICS\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Run number\t%d\n", s.RunNumber)
+	fmt.Fprintf(tw, "Initial clock value\t%d\n", s.initialClock)
+	fmt.Fprintf(tw, "Length of Simulation\t%d\n", s.Duration())
+	fmt.Fprintf(tw, "Events started\t%d\n", s.totalStarts)
+	fmt.Fprintf(tw, "Events finished\t%d\n", s.totalEnds)
+	tw.Flush()
+
+	fmt.Fprintf(&b, "\nEVENT STATISTICS\nRun number %d\n", s.RunNumber)
+	tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "Transition\tMin/Max\tAvg\tStandard\tStarts\tThroughput\t\n")
+	fmt.Fprintf(tw, "(name)\tConcurrent\tConcurrent\tDeviation\t/Ends\t\t\n")
+	fmt.Fprintf(tw, "\tFirings\tFirings\t\t\t\t\n")
+	for _, r := range s.EventRows() {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%s\t%s\t%d/%d\t%s\t\n",
+			r.Name, r.Min, r.Max, trim(r.Avg), trim(r.StdDev), r.Starts, r.Ends, trim(r.Throughput))
+	}
+	tw.Flush()
+
+	fmt.Fprintf(&b, "\nPLACE STATISTICS\nRun number %d\n", s.RunNumber)
+	tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "Place\tMin/Max\tAvg\tStandard\t\n")
+	fmt.Fprintf(tw, "(name)\tConcurrent\tConcurrent\tDeviation\t\n")
+	fmt.Fprintf(tw, "\tTokens\tTokens\t\t\n")
+	for _, r := range s.PlaceRows() {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%s\t%s\t\n",
+			r.Name, r.Min, r.Max, trim(r.Avg), trim(r.StdDev))
+	}
+	tw.Flush()
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// trim renders a float the way Figure 5 does: up to six significant
+// digits with trailing zeros removed, and integral zero as plain "0".
+func trim(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	if strings.Contains(s, ".") && !strings.ContainsAny(s, "eE") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimSuffix(s, ".")
+	}
+	if s == "-0" {
+		s = "0"
+	}
+	return s
+}

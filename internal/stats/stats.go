@@ -1,0 +1,298 @@
+// Package stats is the P-NUT statistical analysis tool ("stat",
+// Section 4.2): it extracts performance information from simulation
+// traces in terms of places and transitions.
+//
+// For places it reports the time-weighted average (and standard
+// deviation, minimum, maximum) of the token count — e.g. the average
+// number of tokens on Bus_busy is the utilization of the bus, and the
+// averages on pre_fetching, fetching and storing break that utilization
+// down by activity.
+//
+// For transitions it reports the distribution of the number of
+// concurrent firings — for a single-server transition this is its
+// utilization; for a multi-server transition it is the queueing-network
+// "number in service" — along with start/end counts and throughput
+// (completions per unit time), from which instruction processing rates
+// are read directly.
+//
+// Stats implements trace.Observer, so it can be plugged straight into
+// the simulator or fed from a stored trace through trace.Copy.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// series accumulates a time-weighted step function.
+type series struct {
+	cur    int
+	last   petri.Time
+	wsum   float64 // integral of value dt
+	wsumsq float64 // integral of value^2 dt
+	min    int
+	max    int
+	seeded bool
+}
+
+func (s *series) seed(v int, at petri.Time) {
+	s.cur, s.last = v, at
+	s.min, s.max = v, v
+	s.seeded = true
+}
+
+func (s *series) advance(to petri.Time) {
+	dt := float64(to - s.last)
+	if dt > 0 {
+		v := float64(s.cur)
+		s.wsum += v * dt
+		s.wsumsq += v * v * dt
+		s.last = to
+	}
+}
+
+func (s *series) set(v int, at petri.Time) {
+	if !s.seeded {
+		s.seed(v, at)
+		return
+	}
+	s.advance(at)
+	s.cur = v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+func (s *series) mean(total petri.Time) float64 {
+	if total <= 0 {
+		return float64(s.cur)
+	}
+	return s.wsum / float64(total)
+}
+
+func (s *series) stddev(total petri.Time) float64 {
+	if total <= 0 {
+		return 0
+	}
+	m := s.mean(total)
+	v := s.wsumsq/float64(total) - m*m
+	if v < 0 {
+		v = 0 // guard rounding
+	}
+	return math.Sqrt(v)
+}
+
+// Stats accumulates a trace into place and transition statistics.
+type Stats struct {
+	Header    trace.Header
+	RunNumber int
+
+	places []series
+	trans  []series // concurrent firings
+	starts []int64
+	ends   []int64
+
+	initialClock petri.Time
+	clock        petri.Time
+	finished     bool
+	totalStarts  int64
+	totalEnds    int64
+}
+
+// New returns an empty accumulator for traces described by h.
+func New(h trace.Header) *Stats {
+	return &Stats{
+		Header:    h,
+		RunNumber: 1,
+		places:    make([]series, len(h.Places)),
+		trans:     make([]series, len(h.Trans)),
+		starts:    make([]int64, len(h.Trans)),
+		ends:      make([]int64, len(h.Trans)),
+	}
+}
+
+// Record implements trace.Observer.
+func (s *Stats) Record(rec *trace.Record) error {
+	switch rec.Kind {
+	case trace.Initial:
+		if len(rec.Marking) != len(s.places) {
+			return fmt.Errorf("stats: initial marking has %d places, header has %d", len(rec.Marking), len(s.places))
+		}
+		s.initialClock = rec.Time
+		s.clock = rec.Time
+		for i, c := range rec.Marking {
+			s.places[i].seed(c, rec.Time)
+		}
+		for i := range s.trans {
+			s.trans[i].seed(0, rec.Time)
+		}
+	case trace.Start, trace.End:
+		s.clock = rec.Time
+		for _, d := range rec.Deltas {
+			if int(d.Place) >= len(s.places) {
+				return fmt.Errorf("stats: delta for unknown place %d", d.Place)
+			}
+			p := &s.places[d.Place]
+			p.set(p.cur+d.Change, rec.Time)
+		}
+		if int(rec.Trans) >= len(s.trans) {
+			return fmt.Errorf("stats: event for unknown transition %d", rec.Trans)
+		}
+		tr := &s.trans[rec.Trans]
+		if rec.Kind == trace.Start {
+			tr.set(tr.cur+1, rec.Time)
+			s.starts[rec.Trans]++
+			s.totalStarts++
+		} else {
+			tr.set(tr.cur-1, rec.Time)
+			s.ends[rec.Trans]++
+			s.totalEnds++
+		}
+	case trace.Final:
+		s.clock = rec.Time
+		for i := range s.places {
+			s.places[i].advance(rec.Time)
+		}
+		for i := range s.trans {
+			s.trans[i].advance(rec.Time)
+		}
+		s.finished = true
+	default:
+		return fmt.Errorf("stats: unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// Duration returns the observed simulation length.
+func (s *Stats) Duration() petri.Time { return s.clock - s.initialClock }
+
+// flushed guards against reading statistics mid-stream: if no Final
+// record has arrived yet, series are advanced to the latest clock so the
+// numbers are still well-defined.
+func (s *Stats) flush() {
+	if s.finished {
+		return
+	}
+	for i := range s.places {
+		s.places[i].advance(s.clock)
+	}
+	for i := range s.trans {
+		s.trans[i].advance(s.clock)
+	}
+}
+
+// PlaceRow is one line of the PLACE STATISTICS table.
+type PlaceRow struct {
+	Name     string
+	Min, Max int
+	Avg      float64
+	StdDev   float64
+}
+
+// EventRow is one line of the EVENT STATISTICS table.
+type EventRow struct {
+	Name       string
+	Min, Max   int
+	Avg        float64
+	StdDev     float64
+	Starts     int64
+	Ends       int64
+	Throughput float64 // Ends / Duration
+}
+
+// PlaceRowByName returns the statistics row for a named place.
+func (s *Stats) PlaceRowByName(name string) (PlaceRow, bool) {
+	id, ok := s.Header.PlaceID(name)
+	if !ok {
+		return PlaceRow{}, false
+	}
+	return s.placeRow(id), true
+}
+
+// EventRowByName returns the statistics row for a named transition.
+func (s *Stats) EventRowByName(name string) (EventRow, bool) {
+	id, ok := s.Header.TransID(name)
+	if !ok {
+		return EventRow{}, false
+	}
+	return s.eventRow(id), true
+}
+
+func (s *Stats) placeRow(id petri.PlaceID) PlaceRow {
+	s.flush()
+	d := s.Duration()
+	p := &s.places[id]
+	return PlaceRow{
+		Name: s.Header.Places[id],
+		Min:  p.min, Max: p.max,
+		Avg: p.mean(d), StdDev: p.stddev(d),
+	}
+}
+
+func (s *Stats) eventRow(id petri.TransID) EventRow {
+	s.flush()
+	d := s.Duration()
+	tr := &s.trans[id]
+	th := 0.0
+	if d > 0 {
+		th = float64(s.ends[id]) / float64(d)
+	}
+	return EventRow{
+		Name: s.Header.Trans[id],
+		Min:  tr.min, Max: tr.max,
+		Avg: tr.mean(d), StdDev: tr.stddev(d),
+		Starts: s.starts[id], Ends: s.ends[id],
+		Throughput: th,
+	}
+}
+
+// PlaceRows returns all place rows in header order.
+func (s *Stats) PlaceRows() []PlaceRow {
+	rows := make([]PlaceRow, len(s.places))
+	for i := range s.places {
+		rows[i] = s.placeRow(petri.PlaceID(i))
+	}
+	return rows
+}
+
+// EventRows returns all transition rows in header order.
+func (s *Stats) EventRows() []EventRow {
+	rows := make([]EventRow, len(s.trans))
+	for i := range s.trans {
+		rows[i] = s.eventRow(petri.TransID(i))
+	}
+	return rows
+}
+
+// TotalStarts returns the number of firings started.
+func (s *Stats) TotalStarts() int64 { return s.totalStarts }
+
+// TotalEnds returns the number of firings completed.
+func (s *Stats) TotalEnds() int64 { return s.totalEnds }
+
+// Utilization is a convenience for the common place-as-resource reading:
+// the time-weighted mean token count of a named place.
+func (s *Stats) Utilization(place string) (float64, error) {
+	row, ok := s.PlaceRowByName(place)
+	if !ok {
+		return 0, fmt.Errorf("stats: unknown place %q", place)
+	}
+	return row.Avg, nil
+}
+
+// Throughput is a convenience: completions of a named transition per
+// unit time (the paper reads instruction processing rate off transition
+// Issue this way).
+func (s *Stats) Throughput(transition string) (float64, error) {
+	row, ok := s.EventRowByName(transition)
+	if !ok {
+		return 0, fmt.Errorf("stats: unknown transition %q", transition)
+	}
+	return row.Throughput, nil
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/petri"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func header() trace.Header {
+	return trace.Header{
+		Net:    "t",
+		Places: []string{"p", "q"},
+		Trans:  []string{"a", "b"},
+	}
+}
+
+func feed(t *testing.T, s *Stats, recs []trace.Record) {
+	t.Helper()
+	for i := range recs {
+		if err := s.Record(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTimeWeightedPlaceAverage(t *testing.T) {
+	s := New(header())
+	// p holds 2 tokens for 5 ticks, then 0 for 5 ticks: avg 1.0.
+	feed(t, s, []trace.Record{
+		{Kind: trace.Initial, Time: 0, Marking: petri.Marking{2, 0}},
+		{Kind: trace.Start, Time: 5, Trans: 0, Deltas: []trace.Delta{{Place: 0, Change: -2}}},
+		{Kind: trace.End, Time: 5, Trans: 0, Deltas: []trace.Delta{{Place: 1, Change: 1}}},
+		{Kind: trace.Final, Time: 10, Starts: 1, Ends: 1},
+	})
+	row, ok := s.PlaceRowByName("p")
+	if !ok {
+		t.Fatal("no row for p")
+	}
+	if math.Abs(row.Avg-1.0) > 1e-9 {
+		t.Errorf("avg = %g, want 1.0", row.Avg)
+	}
+	if row.Min != 0 || row.Max != 2 {
+		t.Errorf("min/max = %d/%d", row.Min, row.Max)
+	}
+	// stddev: E[x^2] = (4*5)/10 = 2, mean 1, var 1 -> stddev 1.
+	if math.Abs(row.StdDev-1.0) > 1e-9 {
+		t.Errorf("stddev = %g, want 1.0", row.StdDev)
+	}
+	// q: 0 for 5 ticks then 1 for 5 ticks: avg .5.
+	rq, _ := s.PlaceRowByName("q")
+	if math.Abs(rq.Avg-0.5) > 1e-9 {
+		t.Errorf("q avg = %g", rq.Avg)
+	}
+}
+
+func TestConcurrentFiringsAndThroughput(t *testing.T) {
+	s := New(header())
+	// a fires twice, overlapping: active=1 on [0,2), 2 on [2,4), 1 on
+	// [4,6), 0 on [6,10). Integral = 2+4+2 = 8, avg 0.8.
+	feed(t, s, []trace.Record{
+		{Kind: trace.Initial, Time: 0, Marking: petri.Marking{0, 0}},
+		{Kind: trace.Start, Time: 0, Trans: 0},
+		{Kind: trace.Start, Time: 2, Trans: 0},
+		{Kind: trace.End, Time: 4, Trans: 0},
+		{Kind: trace.End, Time: 6, Trans: 0},
+		{Kind: trace.Final, Time: 10, Starts: 2, Ends: 2},
+	})
+	row, _ := s.EventRowByName("a")
+	if math.Abs(row.Avg-0.8) > 1e-9 {
+		t.Errorf("avg concurrent = %g, want 0.8", row.Avg)
+	}
+	if row.Min != 0 || row.Max != 2 {
+		t.Errorf("min/max = %d/%d", row.Min, row.Max)
+	}
+	if row.Starts != 2 || row.Ends != 2 {
+		t.Errorf("starts/ends = %d/%d", row.Starts, row.Ends)
+	}
+	if math.Abs(row.Throughput-0.2) > 1e-9 {
+		t.Errorf("throughput = %g, want 0.2", row.Throughput)
+	}
+	if s.TotalStarts() != 2 || s.TotalEnds() != 2 {
+		t.Errorf("totals: %d/%d", s.TotalStarts(), s.TotalEnds())
+	}
+}
+
+func TestMidStreamReadsAreDefined(t *testing.T) {
+	s := New(header())
+	feed(t, s, []trace.Record{
+		{Kind: trace.Initial, Time: 0, Marking: petri.Marking{1, 0}},
+		{Kind: trace.Start, Time: 4, Trans: 0, Deltas: []trace.Delta{{Place: 0, Change: -1}}},
+	})
+	// No Final record yet: stats up to the latest event time.
+	row, _ := s.PlaceRowByName("p")
+	if math.Abs(row.Avg-1.0) > 1e-9 {
+		t.Errorf("mid-stream avg = %g, want 1.0 (held 1 token for the whole observed window)", row.Avg)
+	}
+}
+
+func TestErrorsOnMalformedStream(t *testing.T) {
+	s := New(header())
+	if err := s.Record(&trace.Record{Kind: trace.Initial, Marking: petri.Marking{1}}); err == nil {
+		t.Error("short marking accepted")
+	}
+	if err := s.Record(&trace.Record{Kind: trace.Start, Trans: 99}); err == nil {
+		t.Error("unknown transition accepted")
+	}
+	if err := s.Record(&trace.Record{Kind: trace.Start, Trans: 0, Deltas: []trace.Delta{{Place: 9, Change: 1}}}); err == nil {
+		t.Error("unknown place accepted")
+	}
+	if err := s.Record(&trace.Record{Kind: trace.Kind('Z')}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestUtilizationAndThroughputHelpers(t *testing.T) {
+	s := New(header())
+	feed(t, s, []trace.Record{
+		{Kind: trace.Initial, Time: 0, Marking: petri.Marking{1, 0}},
+		{Kind: trace.Final, Time: 10, Starts: 0, Ends: 0},
+	})
+	u, err := s.Utilization("p")
+	if err != nil || math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("Utilization = %g, %v", u, err)
+	}
+	if _, err := s.Utilization("zzz"); err == nil {
+		t.Error("unknown place accepted")
+	}
+	th, err := s.Throughput("a")
+	if err != nil || th != 0 {
+		t.Errorf("Throughput = %g, %v", th, err)
+	}
+	if _, err := s.Throughput("zzz"); err == nil {
+		t.Error("unknown transition accepted")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	s := New(header())
+	feed(t, s, []trace.Record{
+		{Kind: trace.Initial, Time: 0, Marking: petri.Marking{2, 0}},
+		{Kind: trace.Start, Time: 5, Trans: 0, Deltas: []trace.Delta{{Place: 0, Change: -2}}},
+		{Kind: trace.End, Time: 7, Trans: 0, Deltas: []trace.Delta{{Place: 1, Change: 1}}},
+		{Kind: trace.Final, Time: 10, Starts: 1, Ends: 1},
+	})
+	var b strings.Builder
+	if err := s.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"RUN STATISTICS", "EVENT STATISTICS", "PLACE STATISTICS",
+		"Run number", "Length of Simulation", "Events started",
+		"Throughput", "0/2", // min/max of place p
+		"a", "p", "q",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Integration: simulated M/D/1-ish station — arrivals every 4 ticks,
+// service 2 ticks, utilization must come out near 0.5.
+func TestIntegrationUtilizationHalf(t *testing.T) {
+	b := petri.NewBuilder("station")
+	b.Place("idle", 1)
+	b.Place("busy", 0)
+	b.Place("queue", 0)
+	b.Place("src", 1)
+	b.Place("served", 0)
+	b.Trans("arrive").In("src").Out("src").Out("queue").EnablingConst(4)
+	b.Trans("begin").In("queue").In("idle").Out("busy")
+	b.Trans("finish").In("busy").Out("idle").Out("served").EnablingConst(2)
+	net := b.MustBuild()
+	s := New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Utilization("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("utilization = %g, want about 0.5", u)
+	}
+	th, _ := s.Throughput("finish")
+	if th < 0.24 || th > 0.26 {
+		t.Errorf("throughput = %g, want about 0.25", th)
+	}
+}
+
+// Property: filtering a trace does not change the statistics of kept
+// places — the paper's justification for the filter tool.
+func TestQuickFilterPreservesKeptStats(t *testing.T) {
+	f := func(seed int64) bool {
+		b := petri.NewBuilder("f")
+		b.Place("p", 2)
+		b.Place("q", 0)
+		b.Place("r", 1)
+		b.Trans("pq").In("p").Out("q").FiringConst(3)
+		b.Trans("qp").In("q").Out("p").EnablingConst(2)
+		b.Trans("rr").In("r").Out("r").EnablingConst(5)
+		net, err := b.Build()
+		if err != nil {
+			return false
+		}
+		h := trace.HeaderOf(net)
+		full := New(h)
+		filtered := New(h)
+		filt, err := trace.NewFilter(h, filtered, []string{"q"}, nil)
+		if err != nil {
+			return false
+		}
+		obs := trace.Tee{full, filt}
+		if _, err := sim.Run(net, obs, sim.Options{Horizon: 500, Seed: seed}); err != nil {
+			return false
+		}
+		a, _ := full.PlaceRowByName("q")
+		bb, _ := filtered.PlaceRowByName("q")
+		return math.Abs(a.Avg-bb.Avg) < 1e-12 && a.Min == bb.Min && a.Max == bb.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the time-weighted mean of any place lies within [min, max].
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		b := petri.NewBuilder("m")
+		b.Place("p", 3)
+		b.Place("q", 0)
+		b.Trans("t").In("p").Out("q").FiringConst(2)
+		b.Trans("u").In("q").Out("p").EnablingConst(1)
+		net, err := b.Build()
+		if err != nil {
+			return false
+		}
+		s := New(trace.HeaderOf(net))
+		if _, err := sim.Run(net, s, sim.Options{Horizon: 300, Seed: seed}); err != nil {
+			return false
+		}
+		for _, row := range s.PlaceRows() {
+			if row.Avg < float64(row.Min)-1e-9 || row.Avg > float64(row.Max)+1e-9 {
+				return false
+			}
+			if row.StdDev < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

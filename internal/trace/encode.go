@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Writer streams trace records to an io.Writer in the text format. It
+// implements Observer, so a simulator can drive it directly.
+type Writer struct {
+	w          *bufio.Writer
+	h          Header
+	wroteHead  bool
+	numPlaces  int
+	numTrans   int
+	flushEvery bool
+}
+
+// NewWriter returns a trace writer for traces described by h.
+// If flushEvery is true each record is flushed immediately — the "pipe
+// into a live analyzer" mode; otherwise call Flush (or write a Final
+// record) when done.
+func NewWriter(w io.Writer, h Header, flushEvery bool) *Writer {
+	return &Writer{
+		w: bufio.NewWriter(w), h: h,
+		numPlaces: len(h.Places), numTrans: len(h.Trans),
+		flushEvery: flushEvery,
+	}
+}
+
+func (tw *Writer) writeHeader() error {
+	if tw.wroteHead {
+		return nil
+	}
+	tw.wroteHead = true
+	if _, err := fmt.Fprintf(tw.w, "pnut-trace 1\nnet %s\n", tw.h.Net); err != nil {
+		return err
+	}
+	for i, p := range tw.h.Places {
+		if _, err := fmt.Fprintf(tw.w, "place %d %s\n", i, p); err != nil {
+			return err
+		}
+	}
+	for i, t := range tw.h.Trans {
+		if _, err := fmt.Fprintf(tw.w, "trans %d %s\n", i, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatDeltas(b *strings.Builder, deltas []Delta) {
+	for i, d := range deltas {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d:%+d", d.Place, d.Change)
+	}
+	if len(deltas) == 0 {
+		b.WriteByte('-')
+	}
+}
+
+// Record implements Observer.
+func (tw *Writer) Record(rec *Record) error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	switch rec.Kind {
+	case Initial:
+		if len(rec.Marking) != tw.numPlaces {
+			return fmt.Errorf("trace: initial marking has %d places, header has %d", len(rec.Marking), tw.numPlaces)
+		}
+		fmt.Fprintf(&b, "I %d %s", rec.Time, rec.Marking.Key())
+	case Start, End:
+		if int(rec.Trans) < 0 || int(rec.Trans) >= tw.numTrans {
+			return fmt.Errorf("trace: transition id %d out of range", rec.Trans)
+		}
+		fmt.Fprintf(&b, "%c %d %d ", byte(rec.Kind), rec.Time, rec.Trans)
+		formatDeltas(&b, rec.Deltas)
+	case Final:
+		fmt.Fprintf(&b, "F %d %d %d", rec.Time, rec.Starts, rec.Ends)
+	default:
+		return fmt.Errorf("trace: unknown record kind %q", rec.Kind)
+	}
+	b.WriteByte('\n')
+	if _, err := tw.w.WriteString(b.String()); err != nil {
+		return err
+	}
+	if tw.flushEvery || rec.Kind == Final {
+		return tw.w.Flush()
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (tw *Writer) Flush() error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader parses the text format as a stream.
+type Reader struct {
+	s      *bufio.Scanner
+	h      Header
+	gotHdr bool
+	line   int
+	// pending holds a record line consumed while scanning past the header.
+	pending string
+}
+
+// NewReader wraps r. The header is parsed lazily by Header or the first
+// Next call.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{s: s}
+}
+
+func (tr *Reader) errf(format string, args ...any) error {
+	return fmt.Errorf("trace: line %d: %s", tr.line, fmt.Sprintf(format, args...))
+}
+
+func (tr *Reader) scan() (string, bool) {
+	for tr.s.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+// Header parses (if needed) and returns the trace header.
+func (tr *Reader) Header() (Header, error) {
+	if tr.gotHdr {
+		return tr.h, nil
+	}
+	line, ok := tr.scan()
+	if !ok {
+		return Header{}, tr.errf("empty trace")
+	}
+	if line != "pnut-trace 1" {
+		return Header{}, tr.errf("bad magic %q", line)
+	}
+	line, ok = tr.scan()
+	if !ok || !strings.HasPrefix(line, "net ") {
+		return Header{}, tr.errf("expected net line, got %q", line)
+	}
+	tr.h.Net = strings.TrimPrefix(line, "net ")
+	for {
+		line, ok = tr.scan()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && (fields[0] == "place" || fields[0] == "trans") {
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return Header{}, tr.errf("bad id in %q", line)
+			}
+			if fields[0] == "place" {
+				if id != len(tr.h.Places) {
+					return Header{}, tr.errf("place ids out of order at %q", line)
+				}
+				tr.h.Places = append(tr.h.Places, fields[2])
+			} else {
+				if id != len(tr.h.Trans) {
+					return Header{}, tr.errf("trans ids out of order at %q", line)
+				}
+				tr.h.Trans = append(tr.h.Trans, fields[2])
+			}
+			continue
+		}
+		// First record line: stash it for Next.
+		tr.pending = line
+		break
+	}
+	tr.gotHdr = true
+	return tr.h, nil
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (tr *Reader) Next() (Record, error) {
+	if !tr.gotHdr {
+		if _, err := tr.Header(); err != nil {
+			return Record{}, err
+		}
+	}
+	line := tr.pending
+	tr.pending = ""
+	if line == "" {
+		var ok bool
+		line, ok = tr.scan()
+		if !ok {
+			if err := tr.s.Err(); err != nil {
+				return Record{}, err
+			}
+			return Record{}, io.EOF
+		}
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Record{}, tr.errf("short record %q", line)
+	}
+	t, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, tr.errf("bad time in %q", line)
+	}
+	switch fields[0] {
+	case "I":
+		if len(fields) != 3 {
+			return Record{}, tr.errf("bad initial record %q", line)
+		}
+		m, err := petri.ParseMarking(fields[2])
+		if err != nil {
+			return Record{}, tr.errf("%v", err)
+		}
+		if len(m) != len(tr.h.Places) {
+			return Record{}, tr.errf("initial marking has %d places, header has %d", len(m), len(tr.h.Places))
+		}
+		return Record{Kind: Initial, Time: t, Marking: m}, nil
+	case "S", "E":
+		if len(fields) != 4 {
+			return Record{}, tr.errf("bad event record %q", line)
+		}
+		id, err := strconv.Atoi(fields[2])
+		if err != nil || id < 0 || id >= len(tr.h.Trans) {
+			return Record{}, tr.errf("bad transition id in %q", line)
+		}
+		deltas, err := parseDeltas(fields[3], len(tr.h.Places))
+		if err != nil {
+			return Record{}, tr.errf("%v", err)
+		}
+		k := Start
+		if fields[0] == "E" {
+			k = End
+		}
+		return Record{Kind: k, Time: t, Trans: petri.TransID(id), Deltas: deltas}, nil
+	case "F":
+		if len(fields) != 4 {
+			return Record{}, tr.errf("bad final record %q", line)
+		}
+		starts, err1 := strconv.ParseInt(fields[2], 10, 64)
+		ends, err2 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return Record{}, tr.errf("bad counters in %q", line)
+		}
+		return Record{Kind: Final, Time: t, Starts: starts, Ends: ends}, nil
+	}
+	return Record{}, tr.errf("unknown record %q", line)
+}
+
+func parseDeltas(s string, numPlaces int) ([]Delta, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Delta, 0, len(parts))
+	for _, p := range parts {
+		i := strings.IndexByte(p, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("bad delta %q", p)
+		}
+		place, err := strconv.Atoi(p[:i])
+		if err != nil || place < 0 || place >= numPlaces {
+			return nil, fmt.Errorf("bad place in delta %q", p)
+		}
+		change, err := strconv.Atoi(p[i+1:])
+		if err != nil || change == 0 {
+			return nil, fmt.Errorf("bad change in delta %q", p)
+		}
+		out = append(out, Delta{Place: petri.PlaceID(place), Change: change})
+	}
+	return out, nil
+}
+
+// Copy streams every record from r into obs, returning the record count.
+func Copy(r *Reader, obs Observer) (int, error) {
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := obs.Record(&rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

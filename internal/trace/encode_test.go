@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+)
+
+// failWriter fails after n bytes to exercise write-error paths.
+type failWriter struct {
+	n int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterRejectsMalformedRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, header(), false)
+	if err := w.Record(&Record{Kind: Initial, Marking: petri.Marking{1}}); err == nil {
+		t.Error("short marking accepted")
+	}
+	if err := w.Record(&Record{Kind: Start, Trans: 99}); err == nil {
+		t.Error("out-of-range transition accepted")
+	}
+	if err := w.Record(&Record{Kind: Kind('Z')}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestWriterPropagatesIOErrors(t *testing.T) {
+	fw := &failWriter{n: 10}
+	w := NewWriter(fw, header(), true) // flushEvery forces the error out
+	rec := Record{Kind: Initial, Time: 0, Marking: petri.Marking{1, 2, 3}}
+	err1 := w.Record(&rec)
+	err2 := w.Flush()
+	if err1 == nil && err2 == nil {
+		t.Error("io error swallowed")
+	}
+}
+
+func TestFlushEveryProducesIncrementalOutput(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, header(), true)
+	rec := Record{Kind: Initial, Time: 0, Marking: petri.Marking{1, 0, 0}}
+	if err := w.Record(&rec); err != nil {
+		t.Fatal(err)
+	}
+	// Without an explicit Flush the record must already be visible.
+	if !strings.Contains(buf.String(), "I 0 ") {
+		t.Error("flushEvery did not flush")
+	}
+}
+
+func TestReaderHugeLineRejectedGracefully(t *testing.T) {
+	// Construct a trace with an over-long bogus line; the scanner must
+	// fail with an error, not hang or panic.
+	var b strings.Builder
+	b.WriteString("pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\n")
+	b.WriteString("S 0 0 ")
+	for i := 0; i < 100_000; i++ {
+		b.WriteString("0:+1,")
+	}
+	b.WriteString("0:+1\n")
+	r := NewReader(strings.NewReader(b.String()))
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	// The long delta list parses (it is within buffer limits) — all
+	// deltas target place 0.
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("long line should still parse: %v", err)
+	}
+	if len(rec.Deltas) != 100_001 {
+		t.Errorf("deltas = %d", len(rec.Deltas))
+	}
+}
+
+func TestCollectCloneIndependence(t *testing.T) {
+	c := NewCollect(header())
+	m := petri.Marking{1, 2, 3}
+	rec := Record{Kind: Initial, Marking: m}
+	if err := c.Record(&rec); err != nil {
+		t.Fatal(err)
+	}
+	m[0] = 99 // mutate the caller's marking
+	if c.Records[0].Marking[0] != 1 {
+		t.Error("Collect aliased the record marking")
+	}
+	deltas := []Delta{{Place: 0, Change: 1}}
+	rec2 := Record{Kind: End, Trans: 0, Deltas: deltas}
+	if err := c.Record(&rec2); err != nil {
+		t.Fatal(err)
+	}
+	deltas[0].Change = -5
+	if c.Records[1].Deltas[0].Change != 1 {
+		t.Error("Collect aliased the record deltas")
+	}
+}
+
+func TestTeeStopsAtFirstError(t *testing.T) {
+	boom := errors.New("x")
+	calls := 0
+	bad := ObserverFunc(func(*Record) error { calls++; return boom })
+	never := ObserverFunc(func(*Record) error { t.Error("second observer reached"); return nil })
+	tee := Tee{bad, never}
+	rec := Record{Kind: Final}
+	if err := tee.Record(&rec); !errors.Is(err, boom) {
+		t.Errorf("tee error: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Initial: "initial", Start: "start", End: "end", Final: "final",
+		Kind('?'): "Kind(?)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%v = %q, want %q", byte(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/petri"
+)
+
+func header() Header {
+	return Header{
+		Net:    "test",
+		Places: []string{"a", "b", "c"},
+		Trans:  []string{"t0", "t1"},
+	}
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: Initial, Time: 0, Marking: petri.Marking{2, 0, 1}},
+		{Kind: Start, Time: 3, Trans: 0, Deltas: []Delta{{Place: 0, Change: -2}}},
+		{Kind: End, Time: 5, Trans: 0, Deltas: []Delta{{Place: 1, Change: 1}, {Place: 2, Change: 2}}},
+		{Kind: Start, Time: 5, Trans: 1, Deltas: nil},
+		{Kind: End, Time: 9, Trans: 1, Deltas: []Delta{{Place: 0, Change: 1}}},
+		{Kind: Final, Time: 10, Starts: 2, Ends: 2},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, header(), false)
+	recs := sampleRecords()
+	for i := range recs {
+		if err := w.Record(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	h, err := r.Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Net != "test" || len(h.Places) != 3 || len(h.Trans) != 2 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	for i := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := recs[i]
+		if got.Kind != want.Kind || got.Time != want.Time || got.Trans != want.Trans {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+		if len(got.Deltas) != len(want.Deltas) {
+			t.Fatalf("record %d deltas: got %v want %v", i, got.Deltas, want.Deltas)
+		}
+		for j := range got.Deltas {
+			if got.Deltas[j] != want.Deltas[j] {
+				t.Fatalf("record %d delta %d: got %v want %v", i, j, got.Deltas[j], want.Deltas[j])
+			}
+		}
+		if want.Kind == Initial && !got.Marking.Equal(want.Marking) {
+			t.Fatalf("initial marking: got %v want %v", got.Marking, want.Marking)
+		}
+		if want.Kind == Final && (got.Starts != want.Starts || got.Ends != want.Ends) {
+			t.Fatalf("final counters: got %+v", got)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestHeaderLookups(t *testing.T) {
+	h := header()
+	if id, ok := h.PlaceID("b"); !ok || id != 1 {
+		t.Errorf("PlaceID(b) = %d, %v", id, ok)
+	}
+	if _, ok := h.PlaceID("zz"); ok {
+		t.Error("unknown place resolved")
+	}
+	if id, ok := h.TransID("t1"); !ok || id != 1 {
+		t.Errorf("TransID(t1) = %d, %v", id, ok)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"bad magic", "not-a-trace\n"},
+		{"missing net", "pnut-trace 1\nplace 0 a\n"},
+		{"bad record", "pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\nZ 0 0 -\n"},
+		{"bad time", "pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\nS x 0 -\n"},
+		{"bad trans id", "pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\nS 0 7 -\n"},
+		{"bad delta place", "pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\nS 0 0 9:+1\n"},
+		{"zero delta", "pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\nS 0 0 0:+0\n"},
+		{"marking len", "pnut-trace 1\nnet x\nplace 0 a\ntrans 0 t\nI 0 1,2\n"},
+		{"place order", "pnut-trace 1\nnet x\nplace 1 a\n"},
+	}
+	for _, c := range cases {
+		r := NewReader(strings.NewReader(c.text))
+		_, err := r.Next()
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: expected parse error, got %v", c.name, err)
+		}
+	}
+}
+
+func TestCommentsAndBlanksSkipped(t *testing.T) {
+	text := "# a comment\npnut-trace 1\nnet x\n\nplace 0 a\ntrans 0 t\n# mid\nI 0 3\nF 5 0 0\n"
+	r := NewReader(strings.NewReader(text))
+	rec, err := r.Next()
+	if err != nil || rec.Kind != Initial || rec.Marking[0] != 3 {
+		t.Fatalf("got %+v, %v", rec, err)
+	}
+	rec, err = r.Next()
+	if err != nil || rec.Kind != Final {
+		t.Fatalf("got %+v, %v", rec, err)
+	}
+}
+
+func TestFilterKeepsSelected(t *testing.T) {
+	h := header()
+	sink := NewCollect(h)
+	f, err := NewFilter(h, sink, []string{"b"}, []string{"t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for i := range recs {
+		if err := f.Record(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kept: Initial (masked), End t0 (carries delta on b), Start t1,
+	// End t1 (kept transition, deltas on a dropped), Final.
+	if len(sink.Records) != 5 {
+		t.Fatalf("got %d records: %s", len(sink.Records), sink)
+	}
+	init := sink.Records[0]
+	if !init.Marking.Equal(petri.Marking{0, 0, 0}) {
+		t.Errorf("masked initial marking = %v", init.Marking)
+	}
+	endT0 := sink.Records[1]
+	if endT0.Kind != End || endT0.Trans != 0 || len(endT0.Deltas) != 1 || endT0.Deltas[0].Place != 1 {
+		t.Errorf("kept t0 end wrong: %+v", endT0)
+	}
+	endT1 := sink.Records[3]
+	if endT1.Trans != 1 || len(endT1.Deltas) != 0 {
+		t.Errorf("t1 end should have dropped its deltas: %+v", endT1)
+	}
+}
+
+func TestFilterUnknownNames(t *testing.T) {
+	h := header()
+	if _, err := NewFilter(h, NewCollect(h), []string{"nope"}, nil); err == nil {
+		t.Error("unknown place accepted")
+	}
+	if _, err := NewFilter(h, NewCollect(h), nil, []string{"nope"}); err == nil {
+		t.Error("unknown transition accepted")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, header(), false)
+	recs := sampleRecords()
+	for i := range recs {
+		if err := w.Record(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := NewCollect(header())
+	n, err := Copy(NewReader(&buf), sink)
+	if err != nil || n != len(recs) {
+		t.Fatalf("Copy: %d, %v", n, err)
+	}
+}
+
+// Property: any record with random deltas round-trips through the text
+// encoding unchanged.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	h := header()
+	f := func(time uint16, trans uint8, places [4]uint8, changes [4]int8) bool {
+		rec := Record{Kind: Start, Time: petri.Time(time), Trans: petri.TransID(trans % 2)}
+		for i := range places {
+			ch := int(changes[i])
+			if ch == 0 {
+				continue
+			}
+			rec.Deltas = append(rec.Deltas, Delta{Place: petri.PlaceID(places[i] % 3), Change: ch})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, h, false)
+		if err := w.Record(&rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		if got.Kind != rec.Kind || got.Time != rec.Time || got.Trans != rec.Trans || len(got.Deltas) != len(rec.Deltas) {
+			return false
+		}
+		for i := range got.Deltas {
+			if got.Deltas[i] != rec.Deltas[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filtering is idempotent — filtering a filtered stream with
+// the same keep sets changes nothing.
+func TestQuickFilterIdempotent(t *testing.T) {
+	h := header()
+	f := func(seedDeltas [6]int8) bool {
+		recs := sampleRecords()
+		once := NewCollect(h)
+		f1, _ := NewFilter(h, once, []string{"a"}, []string{"t0"})
+		for i := range recs {
+			if f1.Record(&recs[i]) != nil {
+				return false
+			}
+		}
+		twice := NewCollect(h)
+		f2, _ := NewFilter(h, twice, []string{"a"}, []string{"t0"})
+		for i := range once.Records {
+			if f2.Record(&once.Records[i]) != nil {
+				return false
+			}
+		}
+		return once.String() == twice.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

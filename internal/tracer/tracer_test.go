@@ -1,0 +1,276 @@
+package tracer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// squareWaveSeq builds a net whose place "on" toggles 0->1 at t=5,10,15...
+func squareWaveSeq(t *testing.T) *query.Seq {
+	t.Helper()
+	b := petri.NewBuilder("wave")
+	b.Place("on", 0)
+	b.Place("off", 1)
+	b.Trans("rise").In("off").Out("on").EnablingConst(5)
+	b.Trans("fall").In("on").Out("off").EnablingConst(5)
+	net := b.MustBuild()
+	qb := query.NewBuilder(trace.HeaderOf(net))
+	if _, err := sim.Run(net, qb, sim.Options{Horizon: 40}); err != nil {
+		t.Fatal(err)
+	}
+	return qb.Seq()
+}
+
+func pipelineSeq(t *testing.T) *query.Seq {
+	t.Helper()
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb := query.NewBuilder(trace.HeaderOf(net))
+	if _, err := sim.Run(net, qb, sim.Options{Horizon: 2_000, Seed: 1988}); err != nil {
+		t.Fatal(err)
+	}
+	return qb.Seq()
+}
+
+func TestAddPlaceSignalValues(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	if err := tr.AddPlace("on"); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Signals()[0]
+	if s.Label != "on" || s.max != 1 {
+		t.Errorf("signal: %+v", s)
+	}
+	if err := tr.AddPlace("nope"); err == nil {
+		t.Error("unknown place accepted")
+	}
+}
+
+func TestAddTransitionSignal(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	if err := tr.AddTransition("rise"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddTransition("nope"); err == nil {
+		t.Error("unknown transition accepted")
+	}
+}
+
+func TestAddFuncSignal(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	if err := tr.AddFunc("both", "on + off"); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Signals()[0]
+	// on + off is 1 in every settled state and 0 in the in-limbo state
+	// between the Start and End records of a toggle; never anything else.
+	if s.values[0] != 1 {
+		t.Fatalf("initial on+off = %d", s.values[0])
+	}
+	for i, v := range s.values {
+		if v != 0 && v != 1 {
+			t.Fatalf("state %d: on+off = %d", i, v)
+		}
+	}
+	if err := tr.AddFunc("bad", "on + ghost"); err == nil {
+		t.Error("function with unknown name accepted")
+	}
+	if err := tr.AddFunc("bad", "on +"); err == nil {
+		t.Error("unparsable function accepted")
+	}
+}
+
+func TestMarkersAndMeasure(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	tr.MarkAt("O", 5)
+	tr.MarkAt("X", 25)
+	d, err := tr.Measure("O", "X")
+	if err != nil || d != 20 {
+		t.Errorf("Measure = %d, %v", d, err)
+	}
+	if _, err := tr.Measure("O", "?"); err == nil {
+		t.Error("unknown marker accepted")
+	}
+	if len(tr.Markers()) != 2 {
+		t.Errorf("markers: %v", tr.Markers())
+	}
+}
+
+func TestMarkWhenTrigger(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	// First rise is at t=5.
+	m, err := tr.MarkWhen("T", "on > 0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Time != 5 {
+		t.Errorf("trigger at t=%d, want 5", m.Time)
+	}
+	// Same trigger from t=6 finds the second rise at t=15.
+	m2, err := tr.MarkWhen("U", "on > 0", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Time != 15 {
+		t.Errorf("second trigger at t=%d, want 15", m2.Time)
+	}
+	if _, err := tr.MarkWhen("V", "on > 99", 0); err == nil {
+		t.Error("impossible trigger should error")
+	}
+	if _, err := tr.MarkWhen("W", "on >", 0); err == nil {
+		t.Error("unparsable trigger should error")
+	}
+}
+
+func TestRenderSquareWave(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	if err := tr.AddPlace("on"); err != nil {
+		t.Fatal(err)
+	}
+	tr.MarkAt("O", 5)
+	tr.MarkAt("X", 15)
+	out := tr.Render(RenderOptions{From: 0, To: 40, Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header, markers, signal, axis, measurement.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	sig := lines[2]
+	// One column per tick: low for [0,5), high for [5,10), ...
+	wave := sig[strings.IndexByte(sig, '|')+1 : strings.LastIndexByte(sig, '|')]
+	if len(wave) != 40 {
+		t.Fatalf("wave width %d: %q", len(wave), wave)
+	}
+	if wave[2] != '_' || wave[7] != '#' || wave[12] != '_' || wave[17] != '#' {
+		t.Errorf("wave shape wrong: %q", wave)
+	}
+	if !strings.Contains(out, "O <-> X  10") {
+		t.Errorf("measurement missing:\n%s", out)
+	}
+	// Marker row has O at column 5 and X at column 15.
+	markerRow := lines[1]
+	mr := markerRow[strings.IndexByte(markerRow, '|')+1 : strings.LastIndexByte(markerRow, '|')]
+	if mr[5] != 'O' || mr[15] != 'X' {
+		t.Errorf("marker row wrong: %q", mr)
+	}
+}
+
+func TestRenderMultiLevelAndUnicode(t *testing.T) {
+	b := petri.NewBuilder("multi")
+	b.Place("lvl", 0)
+	b.Place("src", 12)
+	b.Trans("up").In("src").Out("lvl").EnablingConst(2)
+	net := b.MustBuild()
+	qb := query.NewBuilder(trace.HeaderOf(net))
+	if _, err := sim.Run(net, qb, sim.Options{Horizon: 30}); err != nil {
+		t.Fatal(err)
+	}
+	tr := New(qb.Seq())
+	if err := tr.AddPlace("lvl"); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render(RenderOptions{From: 0, To: 30, Width: 30})
+	// Levels climb 1,2,3...; digits then letters appear.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "9") || !strings.Contains(out, "a") {
+		t.Errorf("multi-level rendering missing digits:\n%s", out)
+	}
+	uni := tr.Render(RenderOptions{From: 0, To: 30, Width: 30, Unicode: true})
+	if !strings.ContainsRune(uni, '█') {
+		t.Errorf("unicode rendering missing full block:\n%s", uni)
+	}
+}
+
+func TestRenderDefaultsAndWindow(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	if err := tr.AddPlace("on"); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render(RenderOptions{})
+	if !strings.Contains(out, "window [0, 40]") {
+		t.Errorf("default window wrong:\n%s", out)
+	}
+	out = tr.Render(RenderOptions{From: 10, To: 20, Width: 10})
+	if !strings.Contains(out, "window [10, 20]") {
+		t.Errorf("explicit window wrong:\n%s", out)
+	}
+}
+
+func TestFigure7OnPipeline(t *testing.T) {
+	seq := pipelineSeq(t)
+	tr, err := Figure7(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Signals()) != 11 {
+		t.Fatalf("Figure 7 probe count = %d, want 11", len(tr.Signals()))
+	}
+	// Place the paper's two cursors on bus events and render.
+	if _, err := tr.MarkWhen("O", "Bus_busy > 0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MarkWhen("X", "storing > 0", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render(RenderOptions{From: 0, To: 400, Width: 100})
+	for _, want := range []string{"Bus_busy", "pre_fetching", "fetching", "storing",
+		"exec_type_1", "exec_type_5", "sum_exec", "Empty_I_buffers", "O <-> X"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 7 rendering missing %q", want)
+		}
+	}
+	// The sum function must dominate each individual exec line at every
+	// state — verify via the stored signal values.
+	var sum *Signal
+	var execs []*Signal
+	for _, s := range tr.Signals() {
+		if s.Label == "sum_exec" {
+			sum = s
+		}
+		if strings.HasPrefix(s.Label, "exec_type_") {
+			execs = append(execs, s)
+		}
+	}
+	for i := range sum.values {
+		var total int64
+		for _, e := range execs {
+			total += e.values[i]
+		}
+		if sum.values[i] != total {
+			t.Fatalf("sum_exec mismatch at state %d: %d != %d", i, sum.values[i], total)
+		}
+	}
+	// Figure7 on a non-pipeline trace errors cleanly.
+	if _, err := Figure7(squareWaveSeq(t)); err == nil {
+		t.Error("Figure7 should reject non-pipeline traces")
+	}
+}
+
+func TestVerifyDelegates(t *testing.T) {
+	seq := pipelineSeq(t)
+	tr := New(seq)
+	res, err := tr.Verify("exists s in S [ exec_type_1(s) > 0 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("exec_type_1 should have fired")
+	}
+	if _, err := tr.Verify("not a query"); err == nil {
+		t.Error("bad query accepted")
+	}
+}

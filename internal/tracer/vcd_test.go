@@ -1,0 +1,117 @@
+package tracer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCDSquareWave(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	if err := tr.AddPlace("on"); err != nil {
+		t.Fatal(err)
+	}
+	tr.MarkAt("O", 5)
+	var b strings.Builder
+	if err := tr.WriteVCD(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module wave $end",
+		"$var wire 1 ! on $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"$comment marker O at 5 $end",
+		"#5", "#10",
+		"1!", "0!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The wave toggles at 5, 10, 15, ... — value changes alternate.
+	lines := strings.Split(out, "\n")
+	var changes []string
+	for _, l := range lines {
+		if l == "0!" || l == "1!" {
+			changes = append(changes, l)
+		}
+	}
+	if len(changes) < 5 {
+		t.Fatalf("too few value changes: %v", changes)
+	}
+	for i := 1; i < len(changes); i++ {
+		if changes[i] == changes[i-1] {
+			t.Fatalf("consecutive identical changes: %v", changes)
+		}
+	}
+}
+
+func TestWriteVCDMultiBit(t *testing.T) {
+	seq := pipelineSeq(t)
+	tr := New(seq)
+	if err := tr.AddPlace("Empty_I_buffers"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tr.WriteVCD(&b, "1us"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "$var wire 3 ! Empty_I_buffers $end") {
+		t.Errorf("expected a 3-bit vector for a 0..6 signal:\n%s",
+			out[:min(400, len(out))])
+	}
+	if !strings.Contains(out, "$timescale 1us $end") {
+		t.Error("custom timescale ignored")
+	}
+	if !strings.Contains(out, "b110 !") {
+		t.Error("initial value 6 (b110) missing")
+	}
+}
+
+func TestWriteVCDNoSignals(t *testing.T) {
+	seq := squareWaveSeq(t)
+	tr := New(seq)
+	var b strings.Builder
+	if err := tr.WriteVCD(&b, ""); err == nil {
+		t.Error("empty probe set accepted")
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("non-printable id rune %q", r)
+			}
+		}
+	}
+	if vcdID(0) != "!" {
+		t.Errorf("vcdID(0) = %q", vcdID(0))
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int64]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 6: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for v, want := range cases {
+		if got := bitsFor(v); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
