@@ -25,11 +25,13 @@ package repro
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/analytic"
 	"repro/internal/anim"
+	"repro/internal/experiment"
 	"repro/internal/petri"
 	"repro/internal/pipeline"
 	"repro/internal/query"
@@ -412,6 +414,62 @@ func BenchmarkReplications(b *testing.B) {
 	}
 	b.ReportMetric(sum.Mean, "ipc_mean")
 	b.ReportMetric(sum.CI95, "ipc_ci95")
+}
+
+// experimentBench runs one replicated Figure 5 experiment through the
+// parallel driver and reports completed events per second.
+func experimentBench(b *testing.B, workers int) {
+	net := mustProcessor(b, pipeline.DefaultParams())
+	var events int64
+	var elapsed float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Run(net, experiment.Options{
+			Reps:     16,
+			Workers:  workers,
+			BaseSeed: 1988,
+			Sim:      sim.Options{Horizon: paperCycles},
+			Metrics:  []experiment.Metric{experiment.Throughput("Issue")},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = r.Events
+		elapsed = r.Elapsed.Seconds()
+	}
+	b.ReportMetric(float64(events)/elapsed, "events/s")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkExperimentSerial is the baseline: 16 replications of the
+// Figure 5 experiment on a single worker.
+func BenchmarkExperimentSerial(b *testing.B) { experimentBench(b, 1) }
+
+// BenchmarkExperimentParallel fans the same 16 replications out across
+// GOMAXPROCS workers. Identical results (same base seed), wall-clock
+// divided by the core count: compare ns/op against
+// BenchmarkExperimentSerial — at 4+ cores the speedup exceeds 2x.
+func BenchmarkExperimentParallel(b *testing.B) { experimentBench(b, 0) }
+
+// BenchmarkEngineReuse quantifies what the resettable engine saves a
+// replication driver: back-to-back runs on one engine versus a fresh
+// engine per run.
+func BenchmarkEngineReuse(b *testing.B) {
+	net := mustProcessor(b, pipeline.DefaultParams())
+	b.Run("reused", func(b *testing.B) {
+		eng := sim.NewEngine(net)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(nil, sim.Options{Horizon: 1_000, Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(net, nil, sim.Options{Horizon: 1_000, Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed on the

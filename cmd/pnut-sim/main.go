@@ -5,13 +5,22 @@
 // describes.
 //
 //	pnut-sim -net pipeline.pn -horizon 10000 -seed 1 | pnut-stat
+//
+// With -reps N (N > 1) the tool switches to replication mode: it runs N
+// independent replications seeded -seed, -seed+1, ..., fanned out over
+// -parallel workers, and writes the pooled statistics report instead of
+// a trace. The report is bit-for-bit identical for every -parallel
+// value; see cmd/pnut-exp for the full experiment driver.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/experiment"
 	"repro/internal/ptl"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -23,6 +32,8 @@ func main() {
 	maxStarts := flag.Int64("max-starts", 0, "stop after this many firings (0 = horizon only)")
 	seed := flag.Int64("seed", 1, "random seed (equal seeds give equal traces)")
 	flush := flag.Bool("flush", false, "flush after every record (for live piping)")
+	reps := flag.Int("reps", 1, "independent replications; >1 emits a pooled statistics report instead of a trace")
+	parallel := flag.Int("parallel", 0, "worker goroutines for -reps mode (0 = GOMAXPROCS; never affects results)")
 	flag.Parse()
 
 	if *netPath == "" {
@@ -38,12 +49,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	w := trace.NewWriter(os.Stdout, trace.HeaderOf(net), *flush)
-	res, err := sim.Run(net, w, sim.Options{
+	opt := sim.Options{
 		Horizon:   *horizon,
 		MaxStarts: *maxStarts,
 		Seed:      *seed,
-	})
+	}
+
+	if *reps > 1 {
+		r, err := experiment.Run(net, experiment.Options{
+			Reps:     *reps,
+			Workers:  *parallel,
+			BaseSeed: *seed,
+			Sim:      opt,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out := bufio.NewWriter(os.Stdout)
+		if err := r.Pooled.Report(out); err != nil {
+			fatal(err)
+		}
+		if err := out.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pnut-sim: %s: reps=%d workers=%d events=%d elapsed=%s\n",
+			net.Name, r.Reps, r.Workers, r.Events, r.Elapsed.Round(time.Microsecond))
+		return
+	}
+
+	w := trace.NewWriter(os.Stdout, trace.HeaderOf(net), *flush)
+	res, err := sim.Run(net, w, opt)
 	if err != nil {
 		fatal(err)
 	}

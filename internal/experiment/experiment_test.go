@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func testNet(t testing.TB) *petri.Net {
+	t.Helper()
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func run(t *testing.T, net *petri.Net, workers int) *Result {
+	t.Helper()
+	r, err := Run(net, Options{
+		Reps:     12,
+		Workers:  workers,
+		BaseSeed: 400,
+		Sim:      sim.Options{Horizon: 2_000},
+		Metrics:  []Metric{Throughput("Issue"), Utilization("Bus_busy")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestDeterministicAcrossWorkerCounts is the core contract: the same
+// base seed must give bit-for-bit identical merged statistics and
+// metric summaries whether the replications run serially or spread
+// over any number of workers.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	net := testNet(t)
+	ref := run(t, net, 1)
+	var refReport strings.Builder
+	if err := ref.Pooled.Report(&refReport); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		r := run(t, net, workers)
+		if !reflect.DeepEqual(r.Summaries, ref.Summaries) {
+			t.Errorf("workers=%d: summaries differ from serial run:\n%v\nvs\n%v",
+				workers, r.Summaries, ref.Summaries)
+		}
+		if !reflect.DeepEqual(r.Values, ref.Values) {
+			t.Errorf("workers=%d: per-replication values differ from serial run", workers)
+		}
+		var rep strings.Builder
+		if err := r.Pooled.Report(&rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.String() != refReport.String() {
+			t.Errorf("workers=%d: pooled statistics report not byte-identical to serial run", workers)
+		}
+	}
+}
+
+// TestMatchesReplicate: the parallel driver must agree with the
+// sequential stats.Replicate helper on the same seeds.
+func TestMatchesReplicate(t *testing.T) {
+	net := testNet(t)
+	r := run(t, net, 4)
+	want, err := stats.Replicate(net, sim.Options{Horizon: 2_000, Seed: 400}, 12,
+		func(s *stats.Stats) (float64, error) { return s.Throughput("Issue") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Summary("throughput(Issue)")
+	if !ok {
+		t.Fatal("throughput(Issue) summary missing")
+	}
+	if got != want {
+		t.Errorf("parallel summary %v != sequential Replicate %v", got, want)
+	}
+}
+
+// TestPooledAggregates: pooled statistics must total the per-run event
+// counts, and the pooled duration must be the sum of run lengths.
+func TestPooledAggregates(t *testing.T) {
+	net := testNet(t)
+	r := run(t, net, 4)
+	var ends int64
+	var dur petri.Time
+	for _, res := range r.Runs {
+		ends += res.Ends
+		dur += res.Clock
+	}
+	if r.Pooled.TotalEnds() != ends {
+		t.Errorf("pooled ends %d != summed run ends %d", r.Pooled.TotalEnds(), ends)
+	}
+	if r.Events != ends {
+		t.Errorf("Result.Events %d != summed run ends %d", r.Events, ends)
+	}
+	if r.Pooled.Duration() != dur {
+		t.Errorf("pooled duration %d != summed run clocks %d", r.Pooled.Duration(), dur)
+	}
+	if r.Pooled.Runs() != len(r.Runs) {
+		t.Errorf("pooled run count %d != %d", r.Pooled.Runs(), len(r.Runs))
+	}
+}
+
+// TestObserverPerReplication: the Observe hook must be called once per
+// replication and see that replication's whole trace.
+func TestObserverPerReplication(t *testing.T) {
+	net := testNet(t)
+	const reps = 6
+	var calls atomic.Int64
+	finals := make([]atomic.Int64, reps)
+	_, err := Run(net, Options{
+		Reps:     reps,
+		Workers:  3,
+		BaseSeed: 7,
+		Sim:      sim.Options{Horizon: 500},
+		Observe: func(rep int) trace.Observer {
+			calls.Add(1)
+			return trace.ObserverFunc(func(rec *trace.Record) error {
+				if rec.Kind == trace.Final {
+					finals[rep].Add(1)
+				}
+				return nil
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != reps {
+		t.Errorf("Observe called %d times, want %d", calls.Load(), reps)
+	}
+	for i := range finals {
+		if finals[i].Load() != 1 {
+			t.Errorf("replication %d saw %d Final records, want 1", i, finals[i].Load())
+		}
+	}
+}
+
+// TestErrorPropagation: a failing replication aborts the experiment
+// and surfaces the error.
+func TestErrorPropagation(t *testing.T) {
+	net := testNet(t)
+	sentinel := errors.New("boom")
+	_, err := Run(net, Options{
+		Reps:    8,
+		Workers: 4,
+		Sim:     sim.Options{Horizon: 500},
+		Observe: func(rep int) trace.Observer {
+			return trace.ObserverFunc(func(rec *trace.Record) error {
+				if rep == 5 {
+					return sentinel
+				}
+				return nil
+			})
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap the observer failure", err)
+	}
+
+	if _, err := Run(net, Options{Reps: 0, Sim: sim.Options{Horizon: 1}}); err == nil {
+		t.Error("Reps=0 must be rejected")
+	}
+	if _, err := Run(net, Options{Reps: 2}); err == nil {
+		t.Error("missing Horizon/MaxStarts must be rejected")
+	}
+}
+
+// TestSingleRep: the driver degrades to a plain run.
+func TestSingleRep(t *testing.T) {
+	net := testNet(t)
+	r, err := Run(net, Options{
+		Reps:     1,
+		BaseSeed: 99,
+		Sim:      sim.Options{Horizon: 5_000},
+		Metrics:  []Metric{Throughput("Issue")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, direct, sim.Options{Horizon: 5_000, Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := direct.Throughput("Issue")
+	if got := r.Values[0][0]; got != want {
+		t.Errorf("single replication throughput %v != direct run %v", got, want)
+	}
+	if r.Workers != 1 {
+		t.Errorf("worker pool not clamped to rep count: %d", r.Workers)
+	}
+}
+
+// TestUnknownMetric: metric errors surface with the replication index.
+func TestUnknownMetric(t *testing.T) {
+	net := testNet(t)
+	_, err := Run(net, Options{
+		Reps:    3,
+		Sim:     sim.Options{Horizon: 100},
+		Metrics: []Metric{Throughput("no_such_transition")},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no_such_transition") {
+		t.Errorf("unknown metric error not surfaced: %v", err)
+	}
+}

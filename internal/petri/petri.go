@@ -166,11 +166,21 @@ func (n *Net) Predicated() []TransID { return n.predicated }
 
 // InitialMarking returns a fresh copy of the net's initial marking.
 func (n *Net) InitialMarking() Marking {
-	m := make(Marking, len(n.Places))
-	for i, p := range n.Places {
-		m[i] = p.Initial
+	return n.InitialMarkingInto(nil)
+}
+
+// InitialMarkingInto copies the initial marking into dst, reusing its
+// storage when it is large enough, and returns the result. Replication
+// drivers reset a marking between runs this way without allocating.
+func (n *Net) InitialMarkingInto(dst Marking) Marking {
+	if cap(dst) < len(n.Places) {
+		dst = make(Marking, len(n.Places))
 	}
-	return m
+	dst = dst[:len(n.Places)]
+	for i, p := range n.Places {
+		dst[i] = p.Initial
+	}
+	return dst
 }
 
 // NewEnv returns a fresh variable environment seeded with the net's

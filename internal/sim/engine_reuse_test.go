@@ -1,0 +1,93 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestEngineReuseMatchesFreshRuns: a reused engine must produce exactly
+// the trace a one-shot Run produces, for every seed, including after
+// runs with different options.
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.HeaderOf(net)
+	eng := sim.NewEngine(net)
+	// Interleave horizons so any state leak between runs is visible.
+	opts := []sim.Options{
+		{Horizon: 2_000, Seed: 1},
+		{Horizon: 500, Seed: 2},
+		{Horizon: 2_000, Seed: 1}, // repeat of run 0: must be identical
+		{MaxStarts: 300, Horizon: 100_000, Seed: 3},
+	}
+	var reports []string
+	for i, o := range opts {
+		reused := stats.New(h)
+		resReused, err := eng.Run(reused, o)
+		if err != nil {
+			t.Fatalf("run %d (reused): %v", i, err)
+		}
+		fresh := stats.New(h)
+		resFresh, err := sim.Run(net, fresh, o)
+		if err != nil {
+			t.Fatalf("run %d (fresh): %v", i, err)
+		}
+		if !resReused.Final.Equal(resFresh.Final) {
+			t.Errorf("run %d: reused engine final marking %v != fresh %v", i, resReused.Final, resFresh.Final)
+		}
+		if resReused.Clock != resFresh.Clock || resReused.Starts != resFresh.Starts ||
+			resReused.Ends != resFresh.Ends || resReused.Quiescent != resFresh.Quiescent {
+			t.Errorf("run %d: summaries differ: %+v vs %+v", i, resReused, resFresh)
+		}
+		a, b := report(t, reused), report(t, fresh)
+		if a != b {
+			t.Errorf("run %d: reused engine statistics differ from fresh run", i)
+		}
+		reports = append(reports, a)
+	}
+	if reports[0] != reports[2] {
+		t.Error("repeating a seed on a reused engine changed the outcome")
+	}
+}
+
+func report(t *testing.T, s *stats.Stats) string {
+	t.Helper()
+	var b strings.Builder
+	if err := s.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestEngineReuseInterpreted: interpreted nets carry a mutable variable
+// environment; reset must rebuild it from the net's declarations.
+func TestEngineReuseInterpreted(t *testing.T) {
+	net, err := pipeline.InterpretedProcessor(pipeline.DefaultParams(), pipeline.DefaultInstructionSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(net)
+	first, err := eng.Run(nil, sim.Options{Horizon: 1_000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Run(nil, sim.Options{Horizon: 1_000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Final.Equal(second.Final) || first.Ends != second.Ends {
+		t.Errorf("environment leaked across resets: %+v vs %+v", first, second)
+	}
+	for k, v := range first.Vars {
+		if second.Vars[k] != v {
+			t.Errorf("var %s: %d vs %d", k, v, second.Vars[k])
+		}
+	}
+}

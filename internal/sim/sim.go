@@ -95,10 +95,19 @@ type transState struct {
 	active  int        // concurrent firings in progress
 }
 
-type engine struct {
+// Engine is a reusable simulator for one immutable net. A fresh Engine
+// is cheap — the net's Affected/Predicated indexes are precomputed at
+// Build time — but replication drivers (package experiment) run many
+// short experiments back to back, so Run resets and reuses the engine's
+// state vectors and scratch buffers instead of reallocating them.
+//
+// An Engine is not safe for concurrent use; give each goroutine its
+// own (see NewEngine).
+type Engine struct {
 	net   *petri.Net
 	opt   Options
 	rng   *rand.Rand
+	src   rand.Source
 	env   *expr.Env
 	obs   trace.Observer
 	clock petri.Time
@@ -114,9 +123,40 @@ type engine struct {
 	ripe   []petri.TransID
 }
 
-// Run simulates net, streaming the trace to obs (which may be nil to
-// discard it), and returns the run summary.
-func Run(net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
+// NewEngine returns an engine for net with all per-run state allocated
+// up front, sized to the net.
+func NewEngine(net *petri.Net) *Engine {
+	src := rand.NewSource(0)
+	e := &Engine{
+		net: net,
+		src: src,
+		rng: rand.New(src),
+		m:   make(petri.Marking, net.NumPlaces()),
+		ts:  make([]transState, net.NumTrans()),
+	}
+	e.env = net.NewEnv(e.rng)
+	return e
+}
+
+// reset rewinds the engine to the net's initial state for a run under
+// opt, reseeding the random source. No per-place or per-transition
+// storage is reallocated.
+func (e *Engine) reset(opt Options) {
+	e.opt = opt
+	e.src.Seed(opt.Seed)
+	e.m = e.net.InitialMarkingInto(e.m)
+	for i := range e.ts {
+		e.ts[i] = transState{}
+	}
+	e.pend = e.pend[:0]
+	e.clock, e.seq, e.starts, e.ends = 0, 0, 0, 0
+	e.env = e.net.NewEnv(e.rng)
+}
+
+// Run simulates the engine's net once under opt, streaming the trace to
+// obs (nil discards it), and returns the run summary. The engine may be
+// Run again with fresh Options; equal seeds give equal traces.
+func (e *Engine) Run(obs trace.Observer, opt Options) (Result, error) {
 	if opt.Horizon <= 0 && opt.MaxStarts <= 0 {
 		return Result{}, errors.New("sim: Options must set Horizon or MaxStarts")
 	}
@@ -124,17 +164,10 @@ func Run(net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
 		opt.MaxStepsPerInstant = 1_000_000
 	}
 	if obs == nil {
-		obs = trace.ObserverFunc(func(*trace.Record) error { return nil })
+		obs = trace.Discard
 	}
-	e := &engine{
-		net: net,
-		opt: opt,
-		rng: rand.New(rand.NewSource(opt.Seed)),
-		obs: obs,
-		m:   net.InitialMarking(),
-		ts:  make([]transState, net.NumTrans()),
-	}
-	e.env = net.NewEnv(e.rng)
+	e.obs = obs
+	e.reset(opt)
 	if err := e.run(); err != nil {
 		return Result{}, err
 	}
@@ -143,12 +176,19 @@ func Run(net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
 		Starts:    e.starts,
 		Ends:      e.ends,
 		Quiescent: e.quiescent(),
-		Final:     e.m,
+		Final:     e.m.Clone(),
 		Vars:      e.env.Snapshot(),
 	}, nil
 }
 
-func (e *engine) quiescent() bool {
+// Run simulates net, streaming the trace to obs (which may be nil to
+// discard it), and returns the run summary. It is the one-shot form of
+// NewEngine(net).Run(obs, opt).
+func Run(net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
+	return NewEngine(net).Run(obs, opt)
+}
+
+func (e *Engine) quiescent() bool {
 	if len(e.pend) > 0 {
 		return false
 	}
@@ -160,9 +200,9 @@ func (e *engine) quiescent() bool {
 	return true
 }
 
-func (e *engine) emit(rec *trace.Record) error { return e.obs.Record(rec) }
+func (e *Engine) emit(rec *trace.Record) error { return e.obs.Record(rec) }
 
-func (e *engine) run() error {
+func (e *Engine) run() error {
 	init := trace.Record{Kind: trace.Initial, Time: 0, Marking: e.m.Clone()}
 	if err := e.emit(&init); err != nil {
 		return err
@@ -198,12 +238,12 @@ func (e *engine) run() error {
 	return e.emit(&fin)
 }
 
-func (e *engine) done() bool {
+func (e *Engine) done() bool {
 	return e.opt.MaxStarts > 0 && e.starts >= e.opt.MaxStarts
 }
 
 // nextEventTime returns the earliest pending completion or ripening.
-func (e *engine) nextEventTime() (petri.Time, bool) {
+func (e *Engine) nextEventTime() (petri.Time, bool) {
 	var next petri.Time
 	any := false
 	if len(e.pend) > 0 {
@@ -223,14 +263,14 @@ func (e *engine) nextEventTime() (petri.Time, bool) {
 	return next, any
 }
 
-func (e *engine) capped(t petri.TransID) bool {
+func (e *Engine) capped(t petri.TransID) bool {
 	s := e.net.Trans[t].Servers
 	return s > 0 && e.ts[t].active >= s
 }
 
 // refresh recomputes the enabled state of transition t, starting or
 // clearing its enabling timer as needed.
-func (e *engine) refresh(t petri.TransID) error {
+func (e *Engine) refresh(t petri.TransID) error {
 	now, err := e.net.Enabled(t, e.m, e.env)
 	if err != nil {
 		return err
@@ -249,7 +289,7 @@ func (e *engine) refresh(t petri.TransID) error {
 }
 
 // startTimer samples the enabling delay for t and sets its ripening time.
-func (e *engine) startTimer(t petri.TransID) error {
+func (e *Engine) startTimer(t petri.TransID) error {
 	st := &e.ts[t]
 	var d petri.Time
 	if del := e.net.Trans[t].Enabling; del != nil {
@@ -266,7 +306,7 @@ func (e *engine) startTimer(t petri.TransID) error {
 	return nil
 }
 
-func (e *engine) refreshAll() error {
+func (e *Engine) refreshAll() error {
 	for i := range e.ts {
 		if err := e.refresh(petri.TransID(i)); err != nil {
 			return err
@@ -278,7 +318,7 @@ func (e *engine) refreshAll() error {
 // refreshAffected rechecks the transitions whose enablement can have
 // changed after the marking of the given places changed, plus (if env
 // might have changed) all predicated transitions.
-func (e *engine) refreshAffected(places []trace.Delta, envChanged bool) error {
+func (e *Engine) refreshAffected(places []trace.Delta, envChanged bool) error {
 	for _, d := range places {
 		for _, t := range e.net.Affected(d.Place) {
 			if err := e.refresh(t); err != nil {
@@ -297,7 +337,7 @@ func (e *engine) refreshAffected(places []trace.Delta, envChanged bool) error {
 }
 
 // settle starts every firing that can start at the current instant.
-func (e *engine) settle() error {
+func (e *Engine) settle() error {
 	for step := 0; ; step++ {
 		if step > e.opt.MaxStepsPerInstant {
 			return fmt.Errorf("%w (t=%d)", ErrLivelock, e.clock)
@@ -325,7 +365,7 @@ func (e *engine) settle() error {
 
 // choose selects among simultaneously ready transitions with probability
 // proportional to relative firing frequency.
-func (e *engine) choose(ripe []petri.TransID) petri.TransID {
+func (e *Engine) choose(ripe []petri.TransID) petri.TransID {
 	if len(ripe) == 1 {
 		return ripe[0]
 	}
@@ -345,7 +385,7 @@ func (e *engine) choose(ripe []petri.TransID) petri.TransID {
 
 // fire starts one firing of t: consume inputs, emit the Start record, and
 // either complete immediately (zero firing time) or schedule completion.
-func (e *engine) fire(t petri.TransID) error {
+func (e *Engine) fire(t petri.TransID) error {
 	tr := &e.net.Trans[t]
 	var dur petri.Time
 	if tr.Firing != nil {
@@ -389,7 +429,7 @@ func (e *engine) fire(t petri.TransID) error {
 
 // complete finishes one firing of t: produce outputs, run the action,
 // emit the End record.
-func (e *engine) complete(t petri.TransID) error {
+func (e *Engine) complete(t petri.TransID) error {
 	tr := &e.net.Trans[t]
 	e.deltas = e.deltas[:0]
 	for _, a := range tr.Out {
@@ -412,7 +452,7 @@ func (e *engine) complete(t petri.TransID) error {
 }
 
 // completeDue finishes every firing scheduled for the current clock.
-func (e *engine) completeDue() error {
+func (e *Engine) completeDue() error {
 	for len(e.pend) > 0 && e.pend[0].at == e.clock {
 		c := heap.Pop(&e.pend).(completion)
 		e.ts[c.trans].active--

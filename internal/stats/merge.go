@@ -1,0 +1,72 @@
+package stats
+
+import "fmt"
+
+// mergeSeries pools two time-weighted series: integrals add, extrema
+// combine, and the merged "current" value is the second series' end
+// value (the pooled series behaves like the runs played back to back).
+func mergeSeries(a, b *series) {
+	a.wsum += b.wsum
+	a.wsumsq += b.wsumsq
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.cur = b.cur
+}
+
+// Runs returns the number of simulation runs pooled into s: 1 for a
+// plain accumulator, more after Merge.
+func (s *Stats) Runs() int {
+	if s.runs == 0 {
+		return 1
+	}
+	return s.runs
+}
+
+// Merge pools another run's statistics into s, as if the two
+// experiments had been played back to back: durations and event counts
+// add, time-weighted integrals add (so pooled averages weight each run
+// by its length), and extrema combine. Both accumulators must observe
+// the same net. A replication driver that folds per-run statistics in
+// a fixed replication order obtains bit-for-bit identical pools no
+// matter how the runs were scheduled, because the floating-point
+// accumulation then happens in one fixed order.
+//
+// o is flushed but not otherwise modified; s becomes the pool.
+func (s *Stats) Merge(o *Stats) error {
+	if s.Header.Net != o.Header.Net ||
+		len(s.places) != len(o.places) || len(s.trans) != len(o.trans) {
+		return fmt.Errorf("stats: cannot merge %q (%d places, %d trans) into %q (%d places, %d trans)",
+			o.Header.Net, len(o.places), len(o.trans), s.Header.Net, len(s.places), len(s.trans))
+	}
+	s.flush()
+	o.flush()
+	for i := range s.places {
+		mergeSeries(&s.places[i], &o.places[i])
+	}
+	for i := range s.trans {
+		mergeSeries(&s.trans[i], &o.trans[i])
+	}
+	for i := range s.starts {
+		s.starts[i] += o.starts[i]
+		s.ends[i] += o.ends[i]
+	}
+	s.totalStarts += o.totalStarts
+	s.totalEnds += o.totalEnds
+	s.runs = s.Runs() + o.Runs()
+
+	// The pooled clock spans the concatenated runs; series stop
+	// integrating at it (finished), so only the summed integrals matter.
+	s.clock += o.Duration()
+	for i := range s.places {
+		s.places[i].last = s.clock
+	}
+	for i := range s.trans {
+		s.trans[i].last = s.clock
+	}
+	s.finished = true
+	return nil
+}

@@ -1,0 +1,119 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func runOnce(t *testing.T, seed int64, horizon int64) *stats.Stats {
+	t.Helper()
+	net, err := pipeline.Processor(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, s, sim.Options{Horizon: horizon, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMergePoolsRuns: merging two runs must add durations and event
+// counts, combine extrema, and weight pooled averages by run length.
+func TestMergePoolsRuns(t *testing.T) {
+	a := runOnce(t, 1, 4_000)
+	b := runOnce(t, 2, 1_000)
+	// Independent copies for the expectation, since Merge mutates a.
+	a2 := runOnce(t, 1, 4_000)
+	b2 := runOnce(t, 2, 1_000)
+
+	ua, _ := a2.Utilization("Bus_busy")
+	ub, _ := b2.Utilization("Bus_busy")
+	da, db := float64(a2.Duration()), float64(b2.Duration())
+	wantUtil := (ua*da + ub*db) / (da + db)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs() != 2 {
+		t.Errorf("Runs() = %d, want 2", a.Runs())
+	}
+	if got, want := a.Duration(), a2.Duration()+b2.Duration(); got != want {
+		t.Errorf("pooled duration %d, want %d", got, want)
+	}
+	if got, want := a.TotalEnds(), a2.TotalEnds()+b2.TotalEnds(); got != want {
+		t.Errorf("pooled ends %d, want %d", got, want)
+	}
+	got, _ := a.Utilization("Bus_busy")
+	if math.Abs(got-wantUtil) > 1e-12 {
+		t.Errorf("pooled Bus_busy utilization %.12f, want duration-weighted %.12f", got, wantUtil)
+	}
+	rowA, _ := a2.PlaceRowByName("Empty_I_buffers")
+	rowB, _ := b2.PlaceRowByName("Empty_I_buffers")
+	rowM, _ := a.PlaceRowByName("Empty_I_buffers")
+	if rowM.Min != min(rowA.Min, rowB.Min) || rowM.Max != max(rowA.Max, rowB.Max) {
+		t.Errorf("pooled extrema %d/%d, want %d/%d",
+			rowM.Min, rowM.Max, min(rowA.Min, rowB.Min), max(rowA.Max, rowB.Max))
+	}
+	// Pooled throughput is total completions over total time.
+	thM, _ := a.Throughput("Issue")
+	wantTh := float64(a2.EventRows()[mustTransIdx(t, a2, "Issue")].Ends+
+		b2.EventRows()[mustTransIdx(t, b2, "Issue")].Ends) / (da + db)
+	if math.Abs(thM-wantTh) > 1e-12 {
+		t.Errorf("pooled Issue throughput %.12f, want %.12f", thM, wantTh)
+	}
+}
+
+func mustTransIdx(t *testing.T, s *stats.Stats, name string) int {
+	t.Helper()
+	id, ok := s.Header.TransID(name)
+	if !ok {
+		t.Fatalf("unknown transition %q", name)
+	}
+	return int(id)
+}
+
+// TestMergeFoldDeterministic: folding the same runs in the same order
+// must reproduce the pooled report byte for byte — the property the
+// parallel driver's replication-order fold relies on.
+func TestMergeFoldDeterministic(t *testing.T) {
+	fold := func() string {
+		acc := runOnce(t, 1, 2_000)
+		for _, seed := range []int64{2, 3, 4} {
+			if err := acc.Merge(runOnce(t, seed, 2_000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var b strings.Builder
+		if err := acc.Report(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if fold() != fold() {
+		t.Error("identical folds produced different pooled reports")
+	}
+}
+
+// TestMergeRejectsMismatchedNets: pooling across different nets is an
+// error, not silent corruption.
+func TestMergeRejectsMismatchedNets(t *testing.T) {
+	a := runOnce(t, 1, 500)
+	net, err := pipeline.Prefetch(pipeline.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := stats.New(trace.HeaderOf(net))
+	if _, err := sim.Run(net, b, sim.Options{Horizon: 500, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Error("merging stats of different nets must fail")
+	}
+}

@@ -18,6 +18,9 @@ func (s *Stats) Report(w io.Writer) error {
 	fmt.Fprintf(&b, "RUN STATISTICS\n")
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Run number\t%d\n", s.RunNumber)
+	if n := s.Runs(); n > 1 {
+		fmt.Fprintf(tw, "Replications pooled\t%d\n", n)
+	}
 	fmt.Fprintf(tw, "Initial clock value\t%d\n", s.initialClock)
 	fmt.Fprintf(tw, "Length of Simulation\t%d\n", s.Duration())
 	fmt.Fprintf(tw, "Events started\t%d\n", s.totalStarts)

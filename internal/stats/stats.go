@@ -103,6 +103,7 @@ type Stats struct {
 	finished     bool
 	totalStarts  int64
 	totalEnds    int64
+	runs         int // simulation runs pooled in (0 means a single run)
 }
 
 // New returns an empty accumulator for traces described by h.

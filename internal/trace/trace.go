@@ -127,6 +127,12 @@ func (h *Header) TransID(name string) (petri.TransID, bool) {
 // Observer consumes a stream of trace records. The simulator drives
 // observers directly, which is the paper's "plug the simulator output
 // into the input of analysis tools" mode.
+//
+// Observers are thread-confined: an Observer instance belongs to the
+// single simulation run feeding it, and implementations are free to be
+// unsynchronized. Parallel experiment drivers (package experiment) must
+// give every concurrent replication its own Observer and only combine
+// the results after the runs have finished.
 type Observer interface {
 	Record(rec *Record) error
 }
@@ -136,6 +142,10 @@ type ObserverFunc func(rec *Record) error
 
 // Record implements Observer.
 func (f ObserverFunc) Record(rec *Record) error { return f(rec) }
+
+// Discard is an Observer that drops every record. It is stateless, so
+// unlike other observers it is safe to share between concurrent runs.
+var Discard Observer = ObserverFunc(func(*Record) error { return nil })
 
 // Tee fans a record stream out to several observers.
 type Tee []Observer

@@ -1,0 +1,79 @@
+//go:build ignore
+
+// Command gen regenerates the .pn fixtures in this directory from the
+// programmatic models, so the textual nets can never drift from the Go
+// constructors the tests compare them against:
+//
+//	go run testdata/gen.go
+//
+// Outputs:
+//
+//	pipeline.pn              — the full Section 2 pipelined processor
+//	pipeline_interpreted.pn  — the Section 3 table-driven variant
+//	mutex.pn                 — a timed mutual-exclusion net used by the
+//	                           reachability and analytic CLI tests
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/ptl"
+)
+
+func main() {
+	dir := "testdata"
+	if _, err := os.Stat(dir); err != nil {
+		dir = "." // run from inside testdata/
+	}
+
+	pipe, err := pipeline.Processor(pipeline.DefaultParams())
+	check(err)
+	write(dir, "pipeline.pn", pipe)
+
+	interp, err := pipeline.InterpretedProcessor(pipeline.DefaultParams(), pipeline.DefaultInstructionSet())
+	check(err)
+	write(dir, "pipeline_interpreted.pn", interp)
+
+	write(dir, "mutex.pn", mutex())
+}
+
+// mutex builds a timed mutual-exclusion net: two processes cycle
+// idle -> want -> crit -> idle around a single lock token. All delays
+// are constants and the net never deadlocks, so it satisfies both the
+// untimed analyzer (P-invariant lock + crit_a + crit_b = 1) and the
+// analytic evaluator (live semi-Markov steady state).
+func mutex() *petri.Net {
+	b := petri.NewBuilder("mutex")
+	b.Place("lock", 1)
+	b.Place("idle_a", 1)
+	b.Place("idle_b", 1)
+	b.Places("want_a", "want_b", "crit_a", "crit_b")
+	b.Trans("request_a").In("idle_a").Out("want_a").EnablingConst(2)
+	b.Trans("request_b").In("idle_b").Out("want_b").EnablingConst(3)
+	b.Trans("enter_a").In("want_a").In("lock").Out("crit_a")
+	b.Trans("enter_b").In("want_b").In("lock").Out("crit_b")
+	b.Trans("exit_a").In("crit_a").Out("idle_a").Out("lock").EnablingConst(4)
+	b.Trans("exit_b").In("crit_b").Out("idle_b").Out("lock").EnablingConst(5)
+	return b.MustBuild()
+}
+
+func write(dir, name string, net *petri.Net) {
+	src := ptl.Format(net)
+	// Round-trip check: the emitted text must parse back.
+	if _, err := ptl.Parse(src); err != nil {
+		check(fmt.Errorf("%s does not round-trip: %w", name, err))
+	}
+	check(os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644))
+	fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, name), len(src))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}
