@@ -44,28 +44,49 @@ import (
 
 const paperCycles = 10_000
 
-func mustProcessor(b *testing.B, p pipeline.Params) *petri.Net {
-	b.Helper()
+// The helpers below are shared by every benchmark AND by the
+// test-mode correctness gates (TestBenchmarkShapesHold), so they take
+// testing.TB — one implementation, no bench/test duplication, and no
+// silently dropped errors: a metric that cannot be evaluated fails the
+// run instead of reporting a stale zero.
+
+func mustProcessor(tb testing.TB, p pipeline.Params) *petri.Net {
+	tb.Helper()
 	net, err := pipeline.Processor(p)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return net
 }
 
 // runStats simulates a net for n cycles and returns the stats.
-func runStats(b *testing.B, net *petri.Net, cycles int64, seed int64) *stats.Stats {
-	b.Helper()
+func runStats(tb testing.TB, net *petri.Net, cycles int64, seed int64) *stats.Stats {
+	tb.Helper()
 	s := stats.New(trace.HeaderOf(net))
 	if _, err := sim.Run(net, s, sim.Options{Horizon: cycles, Seed: seed}); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return s
 }
 
-func metric(b *testing.B, s *stats.Stats, unit string, get func(*stats.Stats) float64) {
-	b.Helper()
-	b.ReportMetric(get(s), unit)
+// mustThroughput and mustUtilization read a metric off a run's stats,
+// failing loudly on unknown names.
+func mustThroughput(tb testing.TB, s *stats.Stats, transition string) float64 {
+	tb.Helper()
+	v, err := s.Throughput(transition)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v
+}
+
+func mustUtilization(tb testing.TB, s *stats.Stats, place string) float64 {
+	tb.Helper()
+	v, err := s.Utilization(place)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v
 }
 
 // BenchmarkFig1Prefetch regenerates the Figure 1 experiment: the
@@ -80,14 +101,8 @@ func BenchmarkFig1Prefetch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s = runStats(b, net, paperCycles, 1)
 	}
-	metric(b, s, "prefetch_util", func(s *stats.Stats) float64 {
-		u, _ := s.Utilization("pre_fetching")
-		return u
-	})
-	metric(b, s, "decode_rate", func(s *stats.Stats) float64 {
-		th, _ := s.Throughput("Decode")
-		return th
-	})
+	b.ReportMetric(mustUtilization(b, s, "pre_fetching"), "prefetch_util")
+	b.ReportMetric(mustThroughput(b, s, "Decode"), "decode_rate")
 }
 
 // BenchmarkFig2Decoder regenerates the Figure 2 experiment: decode,
@@ -102,10 +117,7 @@ func BenchmarkFig2Decoder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s = runStats(b, net, paperCycles, 1)
 	}
-	metric(b, s, "issue_rate", func(s *stats.Stats) float64 {
-		th, _ := s.Throughput("Issue")
-		return th
-	})
+	b.ReportMetric(mustThroughput(b, s, "Issue"), "issue_rate")
 }
 
 // BenchmarkFig3Execution regenerates the Figure 3 experiment: the
@@ -120,10 +132,7 @@ func BenchmarkFig3Execution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s = runStats(b, net, paperCycles, 1)
 	}
-	metric(b, s, "issue_rate", func(s *stats.Stats) float64 {
-		th, _ := s.Throughput("Issue")
-		return th
-	})
+	b.ReportMetric(mustThroughput(b, s, "Issue"), "issue_rate")
 }
 
 // BenchmarkFig4Interpreted regenerates the Figure 4 experiment: the
@@ -137,10 +146,7 @@ func BenchmarkFig4Interpreted(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s = runStats(b, net, paperCycles, 11)
 	}
-	metric(b, s, "issue_rate", func(s *stats.Stats) float64 {
-		th, _ := s.Throughput("Issue")
-		return th
-	})
+	b.ReportMetric(mustThroughput(b, s, "Issue"), "issue_rate")
 }
 
 // BenchmarkFig5Statistics is the headline: the full Section 2 model for
@@ -156,14 +162,8 @@ func BenchmarkFig5Statistics(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	metric(b, s, "instr_per_cycle", func(s *stats.Stats) float64 {
-		th, _ := s.Throughput("Issue")
-		return th
-	})
-	metric(b, s, "bus_util", func(s *stats.Stats) float64 {
-		u, _ := s.Utilization("Bus_busy")
-		return u
-	})
+	b.ReportMetric(mustThroughput(b, s, "Issue"), "instr_per_cycle")
+	b.ReportMetric(mustUtilization(b, s, "Bus_busy"), "bus_util")
 }
 
 // BenchmarkFig6Animation regenerates the Figure 6 experiment: animating
@@ -240,49 +240,103 @@ func BenchmarkSec44Queries(b *testing.B) {
 	b.ReportMetric(float64(holds), "queries_holding")
 }
 
-// BenchmarkCacheSweep regenerates the Section 3 cache study: data-cache
-// hit ratio from 0 to 1 against instruction rate.
-func BenchmarkCacheSweep(b *testing.B) {
-	p := pipeline.DefaultParams()
-	ratios := []float64{0, 0.5, 0.9, 1}
-	var last float64
-	for i := 0; i < b.N; i++ {
-		for _, hit := range ratios {
-			c := pipeline.DefaultCacheParams()
-			c.DHitRatio = hit
-			net, err := pipeline.CacheProcessor(p, c)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s := runStats(b, net, paperCycles, 13)
-			last, _ = s.Throughput("Issue")
-		}
-	}
-	b.ReportMetric(last, "ipc_at_hit1")
+// cacheBuild is the sweep Build hook over the cached pipeline: axis
+// names are pipeline/cache parameter names.
+func cacheBuild(pt experiment.Point) (*petri.Net, error) {
+	return pipeline.SweepProcessor(true, pt.Names, pt.Values)
 }
 
-// BenchmarkMemorySpeedSweep regenerates the introduction's claim:
-// memory speed has a strong impact on processor performance. Reported:
-// the throughput ratio between 1-cycle and 12-cycle memory.
-func BenchmarkMemorySpeedSweep(b *testing.B) {
-	var fast, slow float64
-	for i := 0; i < b.N; i++ {
-		for _, mem := range []int64{1, 12} {
-			p := pipeline.DefaultParams()
-			p.MemoryCycles = mem
-			s := runStats(b, mustProcessor(b, p), paperCycles, 4)
-			th, _ := s.Throughput("Issue")
-			if mem == 1 {
-				fast = th
-			} else {
-				slow = th
-			}
-		}
+// mustSweep runs one sweep through the sharded driver, failing the
+// benchmark on any error.
+func mustSweep(tb testing.TB, opt experiment.SweepOptions) *experiment.SweepResult {
+	tb.Helper()
+	r, err := experiment.Sweep(opt)
+	if err != nil {
+		tb.Fatal(err)
 	}
+	return r
+}
+
+// BenchmarkCacheSweep regenerates the Section 3 cache study through the
+// sweep driver: data-cache hit ratio from 0 to 1 against instruction
+// rate, one grid point per ratio.
+func BenchmarkCacheSweep(b *testing.B) {
+	opt := experiment.SweepOptions{
+		Axes:     []experiment.Axis{{Name: "DHitRatio", Values: []float64{0, 0.5, 0.9, 1}}},
+		Reps:     2,
+		BaseSeed: 13,
+		Sim:      sim.Options{Horizon: paperCycles},
+		Metrics:  []experiment.Metric{experiment.Throughput("Issue")},
+		Build:    cacheBuild,
+	}
+	var r *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		r = mustSweep(b, opt)
+	}
+	b.ReportMetric(r.Points[len(r.Points)-1].Summaries[0].Mean, "ipc_at_hit1")
+}
+
+// BenchmarkMemorySpeedSweep regenerates the introduction's claim
+// through the sweep driver: memory speed has a strong impact on
+// processor performance. Reported: the throughput ratio between
+// 1-cycle and 12-cycle memory.
+func BenchmarkMemorySpeedSweep(b *testing.B) {
+	opt := experiment.SweepOptions{
+		Axes:     []experiment.Axis{{Name: "MemoryCycles", Values: []float64{1, 12}}},
+		Reps:     2,
+		BaseSeed: 4,
+		Sim:      sim.Options{Horizon: paperCycles},
+		Metrics:  []experiment.Metric{experiment.Throughput("Issue")},
+		Build: func(pt experiment.Point) (*petri.Net, error) {
+			return pipeline.SweepProcessor(false, pt.Names, pt.Values)
+		},
+	}
+	var r *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		r = mustSweep(b, opt)
+	}
+	fast, slow := r.Points[0].Summaries[0].Mean, r.Points[1].Summaries[0].Mean
 	if slow > 0 {
 		b.ReportMetric(fast/slow, "speedup_fast_vs_slow_mem")
 	}
 }
+
+// sweepBench runs the reference 4-point x 4-replication cache grid (16
+// cells) through the sweep driver and reports completed events per
+// second.
+func sweepBench(b *testing.B, workers int) {
+	opt := experiment.SweepOptions{
+		Axes: []experiment.Axis{
+			{Name: "DHitRatio", Values: []float64{0.5, 0.9}},
+			{Name: "MemoryCycles", Values: []float64{1, 5}},
+		},
+		Reps:     4,
+		Workers:  workers,
+		BaseSeed: 1988,
+		Sim:      sim.Options{Horizon: paperCycles},
+		Metrics:  []experiment.Metric{experiment.Throughput("Issue")},
+		Build:    cacheBuild,
+	}
+	var events int64
+	var elapsed float64
+	for i := 0; i < b.N; i++ {
+		r := mustSweep(b, opt)
+		events = r.Events
+		elapsed = r.Elapsed.Seconds()
+	}
+	b.ReportMetric(float64(events)/elapsed, "events/s")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkSweepSerial is the baseline: all 16 grid cells on a single
+// worker.
+func BenchmarkSweepSerial(b *testing.B) { sweepBench(b, 1) }
+
+// BenchmarkSweepParallel fans the same 16 cells out across GOMAXPROCS
+// workers. Identical results (same base seed, deterministic per-cell
+// seeds), wall-clock divided by the core count: compare ns/op against
+// BenchmarkSweepSerial.
+func BenchmarkSweepParallel(b *testing.B) { sweepBench(b, 0) }
 
 // BenchmarkBaselineSequential compares the pipelined processor against
 // the non-pipelined baseline. Reported: the pipeline speedup.
@@ -297,8 +351,8 @@ func BenchmarkBaselineSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sp := runStats(b, pipe, paperCycles, 9)
 		ss := runStats(b, seqNet, paperCycles, 9)
-		tp, _ := sp.Throughput("Issue")
-		ts, _ := ss.Throughput("Issue")
+		tp := mustThroughput(b, sp, "Issue")
+		ts := mustThroughput(b, ss, "Issue")
 		if ts > 0 {
 			speedup = tp / ts
 		}
@@ -321,9 +375,7 @@ func BenchmarkAblationTimeEncoding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s1 := runStats(b, net, paperCycles, 1988)
 		s2 := runStats(b, enc, paperCycles, 1988)
-		t1, _ := s1.Throughput("Issue")
-		t2, _ := s2.Throughput("Issue")
-		dIPC = t1 - t2
+		dIPC = mustThroughput(b, s1, "Issue") - mustThroughput(b, s2, "Issue")
 		if dIPC < 0 {
 			dIPC = -dIPC
 		}
@@ -492,15 +544,8 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // machinery the benchmarks use: every "who wins" relation reported in
 // EXPERIMENTS.md must hold when the benches are run as tests.
 func TestBenchmarkShapesHold(t *testing.T) {
-	p := pipeline.DefaultParams()
-	net, err := pipeline.Processor(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: paperCycles, Seed: 1988}); err != nil {
-		t.Fatal(err)
-	}
+	net := mustProcessor(t, pipeline.DefaultParams())
+	s := runStats(t, net, paperCycles, 1988)
 	rows := map[string][2]float64{ // name -> {paper value, tolerance}
 		"pre_fetching": {0.3107, 0.08},
 		"fetching":     {0.2275, 0.08},
@@ -508,15 +553,12 @@ func TestBenchmarkShapesHold(t *testing.T) {
 		"Bus_busy":     {0.6582, 0.12},
 	}
 	for place, pv := range rows {
-		got, err := s.Utilization(place)
-		if err != nil {
-			t.Fatal(err)
-		}
+		got := mustUtilization(t, s, place)
 		if got < pv[0]-pv[1] || got > pv[0]+pv[1] {
 			t.Errorf("%s utilization = %.4f, paper %.4f (± %.2f)", place, got, pv[0], pv[1])
 		}
 	}
-	issue, _ := s.Throughput("Issue")
+	issue := mustThroughput(t, s, "Issue")
 	if issue < 0.09 || issue > 0.16 {
 		t.Errorf("Issue throughput %.4f vs paper 0.1238", issue)
 	}

@@ -1,0 +1,177 @@
+// pnut-sweep is the parameter-sweep driver: the production face of the
+// paper's central workflow — sweep a design parameter (cache hit ratio,
+// memory speed, ...) across a grid of simulation experiments and
+// compare the resulting performance curves.
+//
+// Axes are given as -axis Name=v1,v2,...; their cartesian product is
+// the grid. Each grid point runs -reps independent replications, and
+// all (point, replication) cells fan through one shared worker pool.
+// Cell (p, r) always runs with seed -seed + p*reps + r, so the output
+// is bit-for-bit reproducible for any -parallel value — the worker
+// count only changes wall-clock time.
+//
+// Two model sources are supported:
+//
+//   - The built-in pipeline models (-model pipeline or -model cache),
+//     where axis names are pipeline parameters such as MemoryCycles,
+//     StoreProb, DHitRatio (see -h for the full list). This reproduces
+//     the paper's cache and memory-speed studies directly:
+//
+//     pnut-sweep -model cache -axis DHitRatio=0,0.5,0.9,1 \
+//     -reps 8 -throughput Issue -utilization Bus_busy
+//
+//   - A textual net (-net model.pn), where axis names are the net's
+//     var declarations, overridden per point.
+//
+// Results print as an aligned table (one row per point, mean ±95% CI
+// per metric) or as CSV with -format csv.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/ptl"
+	"repro/internal/sim"
+)
+
+type repeated []string
+
+func (r *repeated) String() string { return strings.Join(*r, ", ") }
+
+func (r *repeated) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	model := flag.String("model", "pipeline", "built-in model: pipeline or cache; axis names are parameters\n"+
+		strings.Join(pipeline.ParamNames(), ", "))
+	netPath := flag.String("net", "", "path to a .pn net (overrides -model; axis names are net vars)")
+	horizon := flag.Int64("horizon", 10_000, "simulation length in clock ticks per replication")
+	maxStarts := flag.Int64("max-starts", 0, "stop each replication after this many firings (0 = horizon only)")
+	seed := flag.Int64("seed", 1, "base seed; cell (point p, rep r) uses seed + p*reps + r")
+	reps := flag.Int("reps", 5, "independent replications per grid point")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
+	format := flag.String("format", "table", "output format: table or csv")
+	var axes, throughputs, utilizations repeated
+	flag.Var(&axes, "axis", "swept parameter as Name=v1,v2,... (repeatable; product of axes is the grid)")
+	flag.Var(&throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
+	flag.Var(&utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
+	flag.Parse()
+
+	var parsed []experiment.Axis
+	for _, a := range axes {
+		ax, err := experiment.ParseAxis(a)
+		if err != nil {
+			fatal(err)
+		}
+		parsed = append(parsed, ax)
+	}
+
+	var metrics []experiment.Metric
+	for _, tr := range throughputs {
+		metrics = append(metrics, experiment.Throughput(tr))
+	}
+	for _, p := range utilizations {
+		metrics = append(metrics, experiment.Utilization(p))
+	}
+	if len(metrics) == 0 {
+		fmt.Fprintln(os.Stderr, "pnut-sweep: at least one -throughput or -utilization metric is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	build, name, err := buildHook(*netPath, *model)
+	if err != nil {
+		fatal(err)
+	}
+
+	r, err := experiment.Sweep(experiment.SweepOptions{
+		Axes:     parsed,
+		Reps:     *reps,
+		Workers:  *parallel,
+		BaseSeed: *seed,
+		Sim: sim.Options{
+			Horizon:   *horizon,
+			MaxStarts: *maxStarts,
+		},
+		Metrics: metrics,
+		Build:   build,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	switch *format {
+	case "table":
+		fmt.Fprintf(out, "sweep %s: %d points x %d replications, base seed %d, %d workers\n",
+			name, len(r.Points), r.Reps, *seed, r.Workers)
+		err = r.WriteTable(out)
+	case "csv":
+		err = r.WriteCSV(out)
+	default:
+		err = fmt.Errorf("unknown -format %q (want table or csv)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pnut-sweep: %s: points=%d reps=%d workers=%d elapsed=%s (%.0f events/s)\n",
+		name, len(r.Points), r.Reps, r.Workers, r.Elapsed.Round(time.Microsecond),
+		float64(r.Events)/r.Elapsed.Seconds())
+}
+
+// buildHook returns the per-point net builder: either the built-in
+// pipeline models parameterized by name, or a .pn net with per-point
+// var overrides.
+func buildHook(netPath, model string) (func(experiment.Point) (*petri.Net, error), string, error) {
+	if netPath != "" {
+		src, err := os.ReadFile(netPath)
+		if err != nil {
+			return nil, "", err
+		}
+		base, err := ptl.Parse(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		return func(pt experiment.Point) (*petri.Net, error) {
+			over := make(map[string]int64, len(pt.Names))
+			for i, n := range pt.Names {
+				v := pt.Values[i]
+				if v != float64(int64(v)) {
+					return nil, fmt.Errorf("net var %s wants an integer, got %g", n, v)
+				}
+				over[n] = int64(v)
+			}
+			return base.WithVars(over)
+		}, base.Name, nil
+	}
+	switch model {
+	case "pipeline", "cache":
+		cached := model == "cache"
+		name := "pipeline"
+		if cached {
+			name = "pipeline_cached"
+		}
+		return func(pt experiment.Point) (*petri.Net, error) {
+			return pipeline.SweepProcessor(cached, pt.Names, pt.Values)
+		}, name, nil
+	}
+	return nil, "", fmt.Errorf("unknown -model %q (want pipeline or cache)", model)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-sweep:", err)
+	os.Exit(1)
+}

@@ -78,10 +78,12 @@ type Options struct {
 	Observe func(rep int) trace.Observer
 }
 
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 func (o *Options) workers() int {
 	w := o.Workers
 	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+		w = defaultWorkers()
 	}
 	if w > o.Reps {
 		w = o.Reps
@@ -123,10 +125,48 @@ func (r *Result) Summary(name string) (stats.Summary, bool) {
 	return stats.Summary{}, false
 }
 
-// repError carries the first failure out of the pool.
-type repError struct {
-	rep int
-	err error
+// cellError carries the first failure out of the pool.
+type cellError struct {
+	cell int
+	err  error
+}
+
+// runPool fans cells 0..cells-1 out across a pool of worker goroutines.
+// Cells are claimed off a shared atomic counter, so scheduling is
+// dynamic; do is called with the claiming worker's index so callers can
+// keep worker-confined state (engines, scratch buffers) in a slice
+// indexed by worker. The first cell error stops the pool and is
+// returned together with its cell index.
+func runPool(workers, cells int, do func(worker, cell int) error) (int, error) {
+	var (
+		next    atomic.Int64 // next cell to claim
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstE  cellError
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !failed.Load() {
+				cell := int(next.Add(1)) - 1
+				if cell >= cells {
+					return
+				}
+				if err := do(worker, cell); err != nil {
+					errOnce.Do(func() { firstE = cellError{cell, err} })
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return firstE.cell, firstE.err
+	}
+	return 0, nil
 }
 
 // Run executes opt.Reps independent replications of net across a
@@ -147,58 +187,36 @@ func Run(net *petri.Net, opt Options) (*Result, error) {
 		vals[m] = make([]float64, opt.Reps)
 	}
 
-	var (
-		next    atomic.Int64 // next replication to claim
-		failed  atomic.Bool
-		errOnce sync.Once
-		firstE  repError
-		wg      sync.WaitGroup
-	)
-	fail := func(rep int, err error) {
-		errOnce.Do(func() { firstE = repError{rep, err} })
-		failed.Store(true)
-	}
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			eng := sim.NewEngine(net)
-			for !failed.Load() {
-				rep := int(next.Add(1)) - 1
-				if rep >= opt.Reps {
-					return
-				}
-				so := opt.Sim
-				so.Seed = opt.BaseSeed + int64(rep)
-				acc := stats.New(h)
-				var obs trace.Observer = acc
-				if opt.Observe != nil {
-					if extra := opt.Observe(rep); extra != nil {
-						obs = trace.Tee{acc, extra}
-					}
-				}
-				res, err := eng.Run(obs, so)
-				if err != nil {
-					fail(rep, err)
-					return
-				}
-				for m := range opt.Metrics {
-					v, err := opt.Metrics[m].Eval(acc)
-					if err != nil {
-						fail(rep, err)
-						return
-					}
-					vals[m][rep] = v
-				}
-				perRep[rep] = acc
-				runs[rep] = res
+	engs := make([]*sim.Engine, workers)
+	if rep, err := runPool(workers, opt.Reps, func(worker, rep int) error {
+		if engs[worker] == nil {
+			engs[worker] = sim.NewEngine(net)
+		}
+		so := opt.Sim
+		so.Seed = opt.BaseSeed + int64(rep)
+		acc := stats.New(h)
+		var obs trace.Observer = acc
+		if opt.Observe != nil {
+			if extra := opt.Observe(rep); extra != nil {
+				obs = trace.Tee{acc, extra}
 			}
-		}()
-	}
-	wg.Wait()
-	if failed.Load() {
-		return nil, fmt.Errorf("experiment: replication %d: %w", firstE.rep, firstE.err)
+		}
+		res, err := engs[worker].Run(obs, so)
+		if err != nil {
+			return err
+		}
+		for m := range opt.Metrics {
+			v, err := opt.Metrics[m].Eval(acc)
+			if err != nil {
+				return err
+			}
+			vals[m][rep] = v
+		}
+		perRep[rep] = acc
+		runs[rep] = res
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("experiment: replication %d: %w", rep, err)
 	}
 
 	// Fold in replication order: floating-point sums then associate the

@@ -1,0 +1,401 @@
+// Sweep generalizes the replication driver from one experiment to a
+// whole parameter study: the paper's workflow of sweeping design
+// parameters (cache hit ratio, memory speed, ...) across many
+// simulation experiments and comparing the resulting performance
+// curves.
+//
+// A sweep expands named parameter axes into a cartesian grid of points.
+// Each point is an experiment of R replications; every (point,
+// replication) cell fans through one shared worker pool, so a wide
+// grid with few replications parallelizes as well as a narrow grid
+// with many. Determinism extends the PR-1 guarantee from replications
+// to grids:
+//
+//   - Cell (p, r) always runs with seed BaseSeed + p*Reps + r, no
+//     matter which worker executes it. For a single point this
+//     degenerates to the replication driver's BaseSeed+r.
+//   - Nets are built once per point, before the pool starts, in point
+//     order — parameter mutation never races with simulation.
+//   - Workers own their engines and rebuild them only when they cross
+//     a point boundary; cells are claimed in point-major order, so an
+//     engine is typically reused for a whole point's replications.
+//   - Per-cell results land in a slice indexed by cell and are merged
+//     per point in replication order, so merged statistics and metric
+//     summaries are bit-for-bit identical for any worker count.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/petri"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Axis is one swept parameter: a name plus the values it takes. The
+// name is interpreted by the sweep's Build hook (a model parameter, a
+// net variable, ...); the driver only expands the grid.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// Point identifies one cell of the expanded parameter grid.
+type Point struct {
+	// Index is the point's row-major position in the grid (the last
+	// axis varies fastest).
+	Index int
+	// Names and Values give the point's coordinates, parallel to the
+	// sweep's Axes.
+	Names  []string
+	Values []float64
+}
+
+// Value returns the point's value on the named axis.
+func (p *Point) Value(name string) (float64, bool) {
+	for i, n := range p.Names {
+		if n == name {
+			return p.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the point as "axis=value, ..." for error messages and
+// table headers.
+func (p *Point) String() string {
+	if len(p.Names) == 0 {
+		return "(origin)"
+	}
+	parts := make([]string, len(p.Names))
+	for i := range p.Names {
+		parts[i] = p.Names[i] + "=" + strconv.FormatFloat(p.Values[i], 'g', -1, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// SweepOptions configure one parameter sweep.
+type SweepOptions struct {
+	// Axes are the swept parameters; their cartesian product is the
+	// grid. An empty Axes runs a single point (the origin), which makes
+	// a sweep of zero axes exactly equivalent to Run.
+	Axes []Axis
+	// Reps is the number of independent replications per point (at
+	// least 1).
+	Reps int
+	// Workers caps the shared worker pool; 0 or less means GOMAXPROCS.
+	// The worker count never affects results, only wall-clock time.
+	Workers int
+	// BaseSeed seeds cell (point, rep) with BaseSeed + point*Reps + rep.
+	// The Seed field of Sim is ignored.
+	BaseSeed int64
+	// Sim holds the per-run simulation options (Horizon or MaxStarts
+	// must be set, exactly as for sim.Run).
+	Sim sim.Options
+	// Metrics are evaluated against each cell's statistics and
+	// summarized per point across its replications.
+	Metrics []Metric
+	// Build constructs the net for one grid point. It is called once
+	// per point, serially and in point order, before any simulation
+	// starts; the returned net must be immutable for the sweep's
+	// lifetime (workers share it).
+	Build func(Point) (*petri.Net, error)
+}
+
+func (o *SweepOptions) numPoints() int {
+	n := 1
+	for _, ax := range o.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+func (o *SweepOptions) workers(cells int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = defaultWorkers()
+	}
+	if w > cells {
+		w = cells
+	}
+	return w
+}
+
+// point expands grid index idx (row-major, last axis fastest) into a
+// Point with its own backing arrays.
+func (o *SweepOptions) point(idx int) Point {
+	pt := Point{
+		Index:  idx,
+		Names:  make([]string, len(o.Axes)),
+		Values: make([]float64, len(o.Axes)),
+	}
+	rem := idx
+	for i := len(o.Axes) - 1; i >= 0; i-- {
+		ax := o.Axes[i]
+		pt.Names[i] = ax.Name
+		pt.Values[i] = ax.Values[rem%len(ax.Values)]
+		rem /= len(ax.Values)
+	}
+	return pt
+}
+
+func (o *SweepOptions) validate() error {
+	if o.Reps < 1 {
+		return fmt.Errorf("experiment: sweep Reps must be at least 1, got %d", o.Reps)
+	}
+	if o.Build == nil {
+		return fmt.Errorf("experiment: sweep needs a Build hook")
+	}
+	seen := make(map[string]bool, len(o.Axes))
+	for i, ax := range o.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("experiment: axis %d has no name", i)
+		}
+		if seen[ax.Name] {
+			return fmt.Errorf("experiment: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("experiment: axis %q has no values", ax.Name)
+		}
+	}
+	return nil
+}
+
+// PointResult is the outcome of one grid point: an R-replication
+// experiment, merged deterministically.
+type PointResult struct {
+	Point Point
+	// Pooled holds the point's statistics merged in replication order.
+	Pooled *stats.Stats
+	// Summaries holds one cross-replication summary per metric, in
+	// SweepOptions.Metrics order.
+	Summaries []stats.Summary
+	// Values holds per-replication metric values, Values[m][r] being
+	// metric m of replication r.
+	Values [][]float64
+	// Runs holds each replication's run summary.
+	Runs []sim.Result
+}
+
+// SweepResult is the outcome of a whole sweep.
+type SweepResult struct {
+	// Axes echoes the grid shape; Points holds one result per grid
+	// point in row-major order (the last axis varies fastest).
+	Axes   []Axis
+	Points []PointResult
+	// Reps and Workers echo the effective sweep shape.
+	Reps    int
+	Workers int
+	// Elapsed is the wall-clock time of the whole sweep; Events is the
+	// total number of firings completed across all cells.
+	Elapsed time.Duration
+	Events  int64
+
+	names []string // metric names, parallel to each point's Summaries
+}
+
+// MetricNames returns the metric names, in SweepOptions.Metrics order.
+func (r *SweepResult) MetricNames() []string {
+	return append([]string(nil), r.names...)
+}
+
+// ParseAxis parses the textual "Name=v1,v2,..." axis form used by the
+// sweep CLIs.
+func ParseAxis(s string) (Axis, error) {
+	name, list, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return Axis{}, fmt.Errorf("experiment: axis %q is not name=v1,v2,...", s)
+	}
+	ax := Axis{Name: name}
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return Axis{}, fmt.Errorf("experiment: axis %q: bad value %q", name, part)
+		}
+		ax.Values = append(ax.Values, v)
+	}
+	return ax, nil
+}
+
+// Sweep expands opt.Axes into a grid, runs Reps replications of every
+// point through one shared worker pool, and merges per-point results.
+// Every number in the result is bit-for-bit independent of the worker
+// count.
+func Sweep(opt SweepOptions) (*SweepResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	points := opt.numPoints()
+	cells := points * opt.Reps
+	workers := opt.workers(cells)
+	start := time.Now()
+
+	// Build every point's net up front, serially: parameter mutation in
+	// Build hooks stays single-threaded, and workers only ever read.
+	nets := make([]*petri.Net, points)
+	headers := make([]trace.Header, points)
+	pts := make([]Point, points)
+	for p := 0; p < points; p++ {
+		pts[p] = opt.point(p)
+		net, err := opt.Build(pts[p])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: building point %d (%s): %w", p, pts[p].String(), err)
+		}
+		nets[p] = net
+		headers[p] = trace.HeaderOf(net)
+	}
+
+	perCell := make([]*stats.Stats, cells)
+	runs := make([]sim.Result, cells)
+	vals := make([][][]float64, points) // [point][metric][rep]
+	for p := range vals {
+		vals[p] = make([][]float64, len(opt.Metrics))
+		for m := range vals[p] {
+			vals[p][m] = make([]float64, opt.Reps)
+		}
+	}
+
+	// Worker-confined engine state: engines are rebuilt only on point
+	// boundaries, so consecutive cells of one point reuse the engine.
+	type workerState struct {
+		point int
+		eng   *sim.Engine
+	}
+	ws := make([]workerState, workers)
+	for i := range ws {
+		ws[i].point = -1
+	}
+
+	if cell, err := runPool(workers, cells, func(worker, cell int) error {
+		p, rep := cell/opt.Reps, cell%opt.Reps
+		w := &ws[worker]
+		if w.point != p {
+			w.eng = sim.NewEngine(nets[p])
+			w.point = p
+		}
+		so := opt.Sim
+		so.Seed = opt.BaseSeed + int64(cell)
+		acc := stats.New(headers[p])
+		res, err := w.eng.Run(acc, so)
+		if err != nil {
+			return err
+		}
+		for m := range opt.Metrics {
+			v, err := opt.Metrics[m].Eval(acc)
+			if err != nil {
+				return err
+			}
+			vals[p][m][rep] = v
+		}
+		perCell[cell] = acc
+		runs[cell] = res
+		return nil
+	}); err != nil {
+		p, rep := cell/opt.Reps, cell%opt.Reps
+		return nil, fmt.Errorf("experiment: point %d (%s) replication %d: %w", p, pts[p].String(), rep, err)
+	}
+
+	r := &SweepResult{
+		Axes:    opt.Axes,
+		Points:  make([]PointResult, points),
+		Reps:    opt.Reps,
+		Workers: workers,
+		names:   make([]string, len(opt.Metrics)),
+	}
+	for m := range opt.Metrics {
+		r.names[m] = opt.Metrics[m].Name
+	}
+	for p := 0; p < points; p++ {
+		// Fold each point in replication order: floating-point sums then
+		// associate the same way no matter how cells were scheduled.
+		pooled := perCell[p*opt.Reps]
+		for rep := 1; rep < opt.Reps; rep++ {
+			if err := pooled.Merge(perCell[p*opt.Reps+rep]); err != nil {
+				return nil, fmt.Errorf("experiment: merging point %d replication %d: %w", p, rep, err)
+			}
+		}
+		pr := PointResult{
+			Point:     pts[p],
+			Pooled:    pooled,
+			Summaries: make([]stats.Summary, len(opt.Metrics)),
+			Values:    vals[p],
+			Runs:      runs[p*opt.Reps : (p+1)*opt.Reps],
+		}
+		for m := range opt.Metrics {
+			pr.Summaries[m] = stats.Summarize(vals[p][m])
+		}
+		r.Points[p] = pr
+		for _, run := range pr.Runs {
+			r.Events += run.Ends
+		}
+	}
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteTable renders the sweep as an aligned text table: one row per
+// grid point, one column per axis, then "mean ±ci95" per metric.
+func (r *SweepResult) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, ax := range r.Axes {
+		fmt.Fprintf(tw, "%s\t", ax.Name)
+	}
+	for _, n := range r.names {
+		fmt.Fprintf(tw, "%s\t", n)
+	}
+	fmt.Fprintln(tw)
+	for _, pt := range r.Points {
+		for _, v := range pt.Point.Values {
+			fmt.Fprintf(tw, "%s\t", formatG(v))
+		}
+		for _, s := range pt.Summaries {
+			fmt.Fprintf(tw, "%.4f ±%.4f\t", s.Mean, s.CI95)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders the sweep as CSV: one row per grid point, one
+// column per axis, then mean/ci95/stddev columns per metric. Floats
+// print with full precision, so equal results encode to equal bytes —
+// the determinism tests compare sweeps through this encoding.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := make([]string, 0, len(r.Axes)+3*len(r.names))
+	for _, ax := range r.Axes {
+		head = append(head, ax.Name)
+	}
+	for _, n := range r.names {
+		head = append(head, n+" mean", n+" ci95", n+" sd")
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	row := make([]string, 0, cap(head))
+	for _, pt := range r.Points {
+		row = row[:0]
+		for _, v := range pt.Point.Values {
+			row = append(row, formatG(v))
+		}
+		for _, s := range pt.Summaries {
+			row = append(row, formatG(s.Mean), formatG(s.CI95), formatG(s.StdDev))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

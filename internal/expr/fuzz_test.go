@@ -1,0 +1,54 @@
+package expr
+
+import "testing"
+
+// FuzzParseExpr hardens the expression parser used for .pn delay
+// expressions and transition predicates: arbitrary input must either
+// error or produce an AST whose String form re-parses to the same
+// String (the printer and parser agree on precedence and syntax).
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"1", "x", "a + b * 2", "-(x)", "!(a < b)", "tb[i + 1]",
+		"a ? b : c", "min(a, max(b, 3))", "rand(10)",
+		"(a && b) || !(c == d)", "x % (y - 1)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		s := e.String()
+		e2, err := ParseExpr(s)
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %v\ninput: %q\nprinted: %q", err, src, s)
+		}
+		if s2 := e2.String(); s2 != s {
+			t.Fatalf("String is not stable:\nfirst:  %q\nsecond: %q", s, s2)
+		}
+	})
+}
+
+// FuzzParseProgram does the same for action bodies (statement lists).
+func FuzzParseProgram(f *testing.F) {
+	for _, seed := range []string{
+		"x = 1;", "x = x + 1; y = tb[x];", "", "x = a ? 1 : 0;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %v\ninput: %q\nprinted: %q", err, src, s)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String is not stable:\nfirst:  %q\nsecond: %q", s, s2)
+		}
+	})
+}

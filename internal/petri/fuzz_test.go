@@ -1,0 +1,29 @@
+package petri
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseMarking hardens the marking codec used by trace records:
+// any input either errors or yields a marking whose Key re-parses to
+// an equal marking (Key/ParseMarking are inverse up to canonical
+// integer form).
+func FuzzParseMarking(f *testing.F) {
+	for _, seed := range []string{"", "0", "1,2,3", "-1,007", "6,0,1,0,0,0,0,0,0,1,0,0,0,0,1,0,0"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseMarking(src)
+		if err != nil {
+			return
+		}
+		m2, err := ParseMarking(m.Key())
+		if err != nil {
+			t.Fatalf("Key output does not re-parse: %v\ninput: %q\nkey: %q", err, src, m.Key())
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("Key round-trip changed the marking: %v -> %v", m, m2)
+		}
+	})
+}

@@ -91,3 +91,24 @@ func copyArcs(tb *TransBuilder, n *Net, tr *Transition) {
 		tb.Inhib(n.Places[a.Place].Name, a.Weight)
 	}
 }
+
+// WithVars returns a copy of the net whose variable environment has the
+// given overrides applied. Every override must name an existing var —
+// a sweep over net variables should catch typos, not silently add
+// unused ones. The structural part of the net is shared with the
+// original (it is immutable); only the Vars map is fresh, which is
+// exactly what Net.NewEnv reads when a run starts.
+func (n *Net) WithVars(over map[string]int64) (*Net, error) {
+	clone := *n
+	clone.Vars = make(map[string]int64, len(n.Vars))
+	for k, v := range n.Vars {
+		clone.Vars[k] = v
+	}
+	for k, v := range over {
+		if _, ok := clone.Vars[k]; !ok {
+			return nil, fmt.Errorf("petri: net %s has no var %q", n.Name, k)
+		}
+		clone.Vars[k] = v
+	}
+	return &clone, nil
+}

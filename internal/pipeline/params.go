@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/petri"
+)
+
+// ErrUnknownParam marks a Set/ApplyParam failure caused by the name
+// not existing (as opposed to a bad value for a known name).
+var ErrUnknownParam = errors.New("unknown parameter")
+
+// This file is the parameter-mutation surface used by sweep drivers
+// (package experiment, cmd/pnut-sweep, the benchmark harness): Clone
+// gives every grid point its own parameter struct, Set mutates one
+// named scalar, and ApplyParam routes a name to whichever struct
+// defines it.
+
+// Clone returns a deep copy of p: the ExecCycles/ExecFreqs slices are
+// unshared, so a sweep point can mutate its parameters without
+// affecting any other point's.
+func (p Params) Clone() Params {
+	p.ExecCycles = append([]petri.Time(nil), p.ExecCycles...)
+	p.ExecFreqs = append([]float64(nil), p.ExecFreqs...)
+	return p
+}
+
+// Clone returns a copy of c. CacheParams holds no reference types, so
+// the value copy is already deep; the method exists for symmetry with
+// Params.Clone in generic sweep code.
+func (c CacheParams) Clone() CacheParams { return c }
+
+func asInt(name string, v float64) (int64, error) {
+	if v != math.Trunc(v) || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("pipeline: %s wants an integer, got %g", name, v)
+	}
+	return int64(v), nil
+}
+
+// Set assigns the named scalar parameter. Recognized names are the
+// scalar Params fields: BufferWords, PrefetchWords, MemoryCycles,
+// DecodeCycles, EACyclesPerOperand, StoreProb. Validation of the new
+// value is left to Validate, so a sweep reports range errors with the
+// builder's usual messages.
+func (p *Params) Set(name string, v float64) error {
+	switch name {
+	case "BufferWords", "PrefetchWords":
+		n, err := asInt(name, v)
+		if err != nil {
+			return err
+		}
+		if name == "BufferWords" {
+			p.BufferWords = int(n)
+		} else {
+			p.PrefetchWords = int(n)
+		}
+	case "MemoryCycles", "DecodeCycles", "EACyclesPerOperand":
+		n, err := asInt(name, v)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "MemoryCycles":
+			p.MemoryCycles = petri.Time(n)
+		case "DecodeCycles":
+			p.DecodeCycles = petri.Time(n)
+		default:
+			p.EACyclesPerOperand = petri.Time(n)
+		}
+	case "StoreProb":
+		p.StoreProb = v
+	default:
+		return fmt.Errorf("pipeline: %w: no Params field %q", ErrUnknownParam, name)
+	}
+	return nil
+}
+
+// Set assigns the named scalar cache parameter: IHitRatio, DHitRatio
+// or HitCycles.
+func (c *CacheParams) Set(name string, v float64) error {
+	switch name {
+	case "IHitRatio":
+		c.IHitRatio = v
+	case "DHitRatio":
+		c.DHitRatio = v
+	case "HitCycles":
+		n, err := asInt(name, v)
+		if err != nil {
+			return err
+		}
+		c.HitCycles = petri.Time(n)
+	default:
+		return fmt.Errorf("pipeline: %w: no CacheParams field %q", ErrUnknownParam, name)
+	}
+	return nil
+}
+
+// ParamNames lists every name ApplyParam accepts, for CLI usage text.
+func ParamNames() []string {
+	return []string{
+		"BufferWords", "PrefetchWords", "MemoryCycles", "DecodeCycles",
+		"EACyclesPerOperand", "StoreProb",
+		"IHitRatio", "DHitRatio", "HitCycles",
+	}
+}
+
+// ApplyParam sets a named parameter on whichever of p or c defines it.
+// c may be nil for cacheless models, in which case cache names are
+// rejected. A bad value for a known name is reported as-is; only a name
+// neither struct defines falls through to the unknown-parameter error.
+func ApplyParam(p *Params, c *CacheParams, name string, v float64) error {
+	err := p.Set(name, v)
+	if !errors.Is(err, ErrUnknownParam) {
+		return err
+	}
+	if c != nil {
+		err = c.Set(name, v)
+		if !errors.Is(err, ErrUnknownParam) {
+			return err
+		}
+	}
+	return fmt.Errorf("pipeline: %w %q (known: %v)", ErrUnknownParam, name, ParamNames())
+}
+
+// SweepProcessor is the shared sweep Build-hook body: it builds the
+// processor (cached=false) or the cache-extended processor
+// (cached=true) from the default parameters with the named overrides
+// applied, names[i] set to values[i]. Sweep drivers wrap it in a
+// one-line closure over their grid point.
+func SweepProcessor(cached bool, names []string, values []float64) (*petri.Net, error) {
+	if len(names) != len(values) {
+		return nil, fmt.Errorf("pipeline: %d names vs %d values", len(names), len(values))
+	}
+	p := DefaultParams().Clone()
+	var c *CacheParams
+	if cached {
+		cc := DefaultCacheParams().Clone()
+		c = &cc
+	}
+	for i, n := range names {
+		if err := ApplyParam(&p, c, n, values[i]); err != nil {
+			return nil, err
+		}
+	}
+	if cached {
+		return CacheProcessor(p, *c)
+	}
+	return Processor(p)
+}

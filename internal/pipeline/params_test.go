@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParamsCloneIsDeep: a sweep point mutating its cloned ExecCycles
+// must not leak into the base parameters.
+func TestParamsCloneIsDeep(t *testing.T) {
+	base := DefaultParams()
+	c := base.Clone()
+	c.ExecCycles[0] = 99
+	c.ExecFreqs[0] = 0.99
+	if base.ExecCycles[0] == 99 || base.ExecFreqs[0] == 0.99 {
+		t.Error("Clone shares slices with the original")
+	}
+}
+
+func TestParamsSet(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Set("MemoryCycles", 12); err != nil || p.MemoryCycles != 12 {
+		t.Errorf("Set(MemoryCycles, 12): %v, got %d", err, p.MemoryCycles)
+	}
+	if err := p.Set("StoreProb", 0.4); err != nil || p.StoreProb != 0.4 {
+		t.Errorf("Set(StoreProb, 0.4): %v, got %g", err, p.StoreProb)
+	}
+	if err := p.Set("BufferWords", 2.5); err == nil {
+		t.Error("fractional BufferWords accepted")
+	}
+	err := p.Set("NoSuchField", 1)
+	if !errors.Is(err, ErrUnknownParam) {
+		t.Errorf("unknown field error = %v, want ErrUnknownParam", err)
+	}
+}
+
+func TestApplyParamRouting(t *testing.T) {
+	p := DefaultParams()
+	c := DefaultCacheParams()
+	if err := ApplyParam(&p, &c, "DHitRatio", 0.7); err != nil || c.DHitRatio != 0.7 {
+		t.Errorf("ApplyParam(DHitRatio): %v, got %g", err, c.DHitRatio)
+	}
+	if err := ApplyParam(&p, &c, "DecodeCycles", 3); err != nil || p.DecodeCycles != 3 {
+		t.Errorf("ApplyParam(DecodeCycles): %v, got %d", err, p.DecodeCycles)
+	}
+	// A bad value for a known name reports the value error, not
+	// unknown-parameter.
+	if err := ApplyParam(&p, &c, "HitCycles", 1.5); err == nil || errors.Is(err, ErrUnknownParam) {
+		t.Errorf("bad HitCycles value error = %v", err)
+	}
+	// Cacheless models reject cache names.
+	if err := ApplyParam(&p, nil, "DHitRatio", 0.5); !errors.Is(err, ErrUnknownParam) {
+		t.Errorf("cacheless DHitRatio error = %v, want ErrUnknownParam", err)
+	}
+}

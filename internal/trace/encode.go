@@ -10,11 +10,24 @@ import (
 	"repro/internal/petri"
 )
 
+// writerBatchBytes is the record-batching threshold: encoded records
+// accumulate in the writer's own buffer and are handed to the
+// underlying io.Writer only when the batch fills (or on Flush / a
+// Final record). Batching keeps the encoder off the simulation hot
+// path: one engine event costs an append into an in-memory buffer, not
+// an io.Writer call.
+const writerBatchBytes = 32 * 1024
+
 // Writer streams trace records to an io.Writer in the text format. It
-// implements Observer, so a simulator can drive it directly.
+// implements Observer, so a simulator can drive it directly. Records
+// are encoded with append-style integer formatting into one reusable
+// batch buffer — no per-record allocation, one downstream write per
+// writerBatchBytes of trace.
 type Writer struct {
-	w          *bufio.Writer
+	w          io.Writer
 	h          Header
+	buf        []byte
+	err        error // first downstream write error, sticky
 	wroteHead  bool
 	numPlaces  int
 	numTrans   int
@@ -23,88 +36,129 @@ type Writer struct {
 
 // NewWriter returns a trace writer for traces described by h.
 // If flushEvery is true each record is flushed immediately — the "pipe
-// into a live analyzer" mode; otherwise call Flush (or write a Final
-// record) when done.
+// into a live analyzer" mode; otherwise records are batched and handed
+// downstream writerBatchBytes at a time, so call Flush (or write a
+// Final record) when done.
 func NewWriter(w io.Writer, h Header, flushEvery bool) *Writer {
 	return &Writer{
-		w: bufio.NewWriter(w), h: h,
+		w: w, h: h,
 		numPlaces: len(h.Places), numTrans: len(h.Trans),
 		flushEvery: flushEvery,
 	}
 }
 
-func (tw *Writer) writeHeader() error {
+func (tw *Writer) writeHeader() {
 	if tw.wroteHead {
-		return nil
+		return
 	}
 	tw.wroteHead = true
-	if _, err := fmt.Fprintf(tw.w, "pnut-trace 1\nnet %s\n", tw.h.Net); err != nil {
-		return err
-	}
+	tw.buf = append(tw.buf, "pnut-trace 1\nnet "...)
+	tw.buf = append(tw.buf, tw.h.Net...)
+	tw.buf = append(tw.buf, '\n')
 	for i, p := range tw.h.Places {
-		if _, err := fmt.Fprintf(tw.w, "place %d %s\n", i, p); err != nil {
-			return err
-		}
+		tw.buf = append(tw.buf, "place "...)
+		tw.buf = strconv.AppendInt(tw.buf, int64(i), 10)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = append(tw.buf, p...)
+		tw.buf = append(tw.buf, '\n')
 	}
 	for i, t := range tw.h.Trans {
-		if _, err := fmt.Fprintf(tw.w, "trans %d %s\n", i, t); err != nil {
-			return err
-		}
+		tw.buf = append(tw.buf, "trans "...)
+		tw.buf = strconv.AppendInt(tw.buf, int64(i), 10)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = append(tw.buf, t...)
+		tw.buf = append(tw.buf, '\n')
 	}
-	return nil
 }
 
-func formatDeltas(b *strings.Builder, deltas []Delta) {
+func appendDeltas(buf []byte, deltas []Delta) []byte {
 	for i, d := range deltas {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(b, "%d:%+d", d.Place, d.Change)
+		buf = strconv.AppendInt(buf, int64(d.Place), 10)
+		buf = append(buf, ':')
+		if d.Change >= 0 {
+			buf = append(buf, '+')
+		}
+		buf = strconv.AppendInt(buf, int64(d.Change), 10)
 	}
 	if len(deltas) == 0 {
-		b.WriteByte('-')
+		buf = append(buf, '-')
 	}
+	return buf
 }
 
 // Record implements Observer.
 func (tw *Writer) Record(rec *Record) error {
-	if err := tw.writeHeader(); err != nil {
-		return err
+	if tw.err != nil {
+		return tw.err
 	}
-	var b strings.Builder
+	tw.writeHeader()
 	switch rec.Kind {
 	case Initial:
 		if len(rec.Marking) != tw.numPlaces {
 			return fmt.Errorf("trace: initial marking has %d places, header has %d", len(rec.Marking), tw.numPlaces)
 		}
-		fmt.Fprintf(&b, "I %d %s", rec.Time, rec.Marking.Key())
+		tw.buf = append(tw.buf, 'I', ' ')
+		tw.buf = strconv.AppendInt(tw.buf, int64(rec.Time), 10)
+		tw.buf = append(tw.buf, ' ')
+		for i, c := range rec.Marking {
+			if i > 0 {
+				tw.buf = append(tw.buf, ',')
+			}
+			tw.buf = strconv.AppendInt(tw.buf, int64(c), 10)
+		}
 	case Start, End:
 		if int(rec.Trans) < 0 || int(rec.Trans) >= tw.numTrans {
 			return fmt.Errorf("trace: transition id %d out of range", rec.Trans)
 		}
-		fmt.Fprintf(&b, "%c %d %d ", byte(rec.Kind), rec.Time, rec.Trans)
-		formatDeltas(&b, rec.Deltas)
+		tw.buf = append(tw.buf, byte(rec.Kind), ' ')
+		tw.buf = strconv.AppendInt(tw.buf, int64(rec.Time), 10)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = strconv.AppendInt(tw.buf, int64(rec.Trans), 10)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = appendDeltas(tw.buf, rec.Deltas)
 	case Final:
-		fmt.Fprintf(&b, "F %d %d %d", rec.Time, rec.Starts, rec.Ends)
+		tw.buf = append(tw.buf, 'F', ' ')
+		tw.buf = strconv.AppendInt(tw.buf, int64(rec.Time), 10)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = strconv.AppendInt(tw.buf, rec.Starts, 10)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = strconv.AppendInt(tw.buf, rec.Ends, 10)
 	default:
 		return fmt.Errorf("trace: unknown record kind %q", rec.Kind)
 	}
-	b.WriteByte('\n')
-	if _, err := tw.w.WriteString(b.String()); err != nil {
-		return err
-	}
-	if tw.flushEvery || rec.Kind == Final {
-		return tw.w.Flush()
+	tw.buf = append(tw.buf, '\n')
+	if tw.flushEvery || rec.Kind == Final || len(tw.buf) >= writerBatchBytes {
+		return tw.Flush()
 	}
 	return nil
 }
 
-// Flush drains buffered output.
+// Flush hands the batched records to the underlying writer. A
+// downstream write error is sticky: the unwritten batch is retained
+// (no records are silently dropped) and every later Record or Flush
+// returns the same error, matching bufio.Writer's contract.
 func (tw *Writer) Flush() error {
-	if err := tw.writeHeader(); err != nil {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.writeHeader()
+	if len(tw.buf) == 0 {
+		return nil
+	}
+	n, err := tw.w.Write(tw.buf)
+	if err == nil && n < len(tw.buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		tw.err = err
+		tw.buf = tw.buf[:copy(tw.buf, tw.buf[n:])]
 		return err
 	}
-	return tw.w.Flush()
+	tw.buf = tw.buf[:0]
+	return nil
 }
 
 // Reader parses the text format as a stream.

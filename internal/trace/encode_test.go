@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -134,5 +135,53 @@ func TestKindString(t *testing.T) {
 		if got := k.String(); got != want {
 			t.Errorf("%v = %q, want %q", byte(k), got, want)
 		}
+	}
+}
+
+// BenchmarkWriter measures the encode hot path the simulator drives:
+// batched records (the default) versus flush-per-record streaming.
+func BenchmarkWriter(b *testing.B) {
+	rec := Record{
+		Kind: End, Time: 123456, Trans: 1,
+		Deltas: []Delta{{Place: 0, Change: 1}, {Place: 2, Change: -3}},
+	}
+	for _, mode := range []struct {
+		name       string
+		flushEvery bool
+	}{{"batched", false}, {"flushEvery", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := NewWriter(io.Discard, header(), mode.flushEvery)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := w.Record(&rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWriterErrorIsSticky: after a downstream write error the writer
+// must keep failing (no silent gap in the trace) and must not drop the
+// unwritten batch.
+func TestWriterErrorIsSticky(t *testing.T) {
+	fw := &failWriter{n: 0} // fails immediately
+	w := NewWriter(fw, header(), true)
+	rec := Record{Kind: Initial, Time: 0, Marking: petri.Marking{1, 2, 3}}
+	err1 := w.Record(&rec)
+	if err1 == nil {
+		t.Fatal("first Record did not surface the write error")
+	}
+	if err2 := w.Record(&rec); err2 != err1 {
+		t.Errorf("second Record = %v, want sticky %v", err2, err1)
+	}
+	if err3 := w.Flush(); err3 != err1 {
+		t.Errorf("Flush = %v, want sticky %v", err3, err1)
+	}
+	if len(w.buf) == 0 {
+		t.Error("unwritten batch was dropped on error")
 	}
 }
