@@ -23,14 +23,18 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/analytic"
 	"repro/internal/anim"
+	"repro/internal/dist"
 	"repro/internal/experiment"
 	"repro/internal/petri"
 	"repro/internal/pipeline"
@@ -38,6 +42,7 @@ import (
 	"repro/internal/reach"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweepcli"
 	"repro/internal/trace"
 	"repro/internal/tracer"
 )
@@ -326,6 +331,78 @@ func sweepBench(b *testing.B, workers int) {
 	}
 	b.ReportMetric(float64(events)/elapsed, "events/s")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// gridBenchConfig is the reference 16-cell grid of sweepBench as a CLI
+// config, so the distributed benchmarks launch workers with exactly the
+// same sweep shape.
+func gridBenchConfig() sweepcli.Config {
+	return sweepcli.Config{
+		Model:       "cache",
+		Horizon:     paperCycles,
+		Seed:        1988,
+		Reps:        4,
+		Axes:        sweepcli.Repeated{"DHitRatio=0.5,0.9", "MemoryCycles=1,5"},
+		Throughputs: sweepcli.Repeated{"Issue"},
+	}
+}
+
+// gridBench runs the reference grid through the distributed coordinator
+// and reports completed events per second, like sweepBench.
+func gridBench(b *testing.B, shards int, runner dist.Runner) {
+	cfg := gridBenchConfig()
+	opt, _, err := cfg.Options()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int64
+	var elapsed float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dist.Execute(context.Background(), opt, dist.Options{Shards: shards, Runner: runner})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = r.Events
+		elapsed = r.Elapsed.Seconds()
+	}
+	b.ReportMetric(float64(events)/elapsed, "events/s")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkGridLocal isolates the cell-record codec: the same 16 cells
+// as BenchmarkSweepParallel, but every cell round-trips through the
+// JSONL encoding. Compare ns/op against BenchmarkSweepParallel for the
+// pure serialization overhead.
+func BenchmarkGridLocal(b *testing.B) {
+	cfg := gridBenchConfig()
+	opt, _, err := cfg.Options()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gridBench(b, 2, dist.LocalRunner(opt))
+}
+
+// BenchmarkGridDistributed runs the same grid across 2 real worker
+// processes (pnut-sweep -emit cells), quantifying the full per-process
+// overhead — spawn, pipe, JSONL round-trip — against
+// BenchmarkSweepParallel's in-process pool.
+func BenchmarkGridDistributed(b *testing.B) {
+	cfg := gridBenchConfig()
+	opt, name, err := cfg.Options()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := filepath.Join(b.TempDir(), "pnut-sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pnut-sweep").CombinedOutput(); err != nil {
+		b.Fatalf("building worker: %v\n%s", err, out)
+	}
+	meta := experiment.MetaOf(opt, name)
+	runner, err := dist.NewExecRunner(append([]string{bin}, cfg.WorkerArgs(0)...), &meta, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gridBench(b, 2, runner)
 }
 
 // BenchmarkSweepSerial is the baseline: all 16 grid cells on a single

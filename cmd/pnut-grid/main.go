@@ -1,0 +1,139 @@
+// pnut-grid is the distributed sweep coordinator: it executes the same
+// parameter grid as pnut-sweep, but across worker OS processes instead
+// of goroutines — and produces bit-for-bit the same stdout.
+//
+// The grid's (point, replication) cells are partitioned into -procs
+// contiguous point-major shards; each shard is dispatched as a worker
+// process
+//
+//	<worker-cmd> <sweep flags> -cells lo:hi -emit cells
+//
+// whose stdout streams one JSONL cell record per finished cell (see
+// pnut-sweep -emit cells). The worker command is a template: the
+// default spawns pnut-sweep locally (found on $PATH or next to
+// pnut-grid), and a prefix like
+//
+//	pnut-grid -worker-cmd 'ssh build2 pnut-sweep' ...
+//
+// runs shards on another machine — the JSONL stream on stdout is the
+// only interchange, exactly the compose-small-tools-over-pipes
+// philosophy of the suite.
+//
+// With -journal, completed cells are checkpointed as they arrive. If a
+// worker dies, the run fails but keeps the journal; re-running the same
+// command re-dispatches only the missing cells and emits output
+// identical to a run that never failed. Workers, shard counts and
+// goroutine counts never change a result byte: cell c always runs with
+// seed -seed + c, and the coordinator merges complete grids in cell
+// order.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiment"
+	"repro/internal/sweepcli"
+)
+
+func main() {
+	var cfg sweepcli.Config
+	cfg.Register(flag.CommandLine)
+	format := flag.String("format", "table", "output format: table or csv")
+	procs := flag.Int("procs", 2, "worker processes (shards); results never depend on it")
+	workerCmd := flag.String("worker-cmd", "pnut-sweep",
+		"worker command template (whitespace-split; sweep flags and -cells/-emit are appended)")
+	journal := flag.String("journal", "", "checkpoint file: cells are journaled as they arrive; an existing journal resumes")
+	verbose := flag.Bool("v", false, "log dispatch progress to stderr")
+	flag.Parse()
+
+	opt, name, err := cfg.Options()
+	if err != nil {
+		fatal(err)
+	}
+
+	argv := strings.Fields(*workerCmd)
+	if len(argv) == 0 {
+		fatal(fmt.Errorf("empty -worker-cmd"))
+	}
+	if resolved, err := resolveWorker(argv[0]); err != nil {
+		fatal(err)
+	} else {
+		argv[0] = resolved
+	}
+	argv = append(argv, cfg.WorkerArgs(cfg.Parallel)...)
+
+	meta := experiment.MetaOf(opt, name)
+	runner, err := dist.NewExecRunner(argv, &meta, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	copt := dist.Options{
+		Shards:  *procs,
+		Runner:  runner,
+		Journal: *journal,
+		Meta:    &meta,
+	}
+	if *verbose {
+		copt.Log = os.Stderr
+	}
+
+	r, err := dist.Execute(context.Background(), opt, copt)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	switch *format {
+	case "table":
+		fmt.Fprintf(os.Stderr, "pnut-grid: sweep %s: %d points x %d replications, base seed %d, %d worker processes\n",
+			name, len(r.Points), r.Reps, cfg.Seed, *procs)
+		err = r.WriteTable(out)
+	case "csv":
+		err = r.WriteCSV(out)
+	default:
+		err = fmt.Errorf("unknown -format %q (want table or csv)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pnut-grid: %s: points=%d reps=%d procs=%d elapsed=%s (%.0f events/s)\n",
+		name, len(r.Points), r.Reps, *procs, r.Elapsed.Round(time.Microsecond),
+		float64(r.Events)/r.Elapsed.Seconds())
+}
+
+// resolveWorker finds the worker binary: $PATH first, then — for the
+// plain default — next to the pnut-grid executable, so a freshly built
+// tool directory works without PATH surgery.
+func resolveWorker(cmd string) (string, error) {
+	if strings.ContainsRune(cmd, os.PathSeparator) {
+		return cmd, nil // explicit path: use as-is
+	}
+	if p, err := exec.LookPath(cmd); err == nil {
+		return p, nil
+	}
+	self, err := os.Executable()
+	if err == nil {
+		sibling := filepath.Join(filepath.Dir(self), cmd)
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	return "", fmt.Errorf("worker command %q not found on $PATH or next to pnut-grid", cmd)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-grid:", err)
+	os.Exit(1)
+}

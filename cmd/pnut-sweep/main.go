@@ -3,12 +3,12 @@
 // memory speed, ...) across a grid of simulation experiments and
 // compare the resulting performance curves.
 //
-// Axes are given as -axis Name=v1,v2,...; their cartesian product is
-// the grid. Each grid point runs -reps independent replications, and
-// all (point, replication) cells fan through one shared worker pool.
-// Cell (p, r) always runs with seed -seed + p*reps + r, so the output
-// is bit-for-bit reproducible for any -parallel value — the worker
-// count only changes wall-clock time.
+// Axes are given as -axis Name=v1,v2,... or -axis Name=lo:hi:step;
+// their cartesian product is the grid. Each grid point runs -reps
+// independent replications, and all (point, replication) cells fan
+// through one shared worker pool. Cell (p, r) always runs with seed
+// -seed + p*reps + r, so the output is bit-for-bit reproducible for any
+// -parallel value — the worker count only changes wall-clock time.
 //
 // Two model sources are supported:
 //
@@ -24,88 +24,60 @@
 //     var declarations, overridden per point.
 //
 // Results print as an aligned table (one row per point, mean ±95% CI
-// per metric) or as CSV with -format csv.
+// per metric) or as CSV with -format csv; run-shape and timing lines go
+// to stderr, so stdout is stable interchange.
+//
+// pnut-sweep is also the worker of the distributed driver (see
+// pnut-grid): with -emit cells it executes only its share of the grid —
+// -shard i/n (1-based) or an explicit cell span -cells lo:hi — and
+// streams one self-describing JSONL cell record per finished cell on
+// stdout. Any shard partition reassembles byte-identically to a single
+// in-process run.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiment"
-	"repro/internal/petri"
-	"repro/internal/pipeline"
-	"repro/internal/ptl"
-	"repro/internal/sim"
+	"repro/internal/sweepcli"
 )
 
-type repeated []string
-
-func (r *repeated) String() string { return strings.Join(*r, ", ") }
-
-func (r *repeated) Set(v string) error {
-	*r = append(*r, v)
-	return nil
-}
-
 func main() {
-	model := flag.String("model", "pipeline", "built-in model: pipeline or cache; axis names are parameters\n"+
-		strings.Join(pipeline.ParamNames(), ", "))
-	netPath := flag.String("net", "", "path to a .pn net (overrides -model; axis names are net vars)")
-	horizon := flag.Int64("horizon", 10_000, "simulation length in clock ticks per replication")
-	maxStarts := flag.Int64("max-starts", 0, "stop each replication after this many firings (0 = horizon only)")
-	seed := flag.Int64("seed", 1, "base seed; cell (point p, rep r) uses seed + p*reps + r")
-	reps := flag.Int("reps", 5, "independent replications per grid point")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
+	var cfg sweepcli.Config
+	cfg.Register(flag.CommandLine)
 	format := flag.String("format", "table", "output format: table or csv")
-	var axes, throughputs, utilizations repeated
-	flag.Var(&axes, "axis", "swept parameter as Name=v1,v2,... (repeatable; product of axes is the grid)")
-	flag.Var(&throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
-	flag.Var(&utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
+	shard := flag.String("shard", "", "with -emit cells: run shard i/n (1-based) of the cell grid")
+	cells := flag.String("cells", "", "with -emit cells: run only cells lo:hi (0-based, half-open)")
+	emit := flag.String("emit", "", `set to "cells" to stream per-cell JSONL records instead of a merged table`)
 	flag.Parse()
 
-	var parsed []experiment.Axis
-	for _, a := range axes {
-		ax, err := experiment.ParseAxis(a)
-		if err != nil {
-			fatal(err)
-		}
-		parsed = append(parsed, ax)
-	}
-
-	var metrics []experiment.Metric
-	for _, tr := range throughputs {
-		metrics = append(metrics, experiment.Throughput(tr))
-	}
-	for _, p := range utilizations {
-		metrics = append(metrics, experiment.Utilization(p))
-	}
-	if len(metrics) == 0 {
-		fmt.Fprintln(os.Stderr, "pnut-sweep: at least one -throughput or -utilization metric is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	build, name, err := buildHook(*netPath, *model)
+	opt, name, err := cfg.Options()
 	if err != nil {
 		fatal(err)
 	}
 
-	r, err := experiment.Sweep(experiment.SweepOptions{
-		Axes:     parsed,
-		Reps:     *reps,
-		Workers:  *parallel,
-		BaseSeed: *seed,
-		Sim: sim.Options{
-			Horizon:   *horizon,
-			MaxStarts: *maxStarts,
-		},
-		Metrics: metrics,
-		Build:   build,
-	})
+	if *emit != "" && *emit != "cells" {
+		fatal(fmt.Errorf("unknown -emit %q (want cells)", *emit))
+	}
+	if *emit == "cells" {
+		if err := emitCells(opt, name, *shard, *cells, cfg.Parallel); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *shard != "" || *cells != "" {
+		fatal(fmt.Errorf("-shard/-cells select a partial grid and require -emit cells"))
+	}
+
+	r, err := experiment.Sweep(opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -113,8 +85,8 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	switch *format {
 	case "table":
-		fmt.Fprintf(out, "sweep %s: %d points x %d replications, base seed %d, %d workers\n",
-			name, len(r.Points), r.Reps, *seed, r.Workers)
+		fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points x %d replications, base seed %d, %d workers\n",
+			name, len(r.Points), r.Reps, cfg.Seed, r.Workers)
 		err = r.WriteTable(out)
 	case "csv":
 		err = r.WriteCSV(out)
@@ -132,43 +104,84 @@ func main() {
 		float64(r.Events)/r.Elapsed.Seconds())
 }
 
-// buildHook returns the per-point net builder: either the built-in
-// pipeline models parameterized by name, or a .pn net with per-point
-// var overrides.
-func buildHook(netPath, model string) (func(experiment.Point) (*petri.Net, error), string, error) {
-	if netPath != "" {
-		src, err := os.ReadFile(netPath)
-		if err != nil {
-			return nil, "", err
-		}
-		base, err := ptl.Parse(string(src))
-		if err != nil {
-			return nil, "", err
-		}
-		return func(pt experiment.Point) (*petri.Net, error) {
-			over := make(map[string]int64, len(pt.Names))
-			for i, n := range pt.Names {
-				v := pt.Values[i]
-				if v != float64(int64(v)) {
-					return nil, fmt.Errorf("net var %s wants an integer, got %g", n, v)
-				}
-				over[n] = int64(v)
-			}
-			return base.WithVars(over)
-		}, base.Name, nil
+// emitCells is worker mode: run one span of the grid, stream cell
+// records on stdout.
+func emitCells(opt experiment.SweepOptions, name, shard, cells string, parallel int) error {
+	if err := opt.Validate(); err != nil {
+		return err
 	}
-	switch model {
-	case "pipeline", "cache":
-		cached := model == "cache"
-		name := "pipeline"
-		if cached {
-			name = "pipeline_cached"
-		}
-		return func(pt experiment.Point) (*petri.Net, error) {
-			return pipeline.SweepProcessor(cached, pt.Names, pt.Values)
-		}, name, nil
+	span, err := pickSpan(opt.NumCells(), shard, cells)
+	if err != nil {
+		return err
 	}
-	return nil, "", fmt.Errorf("unknown -model %q (want pipeline or cache)", model)
+	cw, err := experiment.NewCellWriter(os.Stdout, experiment.MetaOf(opt, name))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if span.Size() > 0 {
+		if _, err := experiment.RunCellsContext(context.Background(), opt, span.Lo, span.Hi, cw.Write); err != nil {
+			return err
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pnut-sweep: %s: cells %s of %d, workers=%d elapsed=%s\n",
+		name, span, opt.NumCells(), parallel, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+// pickSpan resolves the worker's share of the grid: an explicit -cells
+// span, a -shard i/n slot of the canonical plan, or the whole grid. A
+// shard index past the plan (more shards than cells) is an empty span:
+// the worker emits a valid stream with zero records.
+func pickSpan(numCells int, shard, cells string) (dist.Span, error) {
+	switch {
+	case shard != "" && cells != "":
+		return dist.Span{}, fmt.Errorf("-shard and -cells are mutually exclusive")
+	case cells != "":
+		lo, hi, err := splitInts(cells, ":")
+		if err != nil {
+			return dist.Span{}, fmt.Errorf("-cells %q is not lo:hi", cells)
+		}
+		if lo < 0 || hi > numCells || lo >= hi {
+			return dist.Span{}, fmt.Errorf("-cells %d:%d outside grid of %d cells", lo, hi, numCells)
+		}
+		return dist.Span{Lo: lo, Hi: hi}, nil
+	case shard != "":
+		i, n, err := splitInts(shard, "/")
+		if err != nil {
+			return dist.Span{}, fmt.Errorf("-shard %q is not i/n", shard)
+		}
+		if n < 1 || i < 1 || i > n {
+			return dist.Span{}, fmt.Errorf("-shard %d/%d: want 1 <= i <= n", i, n)
+		}
+		plan := dist.PlanShards(numCells, n)
+		if i > len(plan) {
+			return dist.Span{}, nil // more shards than cells: this one is empty
+		}
+		return plan[i-1], nil
+	default:
+		return dist.Span{Lo: 0, Hi: numCells}, nil
+	}
+}
+
+// splitInts parses exactly "a<sep>b" with no trailing garbage.
+func splitInts(s, sep string) (int, int, error) {
+	as, bs, ok := strings.Cut(s, sep)
+	if !ok {
+		return 0, 0, fmt.Errorf("missing %q", sep)
+	}
+	a, err := strconv.Atoi(as)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(bs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// A Runner executes one contiguous span of grid cells and hands every
+// completed cell to emit. LocalRunner runs spans in this process;
+// NewExecRunner spawns worker processes. emit may be called from the
+// runner's goroutine only; the coordinator serializes across runners.
+type Runner func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error
+
+// Options configure a distributed sweep execution.
+type Options struct {
+	// Shards is the number of dispatch partitions and the cap on
+	// concurrently running spans (one worker process each); < 1 means 1.
+	Shards int
+	// Runner executes one span. Required.
+	Runner Runner
+	// Journal, if non-empty, is the checkpoint file: completed cells are
+	// appended as they arrive, and an existing journal's cells are
+	// skipped and only the missing ones re-dispatched — with final
+	// output identical to an uninterrupted run.
+	Journal string
+	// Meta identifies the grid in streams and journals. Zero value:
+	// derived from the sweep options with an empty net name.
+	Meta *experiment.CellMeta
+	// Log, if non-nil, receives progress lines (resumed cells, dispatch
+	// plan, shard completions).
+	Log io.Writer
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, "dist: "+format+"\n", args...)
+	}
+}
+
+// Execute runs opt's sweep grid across shards via copt.Runner and
+// reassembles the exact in-process SweepResult: for any shard count and
+// any per-worker parallelism, the result — and every byte of its table,
+// CSV and pooled reports — is identical to experiment.Sweep(opt).
+//
+// On a runner error the remaining spans are cancelled and the error
+// returned; cells that completed before the failure are already
+// journaled, so a re-run with the same journal only pays for the rest.
+func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*experiment.SweepResult, error) {
+	if copt.Runner == nil {
+		return nil, fmt.Errorf("dist: Options.Runner is required")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cells := opt.NumCells()
+	shards := copt.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	meta := experiment.MetaOf(opt, "")
+	if copt.Meta != nil {
+		meta = *copt.Meta
+	}
+
+	byCell := make([]*experiment.CellRecord, cells)
+	have := 0
+	var jn *journal
+	if copt.Journal != "" {
+		recs, err := loadJournal(copt.Journal, meta)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recs {
+			rec := recs[i]
+			if rec.Cell < 0 || rec.Cell >= cells {
+				return nil, fmt.Errorf("dist: journal %s holds cell %d outside the %d-cell grid", copt.Journal, rec.Cell, cells)
+			}
+			byCell[rec.Cell] = &rec
+			have++
+		}
+		if have > 0 {
+			copt.logf("resumed %d/%d cells from %s", have, cells, copt.Journal)
+		}
+		jn, err = createJournal(copt.Journal, meta, recs)
+		if err != nil {
+			return nil, err
+		}
+		defer jn.close()
+	}
+
+	missing := MissingSpans(cells, func(c int) bool { return byCell[c] != nil })
+	units := planUnits(missing, shards)
+	if len(units) > 0 {
+		todo := cells - have
+		copt.logf("dispatching %d cells as %d shards (max %d concurrent)", todo, len(units), shards)
+
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var (
+			mu      sync.Mutex // guards byCell and the journal ordering
+			wg      sync.WaitGroup
+			errOnce sync.Once
+			firstE  error
+		)
+		fail := func(err error) {
+			errOnce.Do(func() { firstE = err })
+			cancel()
+		}
+		sem := make(chan struct{}, shards)
+		for _, unit := range units {
+			unit := unit
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-runCtx.Done():
+					return
+				}
+				emit := func(rec experiment.CellRecord) error {
+					if rec.Cell < unit.Lo || rec.Cell >= unit.Hi {
+						return fmt.Errorf("cell %d outside shard %s", rec.Cell, unit)
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					if byCell[rec.Cell] != nil {
+						return fmt.Errorf("cell %d delivered twice", rec.Cell)
+					}
+					if jn != nil {
+						if err := jn.append(rec); err != nil {
+							return err
+						}
+					}
+					r := rec
+					byCell[rec.Cell] = &r
+					return nil
+				}
+				if err := copt.Runner(runCtx, unit, emit); err != nil {
+					fail(fmt.Errorf("dist: shard %s: %w", unit, err))
+					return
+				}
+				copt.logf("shard %s done", unit)
+			}()
+		}
+		wg.Wait()
+		if firstE != nil {
+			if jn != nil {
+				return nil, fmt.Errorf("%w (completed cells are journaled in %s; re-run to resume)", firstE, copt.Journal)
+			}
+			return nil, firstE
+		}
+	} else {
+		copt.logf("journal already complete, nothing to dispatch")
+	}
+
+	recs := make([]experiment.CellRecord, 0, cells)
+	for c := 0; c < cells; c++ {
+		if byCell[c] == nil {
+			return nil, fmt.Errorf("dist: shard runners returned without delivering cell %d", c)
+		}
+		recs = append(recs, *byCell[c])
+	}
+	r, err := experiment.AssembleSweep(opt, recs)
+	if err != nil {
+		return nil, err
+	}
+	r.Workers = shards
+	r.Elapsed = time.Since(start)
+	return r, nil
+}
+
+// LocalRunner returns a Runner that executes spans in this process
+// through the shared shard runner, round-tripping every record through
+// the JSONL codec — the in-process path exercises exactly the bytes a
+// worker process would ship.
+func LocalRunner(opt experiment.SweepOptions) Runner {
+	return func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		_, err := experiment.RunCellsContext(ctx, opt, span.Lo, span.Hi, func(rec experiment.CellRecord) error {
+			line, err := experiment.EncodeCell(rec)
+			if err != nil {
+				return err
+			}
+			dec, err := experiment.DecodeCell(line)
+			if err != nil {
+				return err
+			}
+			return emit(dec)
+		})
+		return err
+	}
+}

@@ -1,0 +1,272 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+func gridOptions(reps, workers int) experiment.SweepOptions {
+	return experiment.SweepOptions{
+		Axes: []experiment.Axis{
+			{Name: "DHitRatio", Values: []float64{0.5, 0.9}},
+			{Name: "MemoryCycles", Values: []float64{1, 5}},
+		},
+		Reps:     reps,
+		Workers:  workers,
+		BaseSeed: 1988,
+		Sim:      sim.Options{Horizon: 1_500},
+		Metrics: []experiment.Metric{
+			experiment.Throughput("Issue"),
+			experiment.Utilization("Bus_busy"),
+		},
+		Build: func(pt experiment.Point) (*petri.Net, error) {
+			return pipeline.SweepProcessor(true, pt.Names, pt.Values)
+		},
+	}
+}
+
+// encode renders every deterministic artifact of a sweep — the CSV
+// (full-precision floats) and each point's pooled report — the same
+// byte-comparison the PR-2 determinism harness uses.
+func encode(t *testing.T, r *experiment.SweepResult) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range r.Points {
+		if err := pt.Pooled.Report(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestExecuteMatchesSweep is the tentpole property: for any shard count
+// x any per-worker goroutine count, the distributed execution is
+// byte-identical to the in-process Sweep.
+func TestExecuteMatchesSweep(t *testing.T) {
+	for _, reps := range []int{1, 3} {
+		opt := gridOptions(reps, 0)
+		want, err := experiment.Sweep(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnc := encode(t, want)
+		for _, shards := range []int{1, 2, 3, 4} {
+			for _, perWorker := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				workerOpt := opt
+				workerOpt.Workers = perWorker
+				got, err := Execute(context.Background(), opt, Options{
+					Shards: shards,
+					Runner: LocalRunner(workerOpt),
+				})
+				if err != nil {
+					t.Fatalf("reps=%d shards=%d perWorker=%d: %v", reps, shards, perWorker, err)
+				}
+				if encode(t, got) != wantEnc {
+					t.Errorf("reps=%d shards=%d perWorker=%d: distributed result differs from Sweep",
+						reps, shards, perWorker)
+				}
+			}
+		}
+	}
+}
+
+// flakyRunner wraps a Runner and kills the span containing victim after
+// it has emitted a few cells — a worker process dying mid-stream.
+func flakyRunner(inner Runner, victim int) Runner {
+	return func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		if victim < span.Lo || victim >= span.Hi {
+			return inner(ctx, span, emit)
+		}
+		err := inner(ctx, span, func(rec experiment.CellRecord) error {
+			if rec.Cell == victim {
+				return fmt.Errorf("worker killed at cell %d", victim)
+			}
+			return emit(rec)
+		})
+		return err
+	}
+}
+
+// TestKillOneWorkerAndResume is the resume contract: a run whose worker
+// dies mid-shard fails but journals its completed cells; re-running
+// with the same journal re-dispatches only the missing cells and ends
+// byte-identical to a run that never failed.
+func TestKillOneWorkerAndResume(t *testing.T) {
+	opt := gridOptions(3, 2) // 12 cells
+	want, err := experiment.Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+
+	// First run: the shard holding cell 8 dies after cell 7.
+	_, err = Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  flakyRunner(LocalRunner(opt), 8),
+		Journal: journal,
+	})
+	if err == nil || !strings.Contains(err.Error(), "killed at cell 8") {
+		t.Fatalf("sabotaged run error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "re-run to resume") {
+		t.Errorf("error does not point at the journal: %v", err)
+	}
+
+	// The journal holds only completed cells — and at least the healthy
+	// shard's.
+	recs, err := loadJournal(journal, experiment.MetaOf(opt, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[int]bool)
+	for _, rec := range recs {
+		if rec.Cell == 8 {
+			t.Error("journal holds the killed cell")
+		}
+		done[rec.Cell] = true
+	}
+	if len(done) == 0 || len(done) >= opt.NumCells() {
+		t.Fatalf("journal holds %d cells, want partial coverage", len(done))
+	}
+
+	// Resume with a healthy runner: only missing cells may run again.
+	var reran atomic.Int64
+	counting := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		for c := span.Lo; c < span.Hi; c++ {
+			if done[c] {
+				t.Errorf("resume re-dispatched journaled cell %d", c)
+			}
+		}
+		reran.Add(int64(span.Size()))
+		return LocalRunner(opt)(ctx, span, emit)
+	}
+	got, err := Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  counting,
+		Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(reran.Load()) != opt.NumCells()-len(done) {
+		t.Errorf("resume ran %d cells, want %d", reran.Load(), opt.NumCells()-len(done))
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("resumed run differs from an uninterrupted Sweep")
+	}
+
+	// Third run: journal is complete, nothing dispatches, output holds.
+	again, err := Execute(context.Background(), opt, Options{
+		Shards: 2,
+		Runner: func(context.Context, Span, func(experiment.CellRecord) error) error {
+			t.Error("complete journal still dispatched a shard")
+			return nil
+		},
+		Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encode(t, again) != encode(t, want) {
+		t.Error("replay from a complete journal differs from Sweep")
+	}
+}
+
+// TestJournalTruncatedTail: a kill mid-append leaves a half-written
+// line; loading drops it and the cell re-runs.
+func TestJournalTruncatedTail(t *testing.T) {
+	opt := gridOptions(2, 1) // 8 cells
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := Execute(context.Background(), opt, Options{
+		Shards: 1, Runner: LocalRunner(opt), Journal: journal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := raw[:len(raw)-37] // chop into the last record's JSON
+	if err := os.WriteFile(journal, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadJournal(journal, experiment.MetaOf(opt, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != opt.NumCells()-1 {
+		t.Errorf("truncated journal loaded %d cells, want %d", len(recs), opt.NumCells()-1)
+	}
+
+	want, err := experiment.Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Execute(context.Background(), opt, Options{
+		Shards: 2, Runner: LocalRunner(opt), Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("resume after truncation differs from Sweep")
+	}
+}
+
+// TestJournalGridMismatch: a journal from different sweep options is
+// rejected, not silently merged.
+func TestJournalGridMismatch(t *testing.T) {
+	opt := gridOptions(2, 1)
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := Execute(context.Background(), opt, Options{
+		Shards: 1, Runner: LocalRunner(opt), Journal: journal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seedDrift := opt
+	seedDrift.BaseSeed++
+	horizonDrift := opt
+	horizonDrift.Sim.Horizon++
+	for name, changed := range map[string]experiment.SweepOptions{
+		"seed": seedDrift, "horizon": horizonDrift,
+	} {
+		_, err := Execute(context.Background(), changed, Options{
+			Shards: 1, Runner: LocalRunner(changed), Journal: journal,
+		})
+		if err == nil || !strings.Contains(err.Error(), "different sweep") {
+			t.Errorf("%s drift error = %v", name, err)
+		}
+	}
+}
+
+// TestExecuteValidation covers the coordinator's own option errors.
+func TestExecuteValidation(t *testing.T) {
+	opt := gridOptions(2, 1)
+	if _, err := Execute(context.Background(), opt, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "Runner") {
+		t.Errorf("missing runner error = %v", err)
+	}
+	bad := opt
+	bad.Reps = 0
+	if _, err := Execute(context.Background(), bad, Options{Runner: LocalRunner(bad)}); err == nil ||
+		!strings.Contains(err.Error(), "Reps") {
+		t.Errorf("bad sweep options error = %v", err)
+	}
+}

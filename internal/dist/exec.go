@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+
+	"repro/internal/experiment"
+)
+
+// NewExecRunner returns a Runner that spawns one worker process per
+// span: the template command (argv[0] plus its fixed arguments — model,
+// axes, seed, metrics, ...) is extended with
+//
+//	-cells lo:hi -emit cells
+//
+// and must write a cell-record stream on stdout. Because the template
+// is ordinary argv, "machines" need no special support: an ssh or
+// container prefix in the template distributes the shard off-host, the
+// JSONL stream on stdout is the only interchange.
+//
+// meta, if non-nil, is checked against each worker's stream meta, so a
+// worker launched with drifted flags (different axes, seed or metrics)
+// is rejected instead of silently corrupting the grid. stderr, if
+// non-nil, receives the workers' stderr (timing lines).
+func NewExecRunner(argv []string, meta *experiment.CellMeta, stderr io.Writer) (Runner, error) {
+	if len(argv) == 0 || argv[0] == "" {
+		return nil, fmt.Errorf("dist: empty worker command")
+	}
+	return func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		args := append(append([]string(nil), argv[1:]...),
+			"-cells", span.String(), "-emit", "cells")
+		cmd := exec.CommandContext(ctx, argv[0], args...)
+		cmd.Stderr = stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting worker %q: %w", argv[0], err)
+		}
+		// Decode the stream as it arrives; on any decode/emit error,
+		// drain and reap the worker before reporting, so no process
+		// leaks past the coordinator.
+		streamErr := decodeStream(stdout, span, meta, emit)
+		if streamErr != nil {
+			io.Copy(io.Discard, stdout)
+		}
+		waitErr := cmd.Wait()
+		if waitErr != nil {
+			return fmt.Errorf("worker %q: %w", argv[0], waitErr)
+		}
+		return streamErr
+	}, nil
+}
+
+func decodeStream(r io.Reader, span Span, meta *experiment.CellMeta, emit func(experiment.CellRecord) error) error {
+	cr, err := experiment.NewCellReader(r)
+	if err != nil {
+		return err
+	}
+	if meta != nil {
+		got := cr.Meta()
+		if !got.SameGrid(meta) {
+			return fmt.Errorf("worker stream describes a different sweep (axes/reps/seed/metrics drifted)")
+		}
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+		n++
+	}
+	if n != span.Size() {
+		return fmt.Errorf("worker delivered %d of %d cells", n, span.Size())
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/experiment"
+)
+
+// A journal is the coordinator's checkpoint: the cell-record JSONL
+// stream (meta line + one line per completed cell) appended as records
+// arrive. It doubles as the resume state — loading it back yields the
+// cells a crashed or killed run already paid for.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// loadJournal reads an existing journal, validating that it belongs to
+// the same grid. A truncated final line (the typical residue of a
+// killed coordinator) is dropped; corruption anywhere else is an error, as is
+// a journal whose meta describes a different sweep. A missing file
+// returns no records and no error.
+func loadJournal(path string, want experiment.CellMeta) ([]experiment.CellRecord, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	// Find the last non-empty line: only that one may be truncated.
+	last := -1
+	for i, ln := range lines {
+		if len(bytes.TrimSpace(ln)) > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil, nil // empty file: treat as a fresh journal
+	}
+
+	cr, err := experiment.NewCellReader(bytes.NewReader(lines[0]))
+	if err != nil {
+		return nil, fmt.Errorf("dist: journal %s: %w", path, err)
+	}
+	meta := cr.Meta()
+	if !meta.SameGrid(&want) {
+		return nil, fmt.Errorf("dist: journal %s belongs to a different sweep (axes/reps/seed/metrics changed); delete it or pass a fresh -journal", path)
+	}
+
+	var recs []experiment.CellRecord
+	seen := make(map[int]bool)
+	for i := 1; i <= last; i++ {
+		ln := bytes.TrimSpace(lines[i])
+		if len(ln) == 0 {
+			continue
+		}
+		rec, err := experiment.DecodeCell(ln)
+		if err != nil {
+			if i == last {
+				break // truncated tail from a kill mid-write: re-run the cell
+			}
+			return nil, fmt.Errorf("dist: journal %s line %d: %w", path, i+1, err)
+		}
+		if seen[rec.Cell] {
+			continue // same cell journaled twice: records are identical by construction
+		}
+		seen[rec.Cell] = true
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// createJournal (re)writes the journal atomically with the meta line
+// and the already-completed records, then leaves it open for appends.
+// Rewriting on resume heals truncated tails and duplicate lines before
+// new records land behind them.
+func createJournal(path string, meta experiment.CellMeta, recs []experiment.CellRecord) (*journal, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	cw, err := experiment.NewCellWriter(tmp, meta)
+	if err == nil {
+		for _, rec := range recs {
+			if err = cw.Write(rec); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = cw.Flush()
+	}
+	if err == nil {
+		err = tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("dist: writing journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one completed cell, one whole line per write, so a
+// concurrent kill leaves at most one truncated tail.
+func (j *journal) append(rec experiment.CellRecord) error {
+	line, err := experiment.EncodeCell(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+func (j *journal) close() error { return j.f.Close() }

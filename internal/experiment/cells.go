@@ -1,0 +1,238 @@
+// The cell-record stream is the interchange format of the distributed
+// sweep: a self-describing, versioned JSONL stream — one meta line, then
+// one line per (point, replication) cell — that a worker process writes
+// on stdout and the coordinator journals and reassembles. JSON keeps the
+// compose-small-tools-over-streams property of the suite's textual
+// trace format (greppable, ssh-able, diffable), and Go's shortest
+// round-trip float encoding makes the stream exact: decoding restores
+// every statistic bit for bit (see stats.Snapshot).
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// CellFormat and CellVersion identify the cell-record stream format.
+// Readers reject other formats and newer versions.
+const (
+	CellFormat  = "pnut-cells"
+	CellVersion = 1
+)
+
+// CellMeta is the stream's first line: it pins the grid the records
+// belong to, so a coordinator can reject records from a different sweep
+// (and a resumed journal from changed options).
+type CellMeta struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Net names the swept model (informational).
+	Net string `json:"net,omitempty"`
+	// Axes, Reps and BaseSeed pin the grid shape and seed schedule;
+	// Horizon and MaxStarts pin the per-cell simulation length.
+	Axes      []Axis `json:"axes"`
+	Reps      int    `json:"reps"`
+	BaseSeed  int64  `json:"baseSeed"`
+	Horizon   int64  `json:"horizon"`
+	MaxStarts int64  `json:"maxStarts,omitempty"`
+	// Metrics names the per-cell metric values, in order.
+	Metrics []string `json:"metrics"`
+	// Cells is the grid's total cell count (points x reps).
+	Cells int `json:"cells"`
+}
+
+// MetaOf derives the stream meta for a sweep. netName may be empty.
+func MetaOf(opt SweepOptions, netName string) CellMeta {
+	m := CellMeta{
+		Format:    CellFormat,
+		Version:   CellVersion,
+		Net:       netName,
+		Axes:      opt.Axes,
+		Reps:      opt.Reps,
+		BaseSeed:  opt.BaseSeed,
+		Horizon:   opt.Sim.Horizon,
+		MaxStarts: opt.Sim.MaxStarts,
+		Cells:     opt.NumCells(),
+		Metrics:   make([]string, len(opt.Metrics)),
+	}
+	for i := range opt.Metrics {
+		m.Metrics[i] = opt.Metrics[i].Name
+	}
+	return m
+}
+
+// Check validates the meta's format tag and version.
+func (m *CellMeta) Check() error {
+	if m.Format != CellFormat {
+		return fmt.Errorf("experiment: stream format %q is not %q", m.Format, CellFormat)
+	}
+	if m.Version < 1 || m.Version > CellVersion {
+		return fmt.Errorf("experiment: cell stream version %d not supported (have %d)", m.Version, CellVersion)
+	}
+	return nil
+}
+
+// SameGrid reports whether two metas describe the same sweep: equal
+// axes, replication count, seed schedule, simulation length and metric
+// set. Net names are informational and not compared.
+func (m *CellMeta) SameGrid(o *CellMeta) bool {
+	if m.Reps != o.Reps || m.BaseSeed != o.BaseSeed || m.Cells != o.Cells ||
+		m.Horizon != o.Horizon || m.MaxStarts != o.MaxStarts ||
+		len(m.Axes) != len(o.Axes) || len(m.Metrics) != len(o.Metrics) {
+		return false
+	}
+	for i := range m.Axes {
+		if m.Axes[i].Name != o.Axes[i].Name || len(m.Axes[i].Values) != len(o.Axes[i].Values) {
+			return false
+		}
+		for j := range m.Axes[i].Values {
+			if m.Axes[i].Values[j] != o.Axes[i].Values[j] {
+				return false
+			}
+		}
+	}
+	for i := range m.Metrics {
+		if m.Metrics[i] != o.Metrics[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cellJSON is the wire form of one CellRecord line.
+type cellJSON struct {
+	Cell   int            `json:"cell"`
+	Point  int            `json:"point"`
+	Rep    int            `json:"rep"`
+	Seed   int64          `json:"seed"`
+	Values []float64      `json:"values"`
+	Stats  stats.Snapshot `json:"stats"`
+	Run    sim.Result     `json:"run"`
+}
+
+// EncodeCell renders one record as a single JSON line (no trailing
+// newline).
+func EncodeCell(rec CellRecord) ([]byte, error) {
+	if rec.Stats == nil {
+		return nil, fmt.Errorf("experiment: cell %d has no statistics to encode", rec.Cell)
+	}
+	return json.Marshal(cellJSON{
+		Cell: rec.Cell, Point: rec.Point, Rep: rec.Rep, Seed: rec.Seed,
+		Values: rec.Values,
+		Stats:  rec.Stats.Snapshot(),
+		Run:    rec.Run,
+	})
+}
+
+// DecodeCell parses one JSON cell line back into a record, restoring
+// the statistics accumulator exactly.
+func DecodeCell(line []byte) (CellRecord, error) {
+	var cj cellJSON
+	if err := json.Unmarshal(line, &cj); err != nil {
+		return CellRecord{}, fmt.Errorf("experiment: bad cell record: %w", err)
+	}
+	st, err := stats.FromSnapshot(cj.Stats)
+	if err != nil {
+		return CellRecord{}, fmt.Errorf("experiment: cell %d: %w", cj.Cell, err)
+	}
+	return CellRecord{
+		Cell: cj.Cell, Point: cj.Point, Rep: cj.Rep, Seed: cj.Seed,
+		Values: cj.Values,
+		Stats:  st,
+		Run:    cj.Run,
+	}, nil
+}
+
+// CellWriter streams a meta line then cell records to w as JSONL.
+type CellWriter struct {
+	w *bufio.Writer
+}
+
+// NewCellWriter writes the meta line (normalizing Format/Version) and
+// returns a writer for the records.
+func NewCellWriter(w io.Writer, meta CellMeta) (*CellWriter, error) {
+	meta.Format, meta.Version = CellFormat, CellVersion
+	bw := bufio.NewWriter(w)
+	line, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bw.Write(append(line, '\n')); err != nil {
+		return nil, err
+	}
+	return &CellWriter{w: bw}, nil
+}
+
+// Write appends one record line. The line is flushed immediately: a
+// coordinator tailing the stream sees each cell as it completes, and a
+// killed worker leaves only whole lines (plus at most one truncated
+// tail) behind.
+func (cw *CellWriter) Write(rec CellRecord) error {
+	line, err := EncodeCell(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// Flush flushes buffered output.
+func (cw *CellWriter) Flush() error { return cw.w.Flush() }
+
+// maxCellLine bounds one JSONL line (a cell's full statistics snapshot);
+// 64 MiB is far above any real net.
+const maxCellLine = 64 << 20
+
+// CellReader decodes a cell-record stream: the meta line, then one
+// record per Read.
+type CellReader struct {
+	sc   *bufio.Scanner
+	meta CellMeta
+}
+
+// NewCellReader reads and validates the stream's meta line.
+func NewCellReader(r io.Reader) (*CellReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxCellLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("experiment: empty cell stream (no meta line)")
+	}
+	var meta CellMeta
+	if err := json.Unmarshal(bytes.TrimSpace(sc.Bytes()), &meta); err != nil {
+		return nil, fmt.Errorf("experiment: bad cell stream meta: %w", err)
+	}
+	if err := meta.Check(); err != nil {
+		return nil, err
+	}
+	return &CellReader{sc: sc, meta: meta}, nil
+}
+
+// Meta returns the stream's meta line.
+func (cr *CellReader) Meta() CellMeta { return cr.meta }
+
+// Read returns the next record, or io.EOF at end of stream. Blank
+// lines are skipped.
+func (cr *CellReader) Read() (CellRecord, error) {
+	for cr.sc.Scan() {
+		line := bytes.TrimSpace(cr.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		return DecodeCell(line)
+	}
+	if err := cr.sc.Err(); err != nil {
+		return CellRecord{}, err
+	}
+	return CellRecord{}, io.EOF
+}

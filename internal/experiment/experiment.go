@@ -19,6 +19,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -136,8 +137,10 @@ type cellError struct {
 // dynamic; do is called with the claiming worker's index so callers can
 // keep worker-confined state (engines, scratch buffers) in a slice
 // indexed by worker. The first cell error stops the pool and is
-// returned together with its cell index.
-func runPool(workers, cells int, do func(worker, cell int) error) (int, error) {
+// returned together with its cell index. Cancelling ctx stops the pool
+// at the next cell boundary (in-flight cells finish first) and returns
+// ctx's error with cell index -1.
+func runPool(ctx context.Context, workers, cells int, do func(worker, cell int) error) (int, error) {
 	var (
 		next    atomic.Int64 // next cell to claim
 		failed  atomic.Bool
@@ -145,18 +148,25 @@ func runPool(workers, cells int, do func(worker, cell int) error) (int, error) {
 		firstE  cellError
 		wg      sync.WaitGroup
 	)
+	fail := func(cell int, err error) {
+		errOnce.Do(func() { firstE = cellError{cell, err} })
+		failed.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(-1, err)
+					return
+				}
 				cell := int(next.Add(1)) - 1
 				if cell >= cells {
 					return
 				}
 				if err := do(worker, cell); err != nil {
-					errOnce.Do(func() { firstE = cellError{cell, err} })
-					failed.Store(true)
+					fail(cell, err)
 					return
 				}
 			}
@@ -173,6 +183,14 @@ func runPool(workers, cells int, do func(worker, cell int) error) (int, error) {
 // worker pool and merges the results. The merged statistics and every
 // metric summary are bit-for-bit independent of the worker count.
 func Run(net *petri.Net, opt Options) (*Result, error) {
+	return RunContext(context.Background(), net, opt)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the pool
+// stops claiming replications (in-flight ones finish first) and ctx's
+// error is returned. A driver coordinating several experiments can
+// therefore abandon one without leaking its worker goroutines.
+func RunContext(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
 	if opt.Reps < 1 {
 		return nil, fmt.Errorf("experiment: Reps must be at least 1, got %d", opt.Reps)
 	}
@@ -188,7 +206,7 @@ func Run(net *petri.Net, opt Options) (*Result, error) {
 	}
 
 	engs := make([]*sim.Engine, workers)
-	if rep, err := runPool(workers, opt.Reps, func(worker, rep int) error {
+	if rep, err := runPool(ctx, workers, opt.Reps, func(worker, rep int) error {
 		if engs[worker] == nil {
 			engs[worker] = sim.NewEngine(net)
 		}
@@ -216,6 +234,9 @@ func Run(net *petri.Net, opt Options) (*Result, error) {
 		runs[rep] = res
 		return nil
 	}); err != nil {
+		if rep < 0 {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
 		return nil, fmt.Errorf("experiment: replication %d: %w", rep, err)
 	}
 

@@ -1,0 +1,242 @@
+// The shard runner is the distributed face of the sweep driver: a
+// sweep's (point, replication) cells form one flat grid, any contiguous
+// span of which can run in any OS process and be reassembled exactly.
+//
+// The contract mirrors the in-process pool cell for cell:
+//
+//   - Cell c = point*Reps + rep always runs with seed BaseSeed + c, in
+//     any process, on any worker goroutine.
+//   - A shard builds only the points its span touches, serially and in
+//     point order, before its pool starts.
+//   - AssembleSweep merges complete cell sets in cell order, so a grid
+//     split across 1, 2 or 40 processes produces bit-for-bit the result
+//     of the single-process Sweep. Package dist builds the shard plan,
+//     worker processes and resume journal on top of this contract.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/petri"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CellRecord is the complete outcome of one grid cell: everything a
+// coordinator needs to reassemble the exact in-process SweepResult.
+type CellRecord struct {
+	// Cell is the absolute grid index Point*Reps + Rep.
+	Cell  int
+	Point int
+	Rep   int
+	// Seed echoes the cell's effective seed, BaseSeed + Cell.
+	Seed int64
+	// Values holds the cell's metric values in SweepOptions.Metrics
+	// order.
+	Values []float64
+	// Stats is the cell's full statistics accumulator.
+	Stats *stats.Stats
+	// Run is the cell's simulation summary.
+	Run sim.Result
+}
+
+// RunCellsContext executes cells [lo, hi) of opt's grid through a
+// worker pool and returns their records in cell order. If emit is
+// non-nil it is additionally called once per record, serialized and in
+// cell order, as soon as every earlier cell of the span has finished —
+// a worker process streams records out while later cells still run. An
+// emit error stops the pool.
+//
+// Cancelling ctx stops the pool at the next cell boundary and returns
+// ctx's error.
+func RunCellsContext(ctx context.Context, opt SweepOptions, lo, hi int, emit func(CellRecord) error) ([]CellRecord, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	cells := opt.NumCells()
+	if lo < 0 || hi > cells || lo >= hi {
+		return nil, fmt.Errorf("experiment: cell span %d:%d outside grid of %d cells", lo, hi, cells)
+	}
+
+	// Build only the points the span touches, serially and in point
+	// order: parameter mutation in Build hooks stays single-threaded and
+	// workers only ever read.
+	p0, p1 := lo/opt.Reps, (hi-1)/opt.Reps
+	nets := make([]*petri.Net, p1-p0+1)
+	headers := make([]trace.Header, p1-p0+1)
+	pts := make([]Point, p1-p0+1)
+	for p := p0; p <= p1; p++ {
+		pts[p-p0] = opt.point(p)
+		net, err := opt.Build(pts[p-p0])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: building point %d (%s): %w", p, pts[p-p0].String(), err)
+		}
+		nets[p-p0] = net
+		headers[p-p0] = trace.HeaderOf(net)
+	}
+
+	span := hi - lo
+	workers := opt.workers(span)
+	recs := make([]CellRecord, span)
+
+	// Worker-confined engine state: engines are rebuilt only on point
+	// boundaries, so consecutive cells of one point reuse the engine.
+	type workerState struct {
+		point int
+		eng   *sim.Engine
+	}
+	ws := make([]workerState, workers)
+	for i := range ws {
+		ws[i].point = -1
+	}
+
+	// In-order streaming: when cell k lands, flush every consecutive
+	// finished record from the emit cursor.
+	var (
+		emitMu   sync.Mutex
+		emitNext int
+		done     []bool
+	)
+	if emit != nil {
+		done = make([]bool, span)
+	}
+
+	if idx, err := runPool(ctx, workers, span, func(worker, idx int) error {
+		cell := lo + idx
+		p, rep := cell/opt.Reps, cell%opt.Reps
+		w := &ws[worker]
+		if w.point != p {
+			w.eng = sim.NewEngine(nets[p-p0])
+			w.point = p
+		}
+		so := opt.Sim
+		so.Seed = opt.BaseSeed + int64(cell)
+		acc := stats.New(headers[p-p0])
+		res, err := w.eng.Run(acc, so)
+		if err != nil {
+			return err
+		}
+		rec := CellRecord{
+			Cell: cell, Point: p, Rep: rep,
+			Seed:   so.Seed,
+			Values: make([]float64, len(opt.Metrics)),
+			Stats:  acc,
+			Run:    res,
+		}
+		for m := range opt.Metrics {
+			v, err := opt.Metrics[m].Eval(acc)
+			if err != nil {
+				return err
+			}
+			rec.Values[m] = v
+		}
+		recs[idx] = rec
+		if emit == nil {
+			return nil
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		done[idx] = true
+		for emitNext < span && done[emitNext] {
+			if err := emit(recs[emitNext]); err != nil {
+				return fmt.Errorf("emitting cell %d: %w", lo+emitNext, err)
+			}
+			emitNext++
+		}
+		return nil
+	}); err != nil {
+		if idx < 0 {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		cell := lo + idx
+		p, rep := cell/opt.Reps, cell%opt.Reps
+		return nil, fmt.Errorf("experiment: point %d (%s) replication %d: %w", p, pts[p-p0].String(), rep, err)
+	}
+	return recs, nil
+}
+
+// AssembleSweep reassembles a complete set of cell records — in any
+// order, from any number of shards or processes — into the exact
+// SweepResult the in-process Sweep produces: per-point statistics merge
+// in replication order and metric values summarize in replication
+// order, so the floating-point arithmetic associates identically.
+//
+// Records' Stats are merged in place (the first record of each point
+// becomes the pool), exactly as the in-process driver treats its
+// per-cell accumulators. Workers and Elapsed are left for the caller:
+// they describe the run, not the result.
+func AssembleSweep(opt SweepOptions, recs []CellRecord) (*SweepResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	points, cells := opt.NumPoints(), opt.NumCells()
+	byCell := make([]*CellRecord, cells)
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Cell < 0 || rec.Cell >= cells {
+			return nil, fmt.Errorf("experiment: cell record %d outside grid of %d cells", rec.Cell, cells)
+		}
+		if byCell[rec.Cell] != nil {
+			return nil, fmt.Errorf("experiment: duplicate record for cell %d", rec.Cell)
+		}
+		if len(rec.Values) != len(opt.Metrics) {
+			return nil, fmt.Errorf("experiment: cell %d has %d metric values, sweep has %d metrics",
+				rec.Cell, len(rec.Values), len(opt.Metrics))
+		}
+		if rec.Stats == nil {
+			return nil, fmt.Errorf("experiment: cell %d has no statistics", rec.Cell)
+		}
+		byCell[rec.Cell] = rec
+	}
+	for c, rec := range byCell {
+		if rec == nil {
+			return nil, fmt.Errorf("experiment: incomplete grid: missing cell %d of %d", c, cells)
+		}
+	}
+
+	r := &SweepResult{
+		Axes:   opt.Axes,
+		Points: make([]PointResult, points),
+		Reps:   opt.Reps,
+		names:  make([]string, len(opt.Metrics)),
+	}
+	for m := range opt.Metrics {
+		r.names[m] = opt.Metrics[m].Name
+	}
+	for p := 0; p < points; p++ {
+		// Fold each point in replication order: floating-point sums then
+		// associate the same way no matter how cells were scheduled.
+		pooled := byCell[p*opt.Reps].Stats
+		for rep := 1; rep < opt.Reps; rep++ {
+			if err := pooled.Merge(byCell[p*opt.Reps+rep].Stats); err != nil {
+				return nil, fmt.Errorf("experiment: merging point %d replication %d: %w", p, rep, err)
+			}
+		}
+		pr := PointResult{
+			Point:     opt.point(p),
+			Pooled:    pooled,
+			Summaries: make([]stats.Summary, len(opt.Metrics)),
+			Values:    make([][]float64, len(opt.Metrics)),
+			Runs:      make([]sim.Result, opt.Reps),
+		}
+		for m := range opt.Metrics {
+			pr.Values[m] = make([]float64, opt.Reps)
+		}
+		for rep := 0; rep < opt.Reps; rep++ {
+			rec := byCell[p*opt.Reps+rep]
+			pr.Runs[rep] = rec.Run
+			for m := range rec.Values {
+				pr.Values[m][rep] = rec.Values[m]
+			}
+			r.Events += rec.Run.Ends
+		}
+		for m := range opt.Metrics {
+			pr.Summaries[m] = stats.Summarize(pr.Values[m])
+		}
+		r.Points[p] = pr
+	}
+	return r, nil
+}

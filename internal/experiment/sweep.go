@@ -25,9 +25,11 @@
 package experiment
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -36,7 +38,6 @@ import (
 	"repro/internal/petri"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 // Axis is one swept parameter: a name plus the values it takes. The
@@ -109,13 +110,19 @@ type SweepOptions struct {
 	Build func(Point) (*petri.Net, error)
 }
 
-func (o *SweepOptions) numPoints() int {
+// NumPoints returns the number of grid points (the product of the axis
+// sizes; 1 for zero axes).
+func (o *SweepOptions) NumPoints() int {
 	n := 1
 	for _, ax := range o.Axes {
 		n *= len(ax.Values)
 	}
 	return n
 }
+
+// NumCells returns the total number of (point, replication) cells —
+// the unit a distributed shard plan partitions.
+func (o *SweepOptions) NumCells() int { return o.NumPoints() * o.Reps }
 
 func (o *SweepOptions) workers(cells int) int {
 	w := o.Workers
@@ -146,7 +153,10 @@ func (o *SweepOptions) point(idx int) Point {
 	return pt
 }
 
-func (o *SweepOptions) validate() error {
+// Validate checks the sweep's shape: positive Reps, a Build hook, and
+// well-formed axes. Exported so planners (package dist) can reject a
+// bad grid before any process is spawned.
+func (o *SweepOptions) Validate() error {
 	if o.Reps < 1 {
 		return fmt.Errorf("experiment: sweep Reps must be at least 1, got %d", o.Reps)
 	}
@@ -207,17 +217,41 @@ func (r *SweepResult) MetricNames() []string {
 	return append([]string(nil), r.names...)
 }
 
-// ParseAxis parses the textual "Name=v1,v2,..." axis form used by the
-// sweep CLIs.
+// ParseAxis parses the textual axis form used by the sweep CLIs. Each
+// comma-separated element is either a single value or an inclusive
+// range lo:hi:step, so big distributed grids don't need 50-value lists:
+//
+//	MemoryCycles=1,5,12
+//	DHitRatio=0:1:0.1
+//	MemoryCycles=1:5:1,12          (forms mix freely)
+//	Depth=10:2:-2                  (descending: negative step)
+//
+// Range endpoints are inclusive up to a small floating-point tolerance;
+// values are computed as lo + i*step (no error accumulation).
 func ParseAxis(s string) (Axis, error) {
 	name, list, ok := strings.Cut(s, "=")
 	name = strings.TrimSpace(name)
 	if !ok || name == "" {
-		return Axis{}, fmt.Errorf("experiment: axis %q is not name=v1,v2,...", s)
+		return Axis{}, fmt.Errorf("experiment: axis %q is not name=v1,v2,... or name=lo:hi:step", s)
+	}
+	if strings.TrimSpace(list) == "" {
+		return Axis{}, fmt.Errorf("experiment: axis %q has no values", name)
 	}
 	ax := Axis{Name: name}
 	for _, part := range strings.Split(list, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Axis{}, fmt.Errorf("experiment: axis %q has an empty value (trailing or doubled comma?)", name)
+		}
+		if strings.Contains(part, ":") {
+			vals, err := expandRange(name, part)
+			if err != nil {
+				return Axis{}, err
+			}
+			ax.Values = append(ax.Values, vals...)
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			return Axis{}, fmt.Errorf("experiment: axis %q: bad value %q", name, part)
 		}
@@ -226,118 +260,76 @@ func ParseAxis(s string) (Axis, error) {
 	return ax, nil
 }
 
+// maxRangeValues caps a single lo:hi:step expansion; a grid bigger than
+// this is almost certainly a typo'd step.
+const maxRangeValues = 1_000_000
+
+// expandRange expands one inclusive lo:hi:step element of an axis spec.
+func expandRange(name, part string) ([]float64, error) {
+	fields := strings.Split(part, ":")
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("experiment: axis %q: range %q is not lo:hi:step", name, part)
+	}
+	var lo, hi, step float64
+	for i, dst := range []*float64{&lo, &hi, &step} {
+		v, err := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("experiment: axis %q: range %q: bad value %q", name, part, fields[i])
+		}
+		*dst = v
+	}
+	if step == 0 {
+		return nil, fmt.Errorf("experiment: axis %q: range %q has step 0", name, part)
+	}
+	if (hi-lo)/step < 0 {
+		return nil, fmt.Errorf("experiment: axis %q: range %q: step moves away from hi", name, part)
+	}
+	// Inclusive endpoint with a small tolerance: 0:1:0.1 must yield 11
+	// values even though 10*0.1 overshoots 1 in binary. Compare as
+	// float before converting so a huge count cannot overflow int.
+	count := (hi-lo)/step + 1e-9
+	if !(count < maxRangeValues) {
+		return nil, fmt.Errorf("experiment: axis %q: range %q expands to over %d values", name, part, maxRangeValues)
+	}
+	n := int(count)
+	vals := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		vals = append(vals, lo+float64(i)*step)
+	}
+	return vals, nil
+}
+
 // Sweep expands opt.Axes into a grid, runs Reps replications of every
 // point through one shared worker pool, and merges per-point results.
 // Every number in the result is bit-for-bit independent of the worker
 // count.
 func Sweep(opt SweepOptions) (*SweepResult, error) {
-	if err := opt.validate(); err != nil {
+	return SweepContext(context.Background(), opt)
+}
+
+// SweepContext is Sweep with cancellation: when ctx is cancelled the
+// shared pool stops claiming cells (in-flight cells finish first) and
+// ctx's error is returned. The distributed coordinator relies on this
+// to abandon local shards when a sibling worker process dies instead of
+// hanging the pool.
+//
+// The sweep is one shard spanning the whole grid followed by the same
+// deterministic assembly a distributed run ends with, so the in-process
+// and multi-process paths cannot drift apart.
+func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	points := opt.numPoints()
-	cells := points * opt.Reps
-	workers := opt.workers(cells)
 	start := time.Now()
-
-	// Build every point's net up front, serially: parameter mutation in
-	// Build hooks stays single-threaded, and workers only ever read.
-	nets := make([]*petri.Net, points)
-	headers := make([]trace.Header, points)
-	pts := make([]Point, points)
-	for p := 0; p < points; p++ {
-		pts[p] = opt.point(p)
-		net, err := opt.Build(pts[p])
-		if err != nil {
-			return nil, fmt.Errorf("experiment: building point %d (%s): %w", p, pts[p].String(), err)
-		}
-		nets[p] = net
-		headers[p] = trace.HeaderOf(net)
+	recs, err := RunCellsContext(ctx, opt, 0, opt.NumCells(), nil)
+	if err != nil {
+		return nil, err
 	}
-
-	perCell := make([]*stats.Stats, cells)
-	runs := make([]sim.Result, cells)
-	vals := make([][][]float64, points) // [point][metric][rep]
-	for p := range vals {
-		vals[p] = make([][]float64, len(opt.Metrics))
-		for m := range vals[p] {
-			vals[p][m] = make([]float64, opt.Reps)
-		}
+	r, err := AssembleSweep(opt, recs)
+	if err != nil {
+		return nil, err
 	}
-
-	// Worker-confined engine state: engines are rebuilt only on point
-	// boundaries, so consecutive cells of one point reuse the engine.
-	type workerState struct {
-		point int
-		eng   *sim.Engine
-	}
-	ws := make([]workerState, workers)
-	for i := range ws {
-		ws[i].point = -1
-	}
-
-	if cell, err := runPool(workers, cells, func(worker, cell int) error {
-		p, rep := cell/opt.Reps, cell%opt.Reps
-		w := &ws[worker]
-		if w.point != p {
-			w.eng = sim.NewEngine(nets[p])
-			w.point = p
-		}
-		so := opt.Sim
-		so.Seed = opt.BaseSeed + int64(cell)
-		acc := stats.New(headers[p])
-		res, err := w.eng.Run(acc, so)
-		if err != nil {
-			return err
-		}
-		for m := range opt.Metrics {
-			v, err := opt.Metrics[m].Eval(acc)
-			if err != nil {
-				return err
-			}
-			vals[p][m][rep] = v
-		}
-		perCell[cell] = acc
-		runs[cell] = res
-		return nil
-	}); err != nil {
-		p, rep := cell/opt.Reps, cell%opt.Reps
-		return nil, fmt.Errorf("experiment: point %d (%s) replication %d: %w", p, pts[p].String(), rep, err)
-	}
-
-	r := &SweepResult{
-		Axes:    opt.Axes,
-		Points:  make([]PointResult, points),
-		Reps:    opt.Reps,
-		Workers: workers,
-		names:   make([]string, len(opt.Metrics)),
-	}
-	for m := range opt.Metrics {
-		r.names[m] = opt.Metrics[m].Name
-	}
-	for p := 0; p < points; p++ {
-		// Fold each point in replication order: floating-point sums then
-		// associate the same way no matter how cells were scheduled.
-		pooled := perCell[p*opt.Reps]
-		for rep := 1; rep < opt.Reps; rep++ {
-			if err := pooled.Merge(perCell[p*opt.Reps+rep]); err != nil {
-				return nil, fmt.Errorf("experiment: merging point %d replication %d: %w", p, rep, err)
-			}
-		}
-		pr := PointResult{
-			Point:     pts[p],
-			Pooled:    pooled,
-			Summaries: make([]stats.Summary, len(opt.Metrics)),
-			Values:    vals[p],
-			Runs:      runs[p*opt.Reps : (p+1)*opt.Reps],
-		}
-		for m := range opt.Metrics {
-			pr.Summaries[m] = stats.Summarize(vals[p][m])
-		}
-		r.Points[p] = pr
-		for _, run := range pr.Runs {
-			r.Events += run.Ends
-		}
-	}
+	r.Workers = opt.workers(opt.NumCells())
 	r.Elapsed = time.Since(start)
 	return r, nil
 }

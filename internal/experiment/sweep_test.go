@@ -197,7 +197,7 @@ func TestSweepGridExpansion(t *testing.T) {
 		Reps: 1,
 	}
 	want := [][2]float64{{1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}}
-	if got := opt.numPoints(); got != len(want) {
+	if got := opt.NumPoints(); got != len(want) {
 		t.Fatalf("numPoints = %d, want %d", got, len(want))
 	}
 	for i, w := range want {

@@ -1,0 +1,125 @@
+package integration_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// gridArgs is the reference sweep the golden fixtures pin (see
+// TestGoldenSweep), minus the tool-specific flags.
+func gridArgs(format string) []string {
+	return []string{
+		"-model", "cache",
+		"-axis", "DHitRatio=0.5,0.9", "-axis", "MemoryCycles=1,5",
+		"-horizon", "1000", "-seed", "11", "-reps", "3",
+		"-format", format,
+		"-throughput", "Issue", "-utilization", "Bus_busy",
+	}
+}
+
+// TestGoldenGrid holds the distributed driver to the in-process golden
+// files: pnut-grid across 1, 2 and 4 worker processes must reproduce
+// pnut-sweep's stdout byte for byte, in both output formats.
+func TestGoldenGrid(t *testing.T) {
+	bins := buildTools(t, "pnut-sweep", "pnut-grid")
+	for _, procs := range []string{"1", "2", "4"} {
+		csv := mustOutput(t, bins["pnut-grid"], append(gridArgs("csv"),
+			"-worker-cmd", bins["pnut-sweep"], "-procs", procs)...)
+		goldenCompare(t, "pnut-sweep.csv", csv)
+	}
+	table := mustOutput(t, bins["pnut-grid"], append(gridArgs("table"),
+		"-worker-cmd", bins["pnut-sweep"], "-procs", "2")...)
+	goldenCompare(t, "pnut-sweep.txt", table)
+}
+
+// TestGridKillWorkerResume is the process-level resume contract: a
+// worker that dies mid-shard fails the run but leaves its completed
+// cells in the journal; re-running with a healthy worker re-dispatches
+// only the missing cells and reproduces the golden output exactly.
+func TestGridKillWorkerResume(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("flaky-worker shim is a shell script")
+	}
+	bins := buildTools(t, "pnut-sweep", "pnut-grid")
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+
+	// A worker that, when handed shard 6:12, silently runs only 6:9 and
+	// then dies — three journaled cells, three lost.
+	shim := filepath.Join(dir, "flaky-worker.sh")
+	script := fmt.Sprintf(`#!/bin/sh
+args=""
+die=0
+for a in "$@"; do
+  if [ "$a" = "6:12" ]; then a="6:9"; die=7; fi
+  args="$args $a"
+done
+%q $args
+exit $die
+`, bins["pnut-sweep"])
+	if err := os.WriteFile(shim, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(worker string) (string, string, error) {
+		cmd := exec.Command(bins["pnut-grid"], append(gridArgs("csv"),
+			"-worker-cmd", worker, "-procs", "2", "-journal", journal, "-v")...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		return stdout.String(), stderr.String(), err
+	}
+
+	if _, stderr, err := run(shim); err == nil {
+		t.Fatalf("sabotaged run succeeded:\n%s", stderr)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("failed run left no journal: %v", err)
+	}
+
+	stdout, stderr, err := run(bins["pnut-sweep"])
+	if err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "resumed 9/12 cells") {
+		t.Errorf("resume did not pick up the journaled cells:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "dispatching 3 cells") {
+		t.Errorf("resume did not restrict dispatch to the missing cells:\n%s", stderr)
+	}
+	goldenCompare(t, "pnut-sweep.csv", []byte(stdout))
+
+	// A third run has a complete journal: nothing dispatches, output holds.
+	stdout, stderr, err = run(bins["pnut-sweep"])
+	if err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "nothing to dispatch") {
+		t.Errorf("complete journal still dispatched work:\n%s", stderr)
+	}
+	goldenCompare(t, "pnut-sweep.csv", []byte(stdout))
+}
+
+// TestGridRejectsDriftedJournal: changing the sweep under a journal is
+// an error, not silent corruption.
+func TestGridRejectsDriftedJournal(t *testing.T) {
+	bins := buildTools(t, "pnut-sweep", "pnut-grid")
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	mustOutput(t, bins["pnut-grid"], append(gridArgs("csv"),
+		"-worker-cmd", bins["pnut-sweep"], "-procs", "2", "-journal", journal)...)
+
+	drifted := append(gridArgs("csv"), "-worker-cmd", bins["pnut-sweep"], "-procs", "2", "-journal", journal)
+	drifted[9] = "999" // a different base seed
+	cmd := exec.Command(bins["pnut-grid"], drifted...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil || !strings.Contains(stderr.String(), "different sweep") {
+		t.Errorf("drifted journal: err=%v stderr=%s", err, stderr.String())
+	}
+}

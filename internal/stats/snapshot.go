@@ -1,0 +1,129 @@
+// Snapshots make a statistics accumulator serializable without giving
+// up exactness: a distributed sweep worker snapshots each cell's Stats,
+// ships it across a process boundary (package experiment encodes
+// snapshots as JSON cell records), and the coordinator restores it and
+// merges exactly as the in-process driver would. Every float crosses
+// the boundary through Go's shortest round-trip decimal encoding, so a
+// restored accumulator is bit-for-bit the original: merging restored
+// snapshots in replication order yields the same pooled report as
+// merging the live accumulators.
+
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// SeriesSnapshot is the exported state of one time-weighted series.
+type SeriesSnapshot struct {
+	Cur    int        `json:"cur"`
+	Last   petri.Time `json:"last"`
+	WSum   float64    `json:"wsum"`
+	WSumSq float64    `json:"wsumsq"`
+	Min    int        `json:"min"`
+	Max    int        `json:"max"`
+	Seeded bool       `json:"seeded,omitempty"`
+}
+
+// Snapshot is the complete exported state of a Stats accumulator.
+type Snapshot struct {
+	Header       trace.Header     `json:"header"`
+	RunNumber    int              `json:"runNumber"`
+	Places       []SeriesSnapshot `json:"places"`
+	Trans        []SeriesSnapshot `json:"trans"`
+	Starts       []int64          `json:"starts"`
+	Ends         []int64          `json:"ends"`
+	InitialClock petri.Time       `json:"initialClock"`
+	Clock        petri.Time       `json:"clock"`
+	Finished     bool             `json:"finished,omitempty"`
+	TotalStarts  int64            `json:"totalStarts"`
+	TotalEnds    int64            `json:"totalEnds"`
+	Runs         int              `json:"runs,omitempty"`
+}
+
+func snapSeries(s *series) SeriesSnapshot {
+	return SeriesSnapshot{
+		Cur: s.cur, Last: s.last,
+		WSum: s.wsum, WSumSq: s.wsumsq,
+		Min: s.min, Max: s.max,
+		Seeded: s.seeded,
+	}
+}
+
+func restoreSeries(s SeriesSnapshot) series {
+	return series{
+		cur: s.Cur, last: s.Last,
+		wsum: s.WSum, wsumsq: s.WSumSq,
+		min: s.Min, max: s.Max,
+		seeded: s.Seeded,
+	}
+}
+
+// Snapshot exports the accumulator's full state. The accumulator is not
+// flushed or otherwise modified: a snapshot taken mid-stream restores
+// to the same mid-stream state.
+func (s *Stats) Snapshot() Snapshot {
+	sn := Snapshot{
+		Header:       s.Header,
+		RunNumber:    s.RunNumber,
+		Places:       make([]SeriesSnapshot, len(s.places)),
+		Trans:        make([]SeriesSnapshot, len(s.trans)),
+		Starts:       append([]int64(nil), s.starts...),
+		Ends:         append([]int64(nil), s.ends...),
+		InitialClock: s.initialClock,
+		Clock:        s.clock,
+		Finished:     s.finished,
+		TotalStarts:  s.totalStarts,
+		TotalEnds:    s.totalEnds,
+		Runs:         s.runs,
+	}
+	for i := range s.places {
+		sn.Places[i] = snapSeries(&s.places[i])
+	}
+	for i := range s.trans {
+		sn.Trans[i] = snapSeries(&s.trans[i])
+	}
+	return sn
+}
+
+// FromSnapshot rebuilds an accumulator from an exported snapshot,
+// validating that the per-place and per-transition state matches the
+// snapshot's header.
+func FromSnapshot(sn Snapshot) (*Stats, error) {
+	if len(sn.Places) != len(sn.Header.Places) {
+		return nil, fmt.Errorf("stats: snapshot has %d place series, header names %d places",
+			len(sn.Places), len(sn.Header.Places))
+	}
+	if len(sn.Trans) != len(sn.Header.Trans) {
+		return nil, fmt.Errorf("stats: snapshot has %d transition series, header names %d transitions",
+			len(sn.Trans), len(sn.Header.Trans))
+	}
+	if len(sn.Starts) != len(sn.Trans) || len(sn.Ends) != len(sn.Trans) {
+		return nil, fmt.Errorf("stats: snapshot start/end counters (%d/%d) do not match %d transitions",
+			len(sn.Starts), len(sn.Ends), len(sn.Trans))
+	}
+	s := &Stats{
+		Header:       sn.Header,
+		RunNumber:    sn.RunNumber,
+		places:       make([]series, len(sn.Places)),
+		trans:        make([]series, len(sn.Trans)),
+		starts:       append([]int64(nil), sn.Starts...),
+		ends:         append([]int64(nil), sn.Ends...),
+		initialClock: sn.InitialClock,
+		clock:        sn.Clock,
+		finished:     sn.Finished,
+		totalStarts:  sn.TotalStarts,
+		totalEnds:    sn.TotalEnds,
+		runs:         sn.Runs,
+	}
+	for i := range sn.Places {
+		s.places[i] = restoreSeries(sn.Places[i])
+	}
+	for i := range sn.Trans {
+		s.trans[i] = restoreSeries(sn.Trans[i])
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package stats_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// snapRun reuses merge_test's runOnce at the snapshot tests' horizon.
+func snapRun(t *testing.T, seed int64) *stats.Stats {
+	t.Helper()
+	return runOnce(t, seed, 2_000)
+}
+
+func report(t *testing.T, s *stats.Stats) string {
+	t.Helper()
+	var b strings.Builder
+	if err := s.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSnapshotRoundTrip: restoring a snapshot — including through the
+// JSON encoding a distributed worker ships it in — reproduces the
+// original report byte for byte.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := snapRun(t, 1988)
+	want := report(t, s)
+
+	restored, err := stats.FromSnapshot(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report(t, restored); got != want {
+		t.Error("restored snapshot report differs from original")
+	}
+
+	raw, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn stats.Snapshot
+	if err := json.Unmarshal(raw, &sn); err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := stats.FromSnapshot(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report(t, viaJSON); got != want {
+		t.Error("JSON round-tripped snapshot report differs from original")
+	}
+}
+
+// TestSnapshotMergeExactness is the property the distributed sweep
+// depends on: merging restored snapshots in replication order is
+// bit-for-bit the same as merging the live accumulators.
+func TestSnapshotMergeExactness(t *testing.T) {
+	seeds := []int64{7, 8, 9, 10}
+
+	live := make([]*stats.Stats, len(seeds))
+	restored := make([]*stats.Stats, len(seeds))
+	for i, seed := range seeds {
+		live[i] = snapRun(t, seed)
+		raw, err := json.Marshal(snapRun(t, seed).Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sn stats.Snapshot
+		if err := json.Unmarshal(raw, &sn); err != nil {
+			t.Fatal(err)
+		}
+		restored[i], err = stats.FromSnapshot(sn)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 1; i < len(seeds); i++ {
+		if err := live[0].Merge(live[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored[0].Merge(restored[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if report(t, live[0]) != report(t, restored[0]) {
+		t.Error("pooled report over restored snapshots differs from live pool")
+	}
+}
+
+// TestFromSnapshotValidation rejects snapshots whose series do not
+// match their header.
+func TestFromSnapshotValidation(t *testing.T) {
+	sn := snapRun(t, 1).Snapshot()
+
+	bad := sn
+	bad.Places = sn.Places[:len(sn.Places)-1]
+	if _, err := stats.FromSnapshot(bad); err == nil || !strings.Contains(err.Error(), "place") {
+		t.Errorf("short places error = %v", err)
+	}
+
+	bad = sn
+	bad.Trans = sn.Trans[:len(sn.Trans)-1]
+	if _, err := stats.FromSnapshot(bad); err == nil || !strings.Contains(err.Error(), "transition") {
+		t.Errorf("short trans error = %v", err)
+	}
+
+	bad = sn
+	bad.Starts = sn.Starts[:len(sn.Starts)-1]
+	if _, err := stats.FromSnapshot(bad); err == nil || !strings.Contains(err.Error(), "counters") {
+		t.Errorf("short starts error = %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package sweepcli holds the sweep-shape flag surface shared by the
+// pnut-sweep worker and the pnut-grid coordinator. Keeping flag
+// registration, option expansion and worker-argv reconstruction in one
+// place guarantees the coordinator launches workers whose grid — axes,
+// seed schedule, metrics — is exactly its own: WorkerArgs is the
+// inverse of Register.
+package sweepcli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/petri"
+	"repro/internal/pipeline"
+	"repro/internal/ptl"
+	"repro/internal/sim"
+)
+
+// Repeated is a repeatable string flag.
+type Repeated []string
+
+func (r *Repeated) String() string { return strings.Join(*r, ", ") }
+
+// Set appends one occurrence.
+func (r *Repeated) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// Config is the sweep shape both CLIs share: model source, grid axes,
+// replication/seed schedule and metrics.
+type Config struct {
+	Model     string
+	Net       string
+	Horizon   int64
+	MaxStarts int64
+	Seed      int64
+	Reps      int
+	Parallel  int
+
+	Axes         Repeated
+	Throughputs  Repeated
+	Utilizations Repeated
+}
+
+// Register installs the shared flags on fs.
+func (c *Config) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Model, "model", "pipeline", "built-in model: pipeline or cache; axis names are parameters\n"+
+		strings.Join(pipeline.ParamNames(), ", "))
+	fs.StringVar(&c.Net, "net", "", "path to a .pn net (overrides -model; axis names are net vars)")
+	fs.Int64Var(&c.Horizon, "horizon", 10_000, "simulation length in clock ticks per replication")
+	fs.Int64Var(&c.MaxStarts, "max-starts", 0, "stop each replication after this many firings (0 = horizon only)")
+	fs.Int64Var(&c.Seed, "seed", 1, "base seed; cell (point p, rep r) uses seed + p*reps + r")
+	fs.IntVar(&c.Reps, "reps", 5, "independent replications per grid point")
+	fs.IntVar(&c.Parallel, "parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
+	fs.Var(&c.Axes, "axis", "swept parameter as Name=v1,v2,... or Name=lo:hi:step (repeatable; product of axes is the grid)")
+	fs.Var(&c.Throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
+	fs.Var(&c.Utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
+}
+
+// Options expands the config into sweep options plus the model name.
+// At least one metric is required.
+func (c *Config) Options() (experiment.SweepOptions, string, error) {
+	var parsed []experiment.Axis
+	for _, a := range c.Axes {
+		ax, err := experiment.ParseAxis(a)
+		if err != nil {
+			return experiment.SweepOptions{}, "", err
+		}
+		parsed = append(parsed, ax)
+	}
+	var metrics []experiment.Metric
+	for _, tr := range c.Throughputs {
+		metrics = append(metrics, experiment.Throughput(tr))
+	}
+	for _, p := range c.Utilizations {
+		metrics = append(metrics, experiment.Utilization(p))
+	}
+	if len(metrics) == 0 {
+		return experiment.SweepOptions{}, "", fmt.Errorf("at least one -throughput or -utilization metric is required")
+	}
+	build, name, err := buildHook(c.Net, c.Model)
+	if err != nil {
+		return experiment.SweepOptions{}, "", err
+	}
+	return experiment.SweepOptions{
+		Axes:     parsed,
+		Reps:     c.Reps,
+		Workers:  c.Parallel,
+		BaseSeed: c.Seed,
+		Sim: sim.Options{
+			Horizon:   c.Horizon,
+			MaxStarts: c.MaxStarts,
+		},
+		Metrics: metrics,
+		Build:   build,
+	}, name, nil
+}
+
+// WorkerArgs reconstructs the flag list that reproduces this sweep
+// shape in a worker pnut-sweep process, with the worker's goroutine
+// count overridden to parallel. It is the inverse of Register, so the
+// coordinator and its workers cannot drift apart.
+func (c *Config) WorkerArgs(parallel int) []string {
+	var args []string
+	if c.Net != "" {
+		args = append(args, "-net", c.Net)
+	} else {
+		args = append(args, "-model", c.Model)
+	}
+	args = append(args,
+		"-horizon", strconv.FormatInt(c.Horizon, 10),
+		"-max-starts", strconv.FormatInt(c.MaxStarts, 10),
+		"-seed", strconv.FormatInt(c.Seed, 10),
+		"-reps", strconv.Itoa(c.Reps),
+		"-parallel", strconv.Itoa(parallel),
+	)
+	for _, a := range c.Axes {
+		args = append(args, "-axis", a)
+	}
+	for _, tr := range c.Throughputs {
+		args = append(args, "-throughput", tr)
+	}
+	for _, u := range c.Utilizations {
+		args = append(args, "-utilization", u)
+	}
+	return args
+}
+
+// buildHook returns the per-point net builder: either the built-in
+// pipeline models parameterized by name, or a .pn net with per-point
+// var overrides.
+func buildHook(netPath, model string) (func(experiment.Point) (*petri.Net, error), string, error) {
+	if netPath != "" {
+		src, err := os.ReadFile(netPath)
+		if err != nil {
+			return nil, "", err
+		}
+		base, err := ptl.Parse(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		return func(pt experiment.Point) (*petri.Net, error) {
+			over := make(map[string]int64, len(pt.Names))
+			for i, n := range pt.Names {
+				v := pt.Values[i]
+				if v != float64(int64(v)) {
+					return nil, fmt.Errorf("net var %s wants an integer, got %g", n, v)
+				}
+				over[n] = int64(v)
+			}
+			return base.WithVars(over)
+		}, base.Name, nil
+	}
+	switch model {
+	case "pipeline", "cache":
+		cached := model == "cache"
+		name := "pipeline"
+		if cached {
+			name = "pipeline_cached"
+		}
+		return func(pt experiment.Point) (*petri.Net, error) {
+			return pipeline.SweepProcessor(cached, pt.Names, pt.Values)
+		}, name, nil
+	}
+	return nil, "", fmt.Errorf("unknown -model %q (want pipeline or cache)", model)
+}

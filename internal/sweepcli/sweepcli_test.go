@@ -1,0 +1,59 @@
+package sweepcli
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+// TestWorkerArgsRoundTrip pins the lockstep contract: parsing
+// WorkerArgs through Register reproduces the originating config, so a
+// coordinator's workers always see its exact sweep shape.
+func TestWorkerArgsRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		{
+			Model: "cache", Horizon: 1234, MaxStarts: 9, Seed: 42, Reps: 7,
+			Axes:         Repeated{"DHitRatio=0:1:0.25", "MemoryCycles=1,5,12"},
+			Throughputs:  Repeated{"Issue"},
+			Utilizations: Repeated{"Bus_busy", "storing"},
+		},
+		{
+			Net: "testdata/pipeline.pn", Model: "pipeline", Horizon: 10_000, Seed: 1, Reps: 5,
+			Axes:        Repeated{"max_type=4,6"},
+			Throughputs: Repeated{"Issue"},
+		},
+	}
+	for _, want := range cfgs {
+		var got Config
+		fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+		got.Register(fs)
+		if err := fs.Parse(want.WorkerArgs(3)); err != nil {
+			t.Fatalf("worker args do not parse: %v", err)
+		}
+		want.Parallel = 3 // WorkerArgs overrides the goroutine count
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestOptionsValidation: metrics are required, unknown models rejected.
+func TestOptionsValidation(t *testing.T) {
+	c := Config{Model: "cache", Reps: 2, Horizon: 100}
+	if _, _, err := c.Options(); err == nil {
+		t.Error("no metrics accepted")
+	}
+	c.Throughputs = Repeated{"Issue"}
+	if opt, name, err := c.Options(); err != nil || name != "pipeline_cached" || opt.Reps != 2 {
+		t.Errorf("Options() = %v, %q, %v", opt.Reps, name, err)
+	}
+	c.Model = "nope"
+	if _, _, err := c.Options(); err == nil {
+		t.Error("unknown model accepted")
+	}
+	c.Model = "cache"
+	c.Axes = Repeated{"bad axis"}
+	if _, _, err := c.Options(); err == nil {
+		t.Error("bad axis accepted")
+	}
+}
