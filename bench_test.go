@@ -11,6 +11,7 @@
 //	BenchmarkSec44Queries          — the four Section 4.4 queries
 //	BenchmarkCacheSweep            — Section 3 cache extension
 //	BenchmarkMemorySpeedSweep      — the introduction's memory-speed claim
+//	BenchmarkAdaptiveSweep         — CI-targeted stopping vs BenchmarkSweepFixedMax
 //	BenchmarkBaselineSequential    — non-pipelined baseline
 //	BenchmarkAblationTimeEncoding  — firing-time vs enabling-time encoding
 //	BenchmarkAblationInterpreted   — explicit vs table-driven nets
@@ -403,6 +404,56 @@ func BenchmarkGridDistributed(b *testing.B) {
 		b.Fatal(err)
 	}
 	gridBench(b, 2, runner)
+}
+
+// adaptiveBenchOptions is a mixed-variance cache grid under the
+// CI-targeted stopping rule: at this horizon and 5% relative-precision
+// target the points converge at visibly different replication counts,
+// so adaptive stopping pays off.
+func adaptiveBenchOptions() experiment.SweepOptions {
+	return experiment.SweepOptions{
+		Axes: []experiment.Axis{{Name: "DHitRatio", Values: []float64{0, 0.5, 0.9, 1}}},
+		Adaptive: &experiment.AdaptiveOptions{
+			Metric:  "throughput(Issue)",
+			RelCI:   0.05,
+			MinReps: 3,
+			MaxReps: 32,
+			Batch:   2,
+		},
+		BaseSeed: 7,
+		Sim:      sim.Options{Horizon: 2_000},
+		Metrics:  []experiment.Metric{experiment.Throughput("Issue")},
+		Build:    cacheBuild,
+	}
+}
+
+// BenchmarkAdaptiveSweep runs the mixed-variance grid with adaptive
+// replication. Compare total_reps (and ns/op) against
+// BenchmarkSweepFixedMax, which buys the same worst-case precision by
+// running every point at MaxReps — the adaptive run reaches the
+// precision target on a fraction of the replications.
+func BenchmarkAdaptiveSweep(b *testing.B) {
+	opt := adaptiveBenchOptions()
+	var r *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		r = mustSweep(b, opt)
+	}
+	b.ReportMetric(float64(r.TotalReps), "total_reps")
+	b.ReportMetric(float64(len(r.Points)*opt.Adaptive.MaxReps), "fixed_reps")
+}
+
+// BenchmarkSweepFixedMax is BenchmarkAdaptiveSweep's fixed-count
+// baseline: the same grid, seeds and horizon, but every point runs
+// MaxReps replications regardless of variance.
+func BenchmarkSweepFixedMax(b *testing.B) {
+	opt := adaptiveBenchOptions()
+	opt.Reps = opt.Adaptive.MaxReps
+	opt.Adaptive = nil
+	var r *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		r = mustSweep(b, opt)
+	}
+	b.ReportMetric(float64(r.TotalReps), "total_reps")
 }
 
 // BenchmarkSweepSerial is the baseline: all 16 grid cells on a single

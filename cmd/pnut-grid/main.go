@@ -19,6 +19,14 @@
 // only interchange, exactly the compose-small-tools-over-pipes
 // philosophy of the suite.
 //
+// With -adaptive metric:relci (plus -min-reps/-max-reps/-batch, see
+// pnut-sweep), the coordinator runs CI-targeted stopping rounds: each
+// round's unconverged points get another batch of replications, planned
+// into shards over the pending cells exactly like a resumed grid. The
+// stopping decision is taken only from replication-order summaries
+// between rounds, so the output is still byte-identical to the
+// in-process pnut-sweep run for any -procs value.
+//
 // With -journal, completed cells are checkpointed as they arrive. If a
 // worker dies, the run fails but keeps the journal; re-running the same
 // command re-dispatches only the missing cells and emits output
@@ -94,8 +102,14 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	switch *format {
 	case "table":
-		fmt.Fprintf(os.Stderr, "pnut-grid: sweep %s: %d points x %d replications, base seed %d, %d worker processes\n",
-			name, len(r.Points), r.Reps, cfg.Seed, *procs)
+		if r.Adaptive != nil {
+			fmt.Fprintf(os.Stderr, "pnut-grid: sweep %s: %d points, adaptive %s:%g reps %d..%d (%d total), base seed %d, %d worker processes\n",
+				name, len(r.Points), r.Adaptive.Metric, r.Adaptive.RelCI,
+				r.Adaptive.MinReps, r.Adaptive.MaxReps, r.TotalReps, cfg.Seed, *procs)
+		} else {
+			fmt.Fprintf(os.Stderr, "pnut-grid: sweep %s: %d points x %d replications, base seed %d, %d worker processes\n",
+				name, len(r.Points), r.Reps, cfg.Seed, *procs)
+		}
 		err = r.WriteTable(out)
 	case "csv":
 		err = r.WriteCSV(out)
@@ -108,8 +122,8 @@ func main() {
 	if err := out.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "pnut-grid: %s: points=%d reps=%d procs=%d elapsed=%s (%.0f events/s)\n",
-		name, len(r.Points), r.Reps, *procs, r.Elapsed.Round(time.Microsecond),
+	fmt.Fprintf(os.Stderr, "pnut-grid: %s: points=%d total_reps=%d procs=%d elapsed=%s (%.0f events/s)\n",
+		name, len(r.Points), r.TotalReps, *procs, r.Elapsed.Round(time.Microsecond),
 		float64(r.Events)/r.Elapsed.Seconds())
 }
 

@@ -23,6 +23,19 @@
 //   - A textual net (-net model.pn), where axis names are the net's
 //     var declarations, overridden per point.
 //
+// Instead of a fixed -reps, -adaptive metric:relci switches each grid
+// point to CI-targeted sequential stopping: -min-reps replications
+// first, then batches of -batch more until the metric's 95% CI
+// half-width is within relci of |mean| or -max-reps is reached. Cell
+// (p, r) then runs with seed -seed + p*max-reps + r, the stopping
+// decision is taken only from replication-order summaries between
+// rounds, and the table/CSV gain an "n" column — output stays
+// bit-for-bit reproducible for any -parallel value:
+//
+//	pnut-sweep -model cache -axis DHitRatio=0:1:0.1 \
+//	  -adaptive 'throughput(Issue):0.02' -min-reps 4 -max-reps 64 \
+//	  -throughput Issue
+//
 // Results print as an aligned table (one row per point, mean ±95% CI
 // per metric) or as CSV with -format csv; run-shape and timing lines go
 // to stderr, so stdout is stable interchange.
@@ -85,8 +98,14 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	switch *format {
 	case "table":
-		fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points x %d replications, base seed %d, %d workers\n",
-			name, len(r.Points), r.Reps, cfg.Seed, r.Workers)
+		if r.Adaptive != nil {
+			fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points, adaptive %s:%g reps %d..%d (%d total), base seed %d, %d workers\n",
+				name, len(r.Points), r.Adaptive.Metric, r.Adaptive.RelCI,
+				r.Adaptive.MinReps, r.Adaptive.MaxReps, r.TotalReps, cfg.Seed, r.Workers)
+		} else {
+			fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points x %d replications, base seed %d, %d workers\n",
+				name, len(r.Points), r.Reps, cfg.Seed, r.Workers)
+		}
 		err = r.WriteTable(out)
 	case "csv":
 		err = r.WriteCSV(out)
@@ -99,8 +118,8 @@ func main() {
 	if err := out.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "pnut-sweep: %s: points=%d reps=%d workers=%d elapsed=%s (%.0f events/s)\n",
-		name, len(r.Points), r.Reps, r.Workers, r.Elapsed.Round(time.Microsecond),
+	fmt.Fprintf(os.Stderr, "pnut-sweep: %s: points=%d total_reps=%d workers=%d elapsed=%s (%.0f events/s)\n",
+		name, len(r.Points), r.TotalReps, r.Workers, r.Elapsed.Round(time.Microsecond),
 		float64(r.Events)/r.Elapsed.Seconds())
 }
 

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+// adaptiveGridOptions mirrors the experiment package's mixed-variance
+// reference grid: points converge at different replication counts, so
+// the coordinator really runs multiple rounds.
+func adaptiveGridOptions(workers int) experiment.SweepOptions {
+	opt := gridOptions(1, workers)
+	opt.Axes = []experiment.Axis{{Name: "DHitRatio", Values: []float64{0, 0.5, 0.9, 1}}}
+	opt.Reps = 0
+	opt.Adaptive = &experiment.AdaptiveOptions{
+		Metric:  "throughput(Issue)",
+		RelCI:   0.05,
+		MinReps: 3,
+		MaxReps: 32,
+		Batch:   2,
+	}
+	opt.BaseSeed = 7
+	opt.Sim = sim.Options{Horizon: 2_000}
+	return opt
+}
+
+// TestAdaptiveExecuteMatchesSweep extends the tentpole identity to
+// adaptive sweeps: for any shard count x any per-worker goroutine
+// count, round-based distributed execution is byte-identical to the
+// in-process adaptive Sweep.
+func TestAdaptiveExecuteMatchesSweep(t *testing.T) {
+	opt := adaptiveGridOptions(0)
+	want, err := experiment.Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalReps >= len(want.Points)*opt.Adaptive.MaxReps {
+		t.Fatalf("reference grid is not mixed-variance: %d total reps", want.TotalReps)
+	}
+	wantEnc := encode(t, want)
+	for _, shards := range []int{1, 2, 3} {
+		for _, perWorker := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			workerOpt := opt
+			workerOpt.Workers = perWorker
+			got, err := Execute(context.Background(), opt, Options{
+				Shards: shards,
+				Runner: LocalRunner(workerOpt),
+			})
+			if err != nil {
+				t.Fatalf("shards=%d perWorker=%d: %v", shards, perWorker, err)
+			}
+			if encode(t, got) != wantEnc {
+				t.Errorf("shards=%d perWorker=%d: distributed adaptive result differs from Sweep", shards, perWorker)
+			}
+		}
+	}
+}
+
+// TestAdaptiveKillAndResume: a worker that dies in a later adaptive
+// round fails the run but keeps the journal; resuming replays the
+// completed rounds from the journal (recomputing convergence),
+// re-dispatches only the missing cells, and ends byte-identical to an
+// uninterrupted run.
+func TestAdaptiveKillAndResume(t *testing.T) {
+	opt := adaptiveGridOptions(1)
+	want, err := experiment.Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a victim cell from a round after the first: point 0's fourth
+	// replication (rep 3 > MinReps-1) is only dispatched once round 1
+	// left point 0 unconverged.
+	victim := 0*opt.RepStride() + 3
+	if want.Points[0].Reps <= 3 {
+		t.Fatalf("point 0 converged at %d reps; victim cell %d never runs", want.Points[0].Reps, victim)
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+
+	_, err = Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  flakyRunner(LocalRunner(opt), victim),
+		Journal: journal,
+	})
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("killed at cell %d", victim)) {
+		t.Fatalf("sabotaged run error = %v", err)
+	}
+
+	recs, err := loadJournal(journal, experiment.MetaOf(opt, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[int]bool)
+	for _, rec := range recs {
+		if rec.Cell == victim {
+			t.Error("journal holds the killed cell")
+		}
+		done[rec.Cell] = true
+	}
+	if len(done) < len(want.Points)*opt.Adaptive.MinReps {
+		t.Fatalf("journal holds %d cells, want at least the first round", len(done))
+	}
+
+	// Resume: journaled cells must never be re-dispatched.
+	var mu sync.Mutex
+	reran := make(map[int]bool)
+	counting := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		mu.Lock()
+		for c := span.Lo; c < span.Hi; c++ {
+			if done[c] {
+				t.Errorf("resume re-dispatched journaled cell %d", c)
+			}
+			reran[c] = true
+		}
+		mu.Unlock()
+		return LocalRunner(opt)(ctx, span, emit)
+	}
+	got, err := Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  counting,
+		Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reran[victim] {
+		t.Error("resume did not re-run the killed cell")
+	}
+	if len(reran) != got.TotalReps-len(done) {
+		t.Errorf("resume ran %d cells, want %d", len(reran), got.TotalReps-len(done))
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("resumed adaptive run differs from an uninterrupted Sweep")
+	}
+
+	// A complete journal replays every round without dispatching.
+	again, err := Execute(context.Background(), opt, Options{
+		Shards: 2,
+		Runner: func(context.Context, Span, func(experiment.CellRecord) error) error {
+			t.Error("complete adaptive journal still dispatched a shard")
+			return nil
+		},
+		Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encode(t, again) != encode(t, want) {
+		t.Error("replay from a complete adaptive journal differs from Sweep")
+	}
+}
+
+// TestAdaptiveJournalRejectsRuleDrift: resuming a journal under a
+// changed stopping rule would silently reshape the grid, so it is
+// rejected like any other sweep drift.
+func TestAdaptiveJournalRejectsRuleDrift(t *testing.T) {
+	opt := adaptiveGridOptions(1)
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := Execute(context.Background(), opt, Options{
+		Shards: 1, Runner: LocalRunner(opt), Journal: journal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drift := func(mutate func(*experiment.AdaptiveOptions)) experiment.SweepOptions {
+		changed := opt
+		a := *opt.Adaptive
+		mutate(&a)
+		changed.Adaptive = &a
+		return changed
+	}
+	for name, changed := range map[string]experiment.SweepOptions{
+		"relci": drift(func(a *experiment.AdaptiveOptions) { a.RelCI = 0.1 }),
+		"min":   drift(func(a *experiment.AdaptiveOptions) { a.MinReps = 4 }),
+		"batch": drift(func(a *experiment.AdaptiveOptions) { a.Batch = 5 }),
+		"fixed": func() experiment.SweepOptions {
+			changed := opt
+			changed.Adaptive = nil
+			changed.Reps = 32 // same cell capacity, different semantics
+			return changed
+		}(),
+	} {
+		_, err := Execute(context.Background(), changed, Options{
+			Shards: 1, Runner: LocalRunner(changed), Journal: journal,
+		})
+		if err == nil || !strings.Contains(err.Error(), "different sweep") {
+			t.Errorf("%s drift error = %v", name, err)
+		}
+	}
+}
+
+// TestJournalCorruptFinalLine: a decode failure on the final line is
+// only forgiven when the file is actually truncated (no trailing
+// newline). A corrupt but fully-written record is an error — silently
+// re-running it would mask real corruption.
+func TestJournalCorruptFinalLine(t *testing.T) {
+	opt := gridOptions(2, 1) // 8 cells
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := Execute(context.Background(), opt, Options{
+		Shards: 1, Runner: LocalRunner(opt), Journal: journal,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop into the final record but keep the trailing newline: the line
+	// was fully written, so the journal is corrupt, not truncated.
+	corrupt := append(append([]byte(nil), raw[:len(raw)-40]...), '\n')
+	if err := os.WriteFile(journal, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadJournal(journal, experiment.MetaOf(opt, "")); err == nil {
+		t.Error("corrupt final line (with trailing newline) loaded without error")
+	}
+
+	// The same bytes without the newline are a truncated tail: the final
+	// cell is dropped and re-run.
+	if err := os.WriteFile(journal, raw[:len(raw)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadJournal(journal, experiment.MetaOf(opt, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != opt.NumCells()-1 {
+		t.Errorf("truncated journal loaded %d cells, want %d", len(recs), opt.NumCells()-1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 	"time"
 
@@ -94,10 +95,17 @@ func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*e
 		defer jn.close()
 	}
 
-	missing := MissingSpans(cells, func(c int) bool { return byCell[c] != nil })
-	units := planUnits(missing, shards)
-	if len(units) > 0 {
-		todo := cells - have
+	// dispatch fans one batch of pending spans out across up to shards
+	// concurrent runner invocations, journaling records as they arrive.
+	dispatch := func(spans []Span) error {
+		units := planUnits(spans, shards)
+		if len(units) == 0 {
+			return nil
+		}
+		todo := 0
+		for _, s := range spans {
+			todo += s.Size()
+		}
 		copt.logf("dispatching %d cells as %d shards (max %d concurrent)", todo, len(units), shards)
 
 		runCtx, cancel := context.WithCancel(ctx)
@@ -152,20 +160,73 @@ func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*e
 		wg.Wait()
 		if firstE != nil {
 			if jn != nil {
-				return nil, fmt.Errorf("%w (completed cells are journaled in %s; re-run to resume)", firstE, copt.Journal)
+				return fmt.Errorf("%w (completed cells are journaled in %s; re-run to resume)", firstE, copt.Journal)
 			}
-			return nil, firstE
+			return firstE
+		}
+		return nil
+	}
+
+	haveCell := func(c int) bool { return byCell[c] != nil }
+	if opt.Adaptive != nil {
+		// Adaptive rounds: the controller replays any journaled rounds
+		// (recomputing convergence from the records), then each round's
+		// pending cells are planned into shards exactly like a resumed
+		// fixed grid. The stopping decisions are taken by the same
+		// controller the in-process Sweep uses, so the two paths cannot
+		// drift.
+		ctrl, err := experiment.NewAdaptiveController(&opt)
+		if err != nil {
+			return nil, err
+		}
+		round := 0
+		err = experiment.AdaptiveRounds(ctrl, haveCell,
+			func(c int) float64 { return byCell[c].Values[ctrl.MetricIndex()] },
+			func(spans []Span) error {
+				round++
+				counts := ctrl.RepCounts()
+				copt.logf("adaptive round %d: %d points at %d..%d reps", round, opt.NumPoints(),
+					slices.Min(counts), slices.Max(counts))
+				if err := dispatch(spans); err != nil {
+					return err
+				}
+				// The controller is about to read every dispatched cell;
+				// a runner that returned success without delivering its
+				// span must be a clean error, not a nil dereference.
+				for _, s := range spans {
+					for c := s.Lo; c < s.Hi; c++ {
+						if byCell[c] == nil {
+							return fmt.Errorf("dist: shard runners returned without delivering cell %d", c)
+						}
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		if round == 0 {
+			copt.logf("journal already complete, nothing to dispatch")
 		}
 	} else {
-		copt.logf("journal already complete, nothing to dispatch")
+		missing := MissingSpans(cells, haveCell)
+		if len(missing) == 0 {
+			copt.logf("journal already complete, nothing to dispatch")
+		} else if err := dispatch(missing); err != nil {
+			return nil, err
+		}
+		for c := 0; c < cells; c++ {
+			if byCell[c] == nil {
+				return nil, fmt.Errorf("dist: shard runners returned without delivering cell %d", c)
+			}
+		}
 	}
 
 	recs := make([]experiment.CellRecord, 0, cells)
 	for c := 0; c < cells; c++ {
-		if byCell[c] == nil {
-			return nil, fmt.Errorf("dist: shard runners returned without delivering cell %d", c)
+		if byCell[c] != nil {
+			recs = append(recs, *byCell[c])
 		}
-		recs = append(recs, *byCell[c])
 	}
 	r, err := experiment.AssembleSweep(opt, recs)
 	if err != nil {

@@ -21,8 +21,12 @@ type journal struct {
 
 // loadJournal reads an existing journal, validating that it belongs to
 // the same grid. A truncated final line (the typical residue of a
-// killed coordinator) is dropped; corruption anywhere else is an error, as is
-// a journal whose meta describes a different sweep. A missing file
+// killed coordinator) is dropped — but only when the file really is
+// truncated, i.e. lacks its trailing newline. The journal writes one
+// whole '\n'-terminated line per record, so a record that decodes badly
+// despite being fully written is corruption and is reported, not
+// silently re-run. Corruption anywhere else is an error too, as is a
+// journal whose meta describes a different sweep. A missing file
 // returns no records and no error.
 func loadJournal(path string, want experiment.CellMeta) ([]experiment.CellRecord, error) {
 	raw, err := os.ReadFile(path)
@@ -32,8 +36,10 @@ func loadJournal(path string, want experiment.CellMeta) ([]experiment.CellRecord
 	if err != nil {
 		return nil, err
 	}
+	truncated := len(raw) > 0 && raw[len(raw)-1] != '\n'
 	lines := bytes.Split(raw, []byte("\n"))
-	// Find the last non-empty line: only that one may be truncated.
+	// Find the last non-empty line: only that one may be a truncated
+	// tail, and only in a file without a final newline.
 	last := -1
 	for i, ln := range lines {
 		if len(bytes.TrimSpace(ln)) > 0 {
@@ -62,7 +68,7 @@ func loadJournal(path string, want experiment.CellMeta) ([]experiment.CellRecord
 		}
 		rec, err := experiment.DecodeCell(ln)
 		if err != nil {
-			if i == last {
+			if i == last && truncated {
 				break // truncated tail from a kill mid-write: re-run the cell
 			}
 			return nil, fmt.Errorf("dist: journal %s line %d: %w", path, i+1, err)

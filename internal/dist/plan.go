@@ -20,17 +20,12 @@
 // cells — with output identical to a run that never failed.
 package dist
 
-import "fmt"
+import "repro/internal/experiment"
 
-// Span is a contiguous range of grid cells [Lo, Hi).
-type Span struct {
-	Lo, Hi int
-}
-
-// Size returns the number of cells in the span.
-func (s Span) Size() int { return s.Hi - s.Lo }
-
-func (s Span) String() string { return fmt.Sprintf("%d:%d", s.Lo, s.Hi) }
+// Span is a contiguous range of grid cells [Lo, Hi). It is the
+// experiment package's CellSpan: shard plans, adaptive pending sets and
+// worker spans are all the same currency.
+type Span = experiment.CellSpan
 
 // PlanShards partitions a grid of cells into at most shards contiguous
 // point-major spans of near-equal size (sizes differ by at most one
@@ -54,21 +49,11 @@ func PlanShards(cells, shards int) []Span {
 }
 
 // MissingSpans collects the maximal contiguous spans of cells for which
-// have reports false — the re-dispatch set of a resumed run.
+// have reports false — the re-dispatch set of a resumed run. It is the
+// same scan an adaptive round uses for its pending set (see
+// experiment.MissingCellSpans).
 func MissingSpans(cells int, have func(cell int) bool) []Span {
-	var spans []Span
-	for c := 0; c < cells; {
-		if have(c) {
-			c++
-			continue
-		}
-		lo := c
-		for c < cells && !have(c) {
-			c++
-		}
-		spans = append(spans, Span{Lo: lo, Hi: c})
-	}
-	return spans
+	return experiment.MissingCellSpans(cells, have)
 }
 
 // planUnits subdivides the missing spans into dispatch units so that

@@ -52,7 +52,7 @@ func TestPlanShardsProperties(t *testing.T) {
 func TestMissingSpans(t *testing.T) {
 	have := map[int]bool{0: true, 1: true, 4: true, 7: true}
 	got := MissingSpans(9, func(c int) bool { return have[c] })
-	want := []Span{{2, 4}, {5, 7}, {8, 9}}
+	want := []Span{{Lo: 2, Hi: 4}, {Lo: 5, Hi: 7}, {Lo: 8, Hi: 9}}
 	if len(got) != len(want) {
 		t.Fatalf("MissingSpans = %v, want %v", got, want)
 	}
@@ -64,7 +64,7 @@ func TestMissingSpans(t *testing.T) {
 	if got := MissingSpans(4, func(int) bool { return true }); len(got) != 0 {
 		t.Errorf("complete grid missing spans = %v", got)
 	}
-	if got := MissingSpans(4, func(int) bool { return false }); len(got) != 1 || got[0] != (Span{0, 4}) {
+	if got := MissingSpans(4, func(int) bool { return false }); len(got) != 1 || got[0] != (Span{Lo: 0, Hi: 4}) {
 		t.Errorf("empty grid missing spans = %v", got)
 	}
 }
@@ -73,7 +73,7 @@ func TestMissingSpans(t *testing.T) {
 // is exactly the shard plan.
 func TestPlanUnitsFreshRunMatchesPlanShards(t *testing.T) {
 	for _, shards := range []int{1, 2, 4} {
-		units := planUnits([]Span{{0, 12}}, shards)
+		units := planUnits([]Span{{Lo: 0, Hi: 12}}, shards)
 		want := PlanShards(12, shards)
 		if len(units) != len(want) {
 			t.Fatalf("shards=%d: units %v, want %v", shards, units, want)
@@ -89,7 +89,7 @@ func TestPlanUnitsFreshRunMatchesPlanShards(t *testing.T) {
 // TestPlanUnitsCoversMissing: dispatch units tile the missing spans
 // exactly, whatever the shard count.
 func TestPlanUnitsCoversMissing(t *testing.T) {
-	missing := []Span{{2, 4}, {6, 13}, {20, 21}}
+	missing := []Span{{Lo: 2, Hi: 4}, {Lo: 6, Hi: 13}, {Lo: 20, Hi: 21}}
 	for _, shards := range []int{1, 2, 4, 9} {
 		units := planUnits(missing, shards)
 		covered := make(map[int]int)

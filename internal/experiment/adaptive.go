@@ -1,0 +1,191 @@
+// Adaptive replication: the sequential-stopping procedure for
+// replicated simulation experiments. A fixed -reps wastes replications
+// on low-variance grid points and under-samples noisy ones; instead,
+// every point starts with MinReps replications and, between rounds,
+// each point whose 95% CI half-width still exceeds RelCI * |mean| of
+// the target metric receives Batch more — until it converges or hits
+// MaxReps.
+//
+// Determinism is preserved exactly as for fixed sweeps:
+//
+//   - The cell grid is points x MaxReps; cell (p, r) always runs with
+//     seed BaseSeed + p*MaxReps + r, so a cell's seed never depends on
+//     when other points stop.
+//   - The stopping decision is taken only between rounds, from metric
+//     values summarized in replication order — a pure function of the
+//     completed records. Worker goroutines, shard plans and process
+//     counts change wall-clock time only, never which cells run.
+//   - A resumed run replays the same rounds from its journal: the
+//     controller recomputes convergence from the journaled cells and
+//     re-dispatches only what is missing.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// AdaptiveController drives the round structure of one adaptive sweep:
+// it tracks each point's current replication target and convergence
+// state, hands out the pending cell set, and — once a round's records
+// are complete — decides which points need another batch.
+type AdaptiveController struct {
+	points, stride  int
+	min, max, batch int
+	relCI           float64
+	metric          int
+	n               []int  // current replication target per point
+	converged       []bool // stopping decision taken for this point
+}
+
+// NewAdaptiveController validates opt (which must have Adaptive set)
+// and returns a controller with every point at its MinReps target.
+func NewAdaptiveController(opt *SweepOptions) (*AdaptiveController, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	a := opt.Adaptive
+	if a == nil {
+		return nil, fmt.Errorf("experiment: sweep is not adaptive (Adaptive is nil)")
+	}
+	c := &AdaptiveController{
+		points: opt.NumPoints(),
+		stride: opt.RepStride(),
+		min:    a.MinReps, max: a.MaxReps, batch: a.Batch,
+		relCI:  a.RelCI,
+		metric: -1,
+	}
+	for i := range opt.Metrics {
+		if opt.Metrics[i].Name == a.Metric {
+			c.metric = i
+			break
+		}
+	}
+	if c.metric < 0 { // unreachable after Validate, but keep the guard
+		return nil, fmt.Errorf("experiment: adaptive metric %q is not among the sweep metrics", a.Metric)
+	}
+	c.n = make([]int, c.points)
+	c.converged = make([]bool, c.points)
+	for p := range c.n {
+		c.n[p] = c.min
+	}
+	return c, nil
+}
+
+// MetricIndex returns the index (into SweepOptions.Metrics and
+// CellRecord.Values) of the metric driving the stopping rule.
+func (c *AdaptiveController) MetricIndex() int { return c.metric }
+
+// RepCounts returns the current per-point replication targets (after
+// the final Advance: the per-point counts of the finished sweep).
+func (c *AdaptiveController) RepCounts() []int {
+	return append([]int(nil), c.n...)
+}
+
+// TargetCells returns the total number of cells in the current target
+// set — the replications the sweep has committed to so far.
+func (c *AdaptiveController) TargetCells() int {
+	t := 0
+	for _, n := range c.n {
+		t += n
+	}
+	return t
+}
+
+// PendingSpans returns the contiguous spans of target-set cells that
+// have not run yet (have reports false). An empty result means the
+// current round is complete — typically because a journal already held
+// it — and the controller can Advance.
+func (c *AdaptiveController) PendingSpans(have func(cell int) bool) []CellSpan {
+	return MissingCellSpans(c.points*c.stride, func(cell int) bool {
+		if cell%c.stride >= c.n[cell/c.stride] {
+			return true // outside the target set: nothing to run
+		}
+		return have(cell)
+	})
+}
+
+// Advance takes the stopping decision for the completed round: every
+// unconverged point's metric values (value(cell), for the target
+// prefix, in replication order) are summarized, points meeting the
+// relative-precision target — or the MaxReps cap — are frozen, and the
+// rest have their targets raised by Batch. It returns true when at
+// least one point got a new target, i.e. another round must run.
+func (c *AdaptiveController) Advance(value func(cell int) float64) bool {
+	more := false
+	for p := 0; p < c.points; p++ {
+		if c.converged[p] {
+			continue
+		}
+		vals := make([]float64, c.n[p])
+		for r := range vals {
+			vals[r] = value(p*c.stride + r)
+		}
+		s := stats.Summarize(vals)
+		if s.CI95 <= c.relCI*math.Abs(s.Mean) || c.n[p] >= c.max {
+			c.converged[p] = true
+			continue
+		}
+		c.n[p] += c.batch
+		if c.n[p] > c.max {
+			c.n[p] = c.max
+		}
+		more = true
+	}
+	return more
+}
+
+// AdaptiveRounds drives the stopping loop shared by the in-process
+// sweep and the distributed coordinator: each iteration runs the
+// pending cell set (run must make the new records visible to have and
+// value before returning) and then advances the controller, until every
+// point is converged. Keeping the loop in one place guarantees the two
+// execution paths take bit-for-bit identical stopping decisions.
+func AdaptiveRounds(ctrl *AdaptiveController, have func(cell int) bool, value func(cell int) float64, run func(spans []CellSpan) error) error {
+	for {
+		if spans := ctrl.PendingSpans(have); len(spans) > 0 {
+			if err := run(spans); err != nil {
+				return err
+			}
+		}
+		if !ctrl.Advance(value) {
+			return nil
+		}
+	}
+}
+
+// runAdaptiveCells executes a whole adaptive sweep in-process and
+// returns the completed records in cell order.
+func runAdaptiveCells(ctx context.Context, opt SweepOptions) ([]CellRecord, error) {
+	ctrl, err := NewAdaptiveController(&opt)
+	if err != nil {
+		return nil, err
+	}
+	byCell := make([]*CellRecord, opt.NumCells())
+	err = AdaptiveRounds(ctrl,
+		func(cell int) bool { return byCell[cell] != nil },
+		func(cell int) float64 { return byCell[cell].Values[ctrl.MetricIndex()] },
+		func(spans []CellSpan) error {
+			recs, err := RunCellSpansContext(ctx, opt, spans, nil)
+			if err != nil {
+				return err
+			}
+			for i := range recs {
+				byCell[recs[i].Cell] = &recs[i]
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]CellRecord, 0, ctrl.TargetCells())
+	for _, rec := range byCell {
+		if rec != nil {
+			recs = append(recs, *rec)
+		}
+	}
+	return recs, nil
+}

@@ -20,10 +20,13 @@ import (
 )
 
 // CellFormat and CellVersion identify the cell-record stream format.
-// Readers reject other formats and newer versions.
+// Readers reject other formats and newer versions. Version 2 added the
+// meta's adaptive stopping-rule fields; cell lines are unchanged (cells
+// are self-identifying, so the format tolerates a dynamically growing
+// grid), and v1 streams still decode.
 const (
 	CellFormat  = "pnut-cells"
-	CellVersion = 1
+	CellVersion = 2
 )
 
 // CellMeta is the stream's first line: it pins the grid the records
@@ -35,7 +38,9 @@ type CellMeta struct {
 	// Net names the swept model (informational).
 	Net string `json:"net,omitempty"`
 	// Axes, Reps and BaseSeed pin the grid shape and seed schedule;
-	// Horizon and MaxStarts pin the per-cell simulation length.
+	// Horizon and MaxStarts pin the per-cell simulation length. For an
+	// adaptive sweep Reps is the per-point capacity (Adaptive.MaxReps),
+	// i.e. the grid's rep stride.
 	Axes      []Axis `json:"axes"`
 	Reps      int    `json:"reps"`
 	BaseSeed  int64  `json:"baseSeed"`
@@ -43,8 +48,14 @@ type CellMeta struct {
 	MaxStarts int64  `json:"maxStarts,omitempty"`
 	// Metrics names the per-cell metric values, in order.
 	Metrics []string `json:"metrics"`
-	// Cells is the grid's total cell count (points x reps).
+	// Cells is the grid's total cell capacity (points x rep stride). An
+	// adaptive run completes with fewer records than Cells.
 	Cells int `json:"cells"`
+	// Adaptive pins the CI-targeted stopping rule of an adaptive sweep
+	// (cell-record v2); nil for fixed-replication sweeps. Resuming a
+	// journal under a changed stopping rule would silently reshape the
+	// grid, so SameGrid compares it.
+	Adaptive *AdaptiveOptions `json:"adaptive,omitempty"`
 }
 
 // MetaOf derives the stream meta for a sweep. netName may be empty.
@@ -54,11 +65,12 @@ func MetaOf(opt SweepOptions, netName string) CellMeta {
 		Version:   CellVersion,
 		Net:       netName,
 		Axes:      opt.Axes,
-		Reps:      opt.Reps,
+		Reps:      opt.RepStride(),
 		BaseSeed:  opt.BaseSeed,
 		Horizon:   opt.Sim.Horizon,
 		MaxStarts: opt.Sim.MaxStarts,
 		Cells:     opt.NumCells(),
+		Adaptive:  opt.Adaptive,
 		Metrics:   make([]string, len(opt.Metrics)),
 	}
 	for i := range opt.Metrics {
@@ -79,12 +91,19 @@ func (m *CellMeta) Check() error {
 }
 
 // SameGrid reports whether two metas describe the same sweep: equal
-// axes, replication count, seed schedule, simulation length and metric
-// set. Net names are informational and not compared.
+// axes, replication count, seed schedule, simulation length, metric set
+// and adaptive stopping rule. Net names are informational and not
+// compared.
 func (m *CellMeta) SameGrid(o *CellMeta) bool {
 	if m.Reps != o.Reps || m.BaseSeed != o.BaseSeed || m.Cells != o.Cells ||
 		m.Horizon != o.Horizon || m.MaxStarts != o.MaxStarts ||
 		len(m.Axes) != len(o.Axes) || len(m.Metrics) != len(o.Metrics) {
+		return false
+	}
+	if (m.Adaptive == nil) != (o.Adaptive == nil) {
+		return false
+	}
+	if m.Adaptive != nil && *m.Adaptive != *o.Adaptive {
 		return false
 	}
 	for i := range m.Axes {

@@ -25,10 +25,41 @@ import (
 	"repro/internal/trace"
 )
 
+// CellSpan is a contiguous range [Lo, Hi) of flat grid cells — the unit
+// a shard plan partitions and an adaptive round re-dispatches. Package
+// dist aliases it as dist.Span.
+type CellSpan struct {
+	Lo, Hi int
+}
+
+// Size returns the number of cells in the span.
+func (s CellSpan) Size() int { return s.Hi - s.Lo }
+
+func (s CellSpan) String() string { return fmt.Sprintf("%d:%d", s.Lo, s.Hi) }
+
+// MissingCellSpans collects the maximal contiguous spans of cells for
+// which have reports false — the re-dispatch set of a resumed run and
+// the pending set of an adaptive round.
+func MissingCellSpans(cells int, have func(cell int) bool) []CellSpan {
+	var spans []CellSpan
+	for c := 0; c < cells; {
+		if have(c) {
+			c++
+			continue
+		}
+		lo := c
+		for c < cells && !have(c) {
+			c++
+		}
+		spans = append(spans, CellSpan{Lo: lo, Hi: c})
+	}
+	return spans
+}
+
 // CellRecord is the complete outcome of one grid cell: everything a
 // coordinator needs to reassemble the exact in-process SweepResult.
 type CellRecord struct {
-	// Cell is the absolute grid index Point*Reps + Rep.
+	// Cell is the absolute grid index Point*RepStride + Rep.
 	Cell  int
 	Point int
 	Rep   int
@@ -60,27 +91,73 @@ func RunCellsContext(ctx context.Context, opt SweepOptions, lo, hi int, emit fun
 	if lo < 0 || hi > cells || lo >= hi {
 		return nil, fmt.Errorf("experiment: cell span %d:%d outside grid of %d cells", lo, hi, cells)
 	}
+	return RunCellSpansContext(ctx, opt, []CellSpan{{Lo: lo, Hi: hi}}, emit)
+}
 
-	// Build only the points the span touches, serially and in point
-	// order: parameter mutation in Build hooks stays single-threaded and
-	// workers only ever read.
-	p0, p1 := lo/opt.Reps, (hi-1)/opt.Reps
-	nets := make([]*petri.Net, p1-p0+1)
-	headers := make([]trace.Header, p1-p0+1)
-	pts := make([]Point, p1-p0+1)
-	for p := p0; p <= p1; p++ {
-		pts[p-p0] = opt.point(p)
-		net, err := opt.Build(pts[p-p0])
-		if err != nil {
-			return nil, fmt.Errorf("experiment: building point %d (%s): %w", p, pts[p-p0].String(), err)
+// RunCellSpansContext executes several disjoint, ascending spans of
+// opt's grid through one worker pool and returns their records in cell
+// order — the workhorse of an adaptive round, whose pending set is one
+// short span per unconverged point. Cells keep their absolute identity:
+// seed, point and rep depend only on the cell index, never on which
+// spans ran together. emit (optional) is called serialized and in cell
+// order, exactly as for RunCellsContext.
+func RunCellSpansContext(ctx context.Context, opt SweepOptions, spans []CellSpan, emit func(CellRecord) error) ([]CellRecord, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	cells := opt.NumCells()
+	total := 0
+	for i, s := range spans {
+		if s.Lo < 0 || s.Hi > cells || s.Lo >= s.Hi {
+			return nil, fmt.Errorf("experiment: cell span %s outside grid of %d cells", s, cells)
 		}
-		nets[p-p0] = net
-		headers[p-p0] = trace.HeaderOf(net)
+		if i > 0 && s.Lo < spans[i-1].Hi {
+			return nil, fmt.Errorf("experiment: cell spans %s and %s are not ascending and disjoint", spans[i-1], s)
+		}
+		total += s.Size()
+	}
+	if total == 0 {
+		return nil, nil
 	}
 
-	span := hi - lo
-	workers := opt.workers(span)
-	recs := make([]CellRecord, span)
+	// Flatten the spans: pool index idx <-> absolute cell cellOf[idx],
+	// ascending, so the pool claims cells in point-major order and
+	// engine reuse works exactly as for one contiguous span.
+	stride := opt.RepStride()
+	cellOf := make([]int, 0, total)
+	for _, s := range spans {
+		for c := s.Lo; c < s.Hi; c++ {
+			cellOf = append(cellOf, c)
+		}
+	}
+
+	// Build only the points the spans touch, serially and in point
+	// order: parameter mutation in Build hooks stays single-threaded and
+	// workers only ever read.
+	slot := make(map[int]int) // point -> index into nets/headers/pts
+	var (
+		nets    []*petri.Net
+		headers []trace.Header
+		pts     []Point
+	)
+	for _, c := range cellOf {
+		p := c / stride
+		if _, ok := slot[p]; ok {
+			continue
+		}
+		pt := opt.point(p)
+		net, err := opt.Build(pt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: building point %d (%s): %w", p, pt.String(), err)
+		}
+		slot[p] = len(nets)
+		nets = append(nets, net)
+		headers = append(headers, trace.HeaderOf(net))
+		pts = append(pts, pt)
+	}
+
+	workers := opt.workers(total)
+	recs := make([]CellRecord, total)
 
 	// Worker-confined engine state: engines are rebuilt only on point
 	// boundaries, so consecutive cells of one point reuse the engine.
@@ -101,20 +178,20 @@ func RunCellsContext(ctx context.Context, opt SweepOptions, lo, hi int, emit fun
 		done     []bool
 	)
 	if emit != nil {
-		done = make([]bool, span)
+		done = make([]bool, total)
 	}
 
-	if idx, err := runPool(ctx, workers, span, func(worker, idx int) error {
-		cell := lo + idx
-		p, rep := cell/opt.Reps, cell%opt.Reps
+	if idx, err := runPool(ctx, workers, total, func(worker, idx int) error {
+		cell := cellOf[idx]
+		p, rep := cell/stride, cell%stride
 		w := &ws[worker]
 		if w.point != p {
-			w.eng = sim.NewEngine(nets[p-p0])
+			w.eng = sim.NewEngine(nets[slot[p]])
 			w.point = p
 		}
 		so := opt.Sim
 		so.Seed = opt.BaseSeed + int64(cell)
-		acc := stats.New(headers[p-p0])
+		acc := stats.New(headers[slot[p]])
 		res, err := w.eng.Run(acc, so)
 		if err != nil {
 			return err
@@ -140,9 +217,9 @@ func RunCellsContext(ctx context.Context, opt SweepOptions, lo, hi int, emit fun
 		emitMu.Lock()
 		defer emitMu.Unlock()
 		done[idx] = true
-		for emitNext < span && done[emitNext] {
+		for emitNext < total && done[emitNext] {
 			if err := emit(recs[emitNext]); err != nil {
-				return fmt.Errorf("emitting cell %d: %w", lo+emitNext, err)
+				return fmt.Errorf("emitting cell %d: %w", cellOf[emitNext], err)
 			}
 			emitNext++
 		}
@@ -151,9 +228,9 @@ func RunCellsContext(ctx context.Context, opt SweepOptions, lo, hi int, emit fun
 		if idx < 0 {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}
-		cell := lo + idx
-		p, rep := cell/opt.Reps, cell%opt.Reps
-		return nil, fmt.Errorf("experiment: point %d (%s) replication %d: %w", p, pts[p-p0].String(), rep, err)
+		cell := cellOf[idx]
+		p, rep := cell/stride, cell%stride
+		return nil, fmt.Errorf("experiment: point %d (%s) replication %d: %w", p, pts[slot[p]].String(), rep, err)
 	}
 	return recs, nil
 }
@@ -164,15 +241,20 @@ func RunCellsContext(ctx context.Context, opt SweepOptions, lo, hi int, emit fun
 // in replication order and metric values summarize in replication
 // order, so the floating-point arithmetic associates identically.
 //
-// Records' Stats are merged in place (the first record of each point
-// becomes the pool), exactly as the in-process driver treats its
-// per-cell accumulators. Workers and Elapsed are left for the caller:
-// they describe the run, not the result.
+// A fixed sweep requires every cell of the grid. An adaptive sweep
+// tolerates variable per-point replication counts: each point must hold
+// a gap-free replication prefix of at least Adaptive.MinReps records,
+// and the point is assembled from exactly that prefix.
+//
+// The input records are not modified: each point's pool starts from a
+// clone of its first accumulator, so a coordinator may re-journal or
+// re-assemble the same records afterwards. Workers and Elapsed are left
+// for the caller: they describe the run, not the result.
 func AssembleSweep(opt SweepOptions, recs []CellRecord) (*SweepResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	points, cells := opt.NumPoints(), opt.NumCells()
+	points, stride, cells := opt.NumPoints(), opt.RepStride(), opt.NumCells()
 	byCell := make([]*CellRecord, cells)
 	for i := range recs {
 		rec := &recs[i]
@@ -191,42 +273,72 @@ func AssembleSweep(opt SweepOptions, recs []CellRecord) (*SweepResult, error) {
 		}
 		byCell[rec.Cell] = rec
 	}
-	for c, rec := range byCell {
-		if rec == nil {
-			return nil, fmt.Errorf("experiment: incomplete grid: missing cell %d of %d", c, cells)
+
+	// Per-point replication counts: the fixed Reps, or — adaptively —
+	// each point's gap-free record prefix.
+	nreps := make([]int, points)
+	for p := 0; p < points; p++ {
+		if opt.Adaptive == nil {
+			nreps[p] = opt.Reps
+		} else {
+			n := 0
+			for n < stride && byCell[p*stride+n] != nil {
+				n++
+			}
+			if n < opt.Adaptive.MinReps {
+				return nil, fmt.Errorf("experiment: incomplete grid: point %d has %d replications, adaptive minimum is %d",
+					p, n, opt.Adaptive.MinReps)
+			}
+			nreps[p] = n
+		}
+		for rep := 0; rep < nreps[p]; rep++ {
+			if byCell[p*stride+rep] == nil {
+				return nil, fmt.Errorf("experiment: incomplete grid: missing cell %d (point %d replication %d)",
+					p*stride+rep, p, rep)
+			}
+		}
+		for rep := nreps[p]; rep < stride; rep++ {
+			if byCell[p*stride+rep] != nil {
+				return nil, fmt.Errorf("experiment: point %d has replication %d but not %d: replication prefix has a gap",
+					p, rep, nreps[p])
+			}
 		}
 	}
 
 	r := &SweepResult{
-		Axes:   opt.Axes,
-		Points: make([]PointResult, points),
-		Reps:   opt.Reps,
-		names:  make([]string, len(opt.Metrics)),
+		Axes:     opt.Axes,
+		Points:   make([]PointResult, points),
+		Reps:     stride, // fixed Reps, or the adaptive per-point cap
+		Adaptive: opt.Adaptive,
+		names:    make([]string, len(opt.Metrics)),
 	}
 	for m := range opt.Metrics {
 		r.names[m] = opt.Metrics[m].Name
 	}
 	for p := 0; p < points; p++ {
+		n := nreps[p]
 		// Fold each point in replication order: floating-point sums then
-		// associate the same way no matter how cells were scheduled.
-		pooled := byCell[p*opt.Reps].Stats
-		for rep := 1; rep < opt.Reps; rep++ {
-			if err := pooled.Merge(byCell[p*opt.Reps+rep].Stats); err != nil {
+		// associate the same way no matter how cells were scheduled. The
+		// fold starts from a clone so the caller's records stay intact.
+		pooled := byCell[p*stride].Stats.Clone()
+		for rep := 1; rep < n; rep++ {
+			if err := pooled.Merge(byCell[p*stride+rep].Stats); err != nil {
 				return nil, fmt.Errorf("experiment: merging point %d replication %d: %w", p, rep, err)
 			}
 		}
 		pr := PointResult{
 			Point:     opt.point(p),
+			Reps:      n,
 			Pooled:    pooled,
 			Summaries: make([]stats.Summary, len(opt.Metrics)),
 			Values:    make([][]float64, len(opt.Metrics)),
-			Runs:      make([]sim.Result, opt.Reps),
+			Runs:      make([]sim.Result, n),
 		}
 		for m := range opt.Metrics {
-			pr.Values[m] = make([]float64, opt.Reps)
+			pr.Values[m] = make([]float64, n)
 		}
-		for rep := 0; rep < opt.Reps; rep++ {
-			rec := byCell[p*opt.Reps+rep]
+		for rep := 0; rep < n; rep++ {
+			rec := byCell[p*stride+rep]
 			pr.Runs[rep] = rec.Run
 			for m := range rec.Values {
 				pr.Values[m][rep] = rec.Values[m]
@@ -236,6 +348,7 @@ func AssembleSweep(opt SweepOptions, recs []CellRecord) (*SweepResult, error) {
 		for m := range opt.Metrics {
 			pr.Summaries[m] = stats.Summarize(pr.Values[m])
 		}
+		r.TotalReps += n
 		r.Points[p] = pr
 	}
 	return r, nil

@@ -26,6 +26,14 @@ func TestParseAxisRange(t *testing.T) {
 		{in: "X=10:2:-4", want: []float64{10, 6, 2}},
 		{in: "X=3:3:1", want: []float64{3}},
 		{in: "X=1:2:5", want: []float64{1}}, // step overshoots: lo only
+		// Endpoint clamp regressions: lo+n*step may overshoot hi by an
+		// ulp; the final value must be exactly hi (so a range agrees with
+		// the equivalent explicit list), ascending and descending.
+		{in: "X=0:0.7:0.1", want: []float64{0, 0.1, 0.2, 0.30000000000000004, 0.4, 0.5, 0.6000000000000001, 0.7}},
+		{in: "X=0.7:0:-0.1", want: []float64{0.7, 0.6, 0.49999999999999994, 0.3999999999999999, 0.29999999999999993, 0.19999999999999996, 0.09999999999999987, 0}},
+		// ... but a range that genuinely stops short of hi is not
+		// clamped: 0.9 is not "within tolerance" of 1.
+		{in: "X=0:1:0.3", want: []float64{0, 0.3, 0.6, 0.8999999999999999}},
 		{in: "", err: "name=v1,v2"},
 		{in: "=1,2", err: "name=v1,v2"},
 		{in: "X=", err: "no values"},
@@ -253,6 +261,48 @@ func TestRunCancellation(t *testing.T) {
 	}
 	if ran != 1 {
 		t.Errorf("%d replications ran after cancellation, want 1", ran)
+	}
+}
+
+// TestAssembleSweepDoesNotMutateInput: assembly folds each point's
+// replications into a *clone* of the first accumulator, so the caller's
+// records survive — a coordinator may re-journal or re-assemble the
+// same slice and get identical bytes, not polluted accumulators.
+func TestAssembleSweepDoesNotMutateInput(t *testing.T) {
+	opt := gridOptions(3, 0)
+	recs, err := RunCellsContext(context.Background(), opt, 0, opt.NumCells(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]byte, len(recs))
+	for i := range recs {
+		if before[i], err = EncodeCell(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := AssembleSweep(opt, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		after, err := EncodeCell(recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before[i], after) {
+			t.Fatalf("assembly mutated input record for cell %d:\n before %s\n after  %s",
+				recs[i].Cell, before[i], after)
+		}
+	}
+
+	// Re-assembling the same records must therefore be byte-identical.
+	second, err := AssembleSweep(opt, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encode(t, second) != encode(t, first) {
+		t.Error("second assembly of the same records differs from the first")
 	}
 }
 

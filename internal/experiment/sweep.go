@@ -82,6 +82,36 @@ func (p *Point) String() string {
 	return strings.Join(parts, ", ")
 }
 
+// AdaptiveOptions switch a sweep from a fixed replication count to the
+// standard sequential-stopping procedure for replicated simulation:
+// every point starts with MinReps replications, and between rounds each
+// point whose 95% confidence interval is still too wide relative to its
+// mean gets Batch more replications, until it converges or hits
+// MaxReps. The stopping decision is made only from replication-order
+// summaries between rounds, so it — and therefore every result byte —
+// is independent of worker count, shard count and process count.
+type AdaptiveOptions struct {
+	// Metric names the metric (by its SweepOptions.Metrics name, e.g.
+	// "throughput(Issue)") whose confidence interval drives stopping.
+	Metric string `json:"metric"`
+	// RelCI is the relative-precision target: a point is converged when
+	// CI95 <= RelCI * |mean| of its Metric across the replications run
+	// so far. A point whose mean is 0 with nonzero CI never satisfies
+	// the relative criterion and runs to MaxReps.
+	RelCI float64 `json:"relCI"`
+	// MinReps is the first round's replication count per point (at
+	// least 2 — one replication has no confidence interval).
+	MinReps int `json:"minReps"`
+	// MaxReps caps a point's replications; it also fixes the seed
+	// layout: cell (point p, rep r) always runs with seed
+	// BaseSeed + p*MaxReps + r, so a cell's seed never depends on when
+	// other points stop.
+	MaxReps int `json:"maxReps"`
+	// Batch is the number of extra replications an unconverged point
+	// receives per round (at least 1).
+	Batch int `json:"batch"`
+}
+
 // SweepOptions configure one parameter sweep.
 type SweepOptions struct {
 	// Axes are the swept parameters; their cartesian product is the
@@ -89,13 +119,19 @@ type SweepOptions struct {
 	// a sweep of zero axes exactly equivalent to Run.
 	Axes []Axis
 	// Reps is the number of independent replications per point (at
-	// least 1).
+	// least 1). Ignored when Adaptive is set.
 	Reps int
+	// Adaptive, if non-nil, replaces the fixed Reps with CI-targeted
+	// sequential stopping: per-point replication counts then vary
+	// between Adaptive.MinReps and Adaptive.MaxReps.
+	Adaptive *AdaptiveOptions
 	// Workers caps the shared worker pool; 0 or less means GOMAXPROCS.
 	// The worker count never affects results, only wall-clock time.
 	Workers int
-	// BaseSeed seeds cell (point, rep) with BaseSeed + point*Reps + rep.
-	// The Seed field of Sim is ignored.
+	// BaseSeed seeds cell (point, rep) with BaseSeed + point*stride +
+	// rep, where stride is Reps for fixed sweeps and Adaptive.MaxReps
+	// for adaptive ones (see RepStride). The Seed field of Sim is
+	// ignored.
 	BaseSeed int64
 	// Sim holds the per-run simulation options (Horizon or MaxStarts
 	// must be set, exactly as for sim.Run).
@@ -120,9 +156,21 @@ func (o *SweepOptions) NumPoints() int {
 	return n
 }
 
-// NumCells returns the total number of (point, replication) cells —
-// the unit a distributed shard plan partitions.
-func (o *SweepOptions) NumCells() int { return o.NumPoints() * o.Reps }
+// RepStride is the replication capacity per point: the second dimension
+// of the flat cell grid and the seed stride between points. It is Reps
+// for fixed sweeps and Adaptive.MaxReps for adaptive ones — so an
+// adaptive cell's seed never depends on when other points stop.
+func (o *SweepOptions) RepStride() int {
+	if o.Adaptive != nil {
+		return o.Adaptive.MaxReps
+	}
+	return o.Reps
+}
+
+// NumCells returns the capacity of the flat (point, replication) cell
+// grid — the unit a distributed shard plan partitions. An adaptive
+// sweep addresses this grid but only runs each point's prefix of it.
+func (o *SweepOptions) NumCells() int { return o.NumPoints() * o.RepStride() }
 
 func (o *SweepOptions) workers(cells int) int {
 	w := o.Workers
@@ -157,7 +205,29 @@ func (o *SweepOptions) point(idx int) Point {
 // well-formed axes. Exported so planners (package dist) can reject a
 // bad grid before any process is spawned.
 func (o *SweepOptions) Validate() error {
-	if o.Reps < 1 {
+	if a := o.Adaptive; a != nil {
+		if a.MinReps < 2 {
+			return fmt.Errorf("experiment: adaptive MinReps must be at least 2 (one replication has no CI), got %d", a.MinReps)
+		}
+		if a.MaxReps < a.MinReps {
+			return fmt.Errorf("experiment: adaptive MaxReps %d is below MinReps %d", a.MaxReps, a.MinReps)
+		}
+		if a.Batch < 1 {
+			return fmt.Errorf("experiment: adaptive Batch must be at least 1, got %d", a.Batch)
+		}
+		if !(a.RelCI > 0) {
+			return fmt.Errorf("experiment: adaptive RelCI must be positive, got %g", a.RelCI)
+		}
+		found := false
+		names := make([]string, len(o.Metrics))
+		for i := range o.Metrics {
+			names[i] = o.Metrics[i].Name
+			found = found || names[i] == a.Metric
+		}
+		if !found {
+			return fmt.Errorf("experiment: adaptive metric %q is not among the sweep metrics %v", a.Metric, names)
+		}
+	} else if o.Reps < 1 {
 		return fmt.Errorf("experiment: sweep Reps must be at least 1, got %d", o.Reps)
 	}
 	if o.Build == nil {
@@ -183,6 +253,10 @@ func (o *SweepOptions) Validate() error {
 // experiment, merged deterministically.
 type PointResult struct {
 	Point Point
+	// Reps is the number of replications this point ran: the sweep's
+	// fixed Reps, or — adaptively — wherever the stopping rule landed
+	// between MinReps and MaxReps.
+	Reps int
 	// Pooled holds the point's statistics merged in replication order.
 	Pooled *stats.Stats
 	// Summaries holds one cross-replication summary per metric, in
@@ -201,9 +275,17 @@ type SweepResult struct {
 	// point in row-major order (the last axis varies fastest).
 	Axes   []Axis
 	Points []PointResult
-	// Reps and Workers echo the effective sweep shape.
+	// Reps and Workers echo the effective sweep shape; for an adaptive
+	// sweep Reps is the per-point cap (Adaptive.MaxReps) and each
+	// point's actual count is in its PointResult.
 	Reps    int
 	Workers int
+	// Adaptive echoes the stopping rule of an adaptive sweep (nil for
+	// fixed-replication sweeps); TotalReps is the total number of
+	// replications run across all points — the quantity adaptive
+	// stopping minimizes.
+	Adaptive  *AdaptiveOptions
+	TotalReps int
 	// Elapsed is the wall-clock time of the whole sweep; Events is the
 	// total number of firings completed across all cells.
 	Elapsed time.Duration
@@ -296,6 +378,14 @@ func expandRange(name, part string) ([]float64, error) {
 	for i := 0; i <= n; i++ {
 		vals = append(vals, lo+float64(i)*step)
 	}
+	// Clamp the endpoint: lo+n*step can overshoot hi by an ulp (e.g.
+	// 0:0.7:0.1 lands on 0.7000000000000001 > 0.7), which would make a
+	// range axis disagree with the equivalent explicit list in every
+	// table, CSV and journal meta. If the last value is within a step
+	// tolerance of hi, it *is* hi.
+	if last := &vals[len(vals)-1]; *last != hi && math.Abs(*last-hi) <= math.Abs(step)*1e-6 {
+		*last = hi
+	}
 	return vals, nil
 }
 
@@ -321,7 +411,15 @@ func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
 		return nil, err
 	}
 	start := time.Now()
-	recs, err := RunCellsContext(ctx, opt, 0, opt.NumCells(), nil)
+	var (
+		recs []CellRecord
+		err  error
+	)
+	if opt.Adaptive != nil {
+		recs, err = runAdaptiveCells(ctx, opt)
+	} else {
+		recs, err = RunCellsContext(ctx, opt, 0, opt.NumCells(), nil)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -337,11 +435,16 @@ func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
 func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WriteTable renders the sweep as an aligned text table: one row per
-// grid point, one column per axis, then "mean ±ci95" per metric.
+// grid point, one column per axis, then "mean ±ci95" per metric. An
+// adaptive sweep adds an "n" column (the point's replication count)
+// after the axes.
 func (r *SweepResult) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	for _, ax := range r.Axes {
 		fmt.Fprintf(tw, "%s\t", ax.Name)
+	}
+	if r.Adaptive != nil {
+		fmt.Fprintf(tw, "n\t")
 	}
 	for _, n := range r.names {
 		fmt.Fprintf(tw, "%s\t", n)
@@ -350,6 +453,9 @@ func (r *SweepResult) WriteTable(w io.Writer) error {
 	for _, pt := range r.Points {
 		for _, v := range pt.Point.Values {
 			fmt.Fprintf(tw, "%s\t", formatG(v))
+		}
+		if r.Adaptive != nil {
+			fmt.Fprintf(tw, "%d\t", pt.Reps)
 		}
 		for _, s := range pt.Summaries {
 			fmt.Fprintf(tw, "%.4f ±%.4f\t", s.Mean, s.CI95)
@@ -365,9 +471,12 @@ func (r *SweepResult) WriteTable(w io.Writer) error {
 // the determinism tests compare sweeps through this encoding.
 func (r *SweepResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	head := make([]string, 0, len(r.Axes)+3*len(r.names))
+	head := make([]string, 0, len(r.Axes)+1+3*len(r.names))
 	for _, ax := range r.Axes {
 		head = append(head, ax.Name)
+	}
+	if r.Adaptive != nil {
+		head = append(head, "n")
 	}
 	for _, n := range r.names {
 		head = append(head, n+" mean", n+" ci95", n+" sd")
@@ -380,6 +489,9 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 		row = row[:0]
 		for _, v := range pt.Point.Values {
 			row = append(row, formatG(v))
+		}
+		if r.Adaptive != nil {
+			row = append(row, strconv.Itoa(pt.Reps))
 		}
 		for _, s := range pt.Summaries {
 			row = append(row, formatG(s.Mean), formatG(s.CI95), formatG(s.StdDev))

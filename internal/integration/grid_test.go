@@ -106,6 +106,54 @@ exit $die
 	goldenCompare(t, "pnut-sweep.csv", []byte(stdout))
 }
 
+// adaptiveArgs is the reference adaptive sweep for the process-level
+// identity tests: a mixed-variance cache grid with a 5% relative-CI
+// target, so points stop at different replication counts.
+func adaptiveArgs() []string {
+	return []string{
+		"-model", "cache",
+		"-axis", "DHitRatio=0,0.5,0.9,1",
+		"-horizon", "2000", "-seed", "7",
+		"-adaptive", "throughput(Issue):0.05",
+		"-min-reps", "3", "-max-reps", "32", "-batch", "2",
+		"-format", "csv", "-throughput", "Issue",
+	}
+}
+
+// TestAdaptiveGridMatchesSweep is the adaptive identity at process
+// level: the CSV (including the per-point "n" column) of a 1-worker
+// in-process pnut-sweep, a GOMAXPROCS pnut-sweep, and pnut-grid across
+// 2 and 3 worker processes must all be byte-identical — the stopping
+// decisions replay identically everywhere. A journaled re-run replays
+// the rounds without dispatching and still matches.
+func TestAdaptiveGridMatchesSweep(t *testing.T) {
+	bins := buildTools(t, "pnut-sweep", "pnut-grid")
+	want := mustOutput(t, bins["pnut-sweep"], append(adaptiveArgs(), "-parallel", "1")...)
+	if !strings.Contains(strings.SplitN(string(want), "\n", 2)[0], ",n,") {
+		t.Fatalf("adaptive CSV header lacks the n column:\n%s", want)
+	}
+	if got := mustOutput(t, bins["pnut-sweep"], adaptiveArgs()...); !bytes.Equal(got, want) {
+		t.Errorf("parallel pnut-sweep differs from 1-worker run:\n%s", got)
+	}
+	journal := filepath.Join(t.TempDir(), "adaptive.jsonl")
+	for _, procs := range []string{"2", "3"} {
+		got := mustOutput(t, bins["pnut-grid"], append(adaptiveArgs(),
+			"-worker-cmd", bins["pnut-sweep"], "-procs", procs, "-journal", journal)...)
+		if !bytes.Equal(got, want) {
+			t.Errorf("pnut-grid -procs %s differs from pnut-sweep:\n%s", procs, got)
+		}
+	}
+	// The journal is complete after the first grid run; a worker command
+	// that always fails proves the replay dispatches nothing.
+	if runtime.GOOS != "windows" {
+		got := mustOutput(t, bins["pnut-grid"], append(adaptiveArgs(),
+			"-worker-cmd", "/bin/false", "-procs", "2", "-journal", journal)...)
+		if !bytes.Equal(got, want) {
+			t.Errorf("adaptive journal replay differs from pnut-sweep:\n%s", got)
+		}
+	}
+}
+
 // TestGridRejectsDriftedJournal: changing the sweep under a journal is
 // an error, not silent corruption.
 func TestGridRejectsDriftedJournal(t *testing.T) {

@@ -118,6 +118,19 @@ func New(h trace.Header) *Stats {
 	}
 }
 
+// Clone returns an independent deep copy of the accumulator: mutating
+// the clone (merging into it, recording more events) never touches the
+// original. The Header's name slices are shared — they are immutable by
+// contract.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	c.places = append([]series(nil), s.places...)
+	c.trans = append([]series(nil), s.trans...)
+	c.starts = append([]int64(nil), s.starts...)
+	c.ends = append([]int64(nil), s.ends...)
+	return &c
+}
+
 // Record implements trace.Observer.
 func (s *Stats) Record(rec *trace.Record) error {
 	switch rec.Kind {

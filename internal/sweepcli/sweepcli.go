@@ -42,6 +42,13 @@ type Config struct {
 	Reps      int
 	Parallel  int
 
+	// Adaptive replication (CI-targeted stopping): Adaptive is the
+	// "metric:relci" spec, empty for fixed -reps sweeps.
+	Adaptive string
+	MinReps  int
+	MaxReps  int
+	Batch    int
+
 	Axes         Repeated
 	Throughputs  Repeated
 	Utilizations Repeated
@@ -54,9 +61,15 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Net, "net", "", "path to a .pn net (overrides -model; axis names are net vars)")
 	fs.Int64Var(&c.Horizon, "horizon", 10_000, "simulation length in clock ticks per replication")
 	fs.Int64Var(&c.MaxStarts, "max-starts", 0, "stop each replication after this many firings (0 = horizon only)")
-	fs.Int64Var(&c.Seed, "seed", 1, "base seed; cell (point p, rep r) uses seed + p*reps + r")
-	fs.IntVar(&c.Reps, "reps", 5, "independent replications per grid point")
+	fs.Int64Var(&c.Seed, "seed", 1, "base seed; cell (point p, rep r) uses seed + p*reps + r\n(with -adaptive the stride is -max-reps: seed + p*max-reps + r)")
+	fs.IntVar(&c.Reps, "reps", 5, "independent replications per grid point (fixed; see -adaptive)")
 	fs.IntVar(&c.Parallel, "parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
+	fs.StringVar(&c.Adaptive, "adaptive", "", "adaptive replication as metric:relci, e.g. 'throughput(Issue):0.05':\n"+
+		"run -min-reps per point, then batches of -batch more until the metric's\n"+
+		"95% CI half-width is within relci of |mean| or -max-reps is hit; overrides -reps")
+	fs.IntVar(&c.MinReps, "min-reps", 4, "with -adaptive: first-round replications per point (>= 2)")
+	fs.IntVar(&c.MaxReps, "max-reps", 64, "with -adaptive: replication cap per point; also fixes the seed layout")
+	fs.IntVar(&c.Batch, "batch", 0, "with -adaptive: extra replications per round for unconverged points (0 = min-reps)")
 	fs.Var(&c.Axes, "axis", "swept parameter as Name=v1,v2,... or Name=lo:hi:step (repeatable; product of axes is the grid)")
 	fs.Var(&c.Throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
 	fs.Var(&c.Utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
@@ -83,6 +96,13 @@ func (c *Config) Options() (experiment.SweepOptions, string, error) {
 	if len(metrics) == 0 {
 		return experiment.SweepOptions{}, "", fmt.Errorf("at least one -throughput or -utilization metric is required")
 	}
+	var adaptive *experiment.AdaptiveOptions
+	if c.Adaptive != "" {
+		var err error
+		if adaptive, err = c.adaptiveOptions(); err != nil {
+			return experiment.SweepOptions{}, "", err
+		}
+	}
 	build, name, err := buildHook(c.Net, c.Model)
 	if err != nil {
 		return experiment.SweepOptions{}, "", err
@@ -90,6 +110,7 @@ func (c *Config) Options() (experiment.SweepOptions, string, error) {
 	return experiment.SweepOptions{
 		Axes:     parsed,
 		Reps:     c.Reps,
+		Adaptive: adaptive,
 		Workers:  c.Parallel,
 		BaseSeed: c.Seed,
 		Sim: sim.Options{
@@ -99,6 +120,33 @@ func (c *Config) Options() (experiment.SweepOptions, string, error) {
 		Metrics: metrics,
 		Build:   build,
 	}, name, nil
+}
+
+// adaptiveOptions parses the -adaptive "metric:relci" spec and folds in
+// the -min-reps/-max-reps/-batch shape (a zero -batch defaults to
+// -min-reps). Metric names contain no colons, so the split is at the
+// last one.
+func (c *Config) adaptiveOptions() (*experiment.AdaptiveOptions, error) {
+	i := strings.LastIndex(c.Adaptive, ":")
+	if i < 0 {
+		return nil, fmt.Errorf("-adaptive %q is not metric:relci (e.g. 'throughput(Issue):0.05')", c.Adaptive)
+	}
+	metric := strings.TrimSpace(c.Adaptive[:i])
+	relCI, err := strconv.ParseFloat(strings.TrimSpace(c.Adaptive[i+1:]), 64)
+	if err != nil || metric == "" {
+		return nil, fmt.Errorf("-adaptive %q is not metric:relci (e.g. 'throughput(Issue):0.05')", c.Adaptive)
+	}
+	batch := c.Batch
+	if batch == 0 {
+		batch = c.MinReps
+	}
+	return &experiment.AdaptiveOptions{
+		Metric:  metric,
+		RelCI:   relCI,
+		MinReps: c.MinReps,
+		MaxReps: c.MaxReps,
+		Batch:   batch,
+	}, nil
 }
 
 // WorkerArgs reconstructs the flag list that reproduces this sweep
@@ -119,6 +167,14 @@ func (c *Config) WorkerArgs(parallel int) []string {
 		"-reps", strconv.Itoa(c.Reps),
 		"-parallel", strconv.Itoa(parallel),
 	)
+	if c.Adaptive != "" {
+		args = append(args,
+			"-adaptive", c.Adaptive,
+			"-min-reps", strconv.Itoa(c.MinReps),
+			"-max-reps", strconv.Itoa(c.MaxReps),
+			"-batch", strconv.Itoa(c.Batch),
+		)
+	}
 	for _, a := range c.Axes {
 		args = append(args, "-axis", a)
 	}

@@ -22,6 +22,12 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 			Axes:        Repeated{"max_type=4,6"},
 			Throughputs: Repeated{"Issue"},
 		},
+		{
+			Model: "cache", Horizon: 1234, Seed: 42, Reps: 7,
+			Adaptive: "throughput(Issue):0.05", MinReps: 3, MaxReps: 24, Batch: 3,
+			Axes:        Repeated{"DHitRatio=0:1:0.25"},
+			Throughputs: Repeated{"Issue"},
+		},
 	}
 	for _, want := range cfgs {
 		var got Config
@@ -31,6 +37,12 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 			t.Fatalf("worker args do not parse: %v", err)
 		}
 		want.Parallel = 3 // WorkerArgs overrides the goroutine count
+		if want.Adaptive == "" {
+			// The adaptive shape flags are only shipped (and only
+			// meaningful) with -adaptive; a fixed-rep worker parses their
+			// defaults.
+			want.MinReps, want.MaxReps = 4, 64
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, want)
 		}
