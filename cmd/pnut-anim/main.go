@@ -25,6 +25,7 @@ func main() {
 	hideIdle := flag.Bool("hide-idle", false, "omit empty places from the state panel")
 	maxFrames := flag.Int("max-frames", 0, "stop after this many frames (0 = all)")
 	step := flag.Bool("step", false, "single-step: wait for enter between frames")
+	format := flag.String("trace-format", trace.FormatAuto, "input trace encoding: auto (sniff), text or col")
 	flag.Parse()
 
 	if *netPath == "" {
@@ -64,12 +65,15 @@ func main() {
 			return err
 		}
 	}
-	runFrom(in, net, opt)
+	runFrom(in, net, opt, *format)
 }
 
-func runFrom(in io.Reader, net *petri.Net, opt anim.Options) {
+func runFrom(in io.Reader, net *petri.Net, opt anim.Options, format string) {
 	a := anim.New(net, os.Stdout, opt)
-	r := trace.NewReader(in)
+	r, _, err := trace.OpenReader(in, format)
+	if err != nil {
+		fatal(err)
+	}
 	if _, err := r.Header(); err != nil {
 		fatal(err)
 	}

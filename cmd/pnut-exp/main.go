@@ -18,13 +18,17 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/ptl"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 type repeated []string
@@ -44,6 +48,8 @@ func main() {
 	reps := flag.Int("reps", 10, "number of independent replications")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
 	report := flag.Bool("report", false, "also print the pooled statistics report")
+	traceDir := flag.String("trace-dir", "", "write every replication's full trace into this directory (rep-NNNN.trace)")
+	traceFormat := flag.String("trace-format", trace.FormatCol, "encoding for -trace-dir traces: text or col")
 	var throughputs, utilizations repeated
 	flag.Var(&throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
 	flag.Var(&utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
@@ -71,7 +77,7 @@ func main() {
 		metrics = append(metrics, experiment.Utilization(p))
 	}
 
-	r, err := experiment.Run(net, experiment.Options{
+	opt := experiment.Options{
 		Reps:     *reps,
 		Workers:  *parallel,
 		BaseSeed: *seed,
@@ -80,9 +86,55 @@ func main() {
 			MaxStarts: *maxStarts,
 		},
 		Metrics: metrics,
-	})
+	}
+
+	// With -trace-dir every replication also streams its full trace to
+	// a file; the columnar default keeps production-size experiments on
+	// disk cheap, -trace-format text keeps them greppable.
+	var traceCount atomic.Int64
+	if *traceDir != "" {
+		if _, err := trace.NewFormatWriter(io.Discard, trace.Header{}, *traceFormat, false); err != nil {
+			fatal(err) // reject a bad -trace-format before running anything
+		}
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		h := trace.HeaderOf(net)
+		opt.Observe = func(rep int) trace.Observer {
+			// Each replication's file is closed on its Final record, so
+			// the open-fd count tracks the worker pool, not -reps.
+			f, err := os.Create(filepath.Join(*traceDir, fmt.Sprintf("rep-%04d.trace", rep)))
+			if err != nil {
+				return trace.ObserverFunc(func(*trace.Record) error { return err })
+			}
+			w, _ := trace.NewFormatWriter(f, h, *traceFormat, false)
+			return trace.ObserverFunc(func(rec *trace.Record) error {
+				if err := w.Record(rec); err != nil {
+					f.Close()
+					return err
+				}
+				if rec.Kind != trace.Final {
+					return nil
+				}
+				if err := w.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return fmt.Errorf("closing %s: %w", f.Name(), err)
+				}
+				traceCount.Add(1)
+				return nil
+			})
+		}
+	}
+
+	r, err := experiment.Run(net, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceDir != "" {
+		fmt.Fprintf(os.Stderr, "pnut-exp: wrote %d %s traces to %s\n", traceCount.Load(), *traceFormat, *traceDir)
 	}
 
 	out := bufio.NewWriter(os.Stdout)

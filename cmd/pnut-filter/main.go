@@ -18,17 +18,33 @@ import (
 func main() {
 	places := flag.String("places", "", "comma-separated places to keep")
 	transitions := flag.String("trans", "", "comma-separated transitions to keep")
+	format := flag.String("trace-format", trace.FormatAuto, "output trace encoding: auto (match the input), text or col; the input is always sniffed")
 	flag.Parse()
 
-	r := trace.NewReader(os.Stdin)
+	r, inFormat, err := trace.OpenReader(os.Stdin, trace.FormatAuto)
+	if err != nil {
+		fatal(err)
+	}
 	h, err := r.Header()
 	if err != nil {
 		fatal(err)
 	}
-	w := trace.NewWriter(os.Stdout, h, false)
+	outFormat := *format
+	if outFormat == trace.FormatAuto || outFormat == "" {
+		outFormat = inFormat
+	}
+	w, err := trace.NewFormatWriter(os.Stdout, h, outFormat, false)
+	if err != nil {
+		fatal(err)
+	}
 	f, err := trace.NewFilter(h, w, split(*places), split(*transitions))
 	if err != nil {
 		fatal(err)
+	}
+	// On columnar input the reader can skip whole blocks that hold
+	// nothing the filter keeps, without decoding them.
+	if cr, ok := r.(*trace.ColReader); ok {
+		cr.Skip(f.Keep())
 	}
 	n, err := trace.Copy(r, f)
 	if err != nil {
@@ -38,6 +54,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "pnut-filter: %d records read\n", n)
+	if cr, ok := r.(*trace.ColReader); ok {
+		if s := cr.Stats(); s.SkippedBlocks > 0 {
+			fmt.Fprintf(os.Stderr, "pnut-filter: skipped %d/%d blocks (%d bytes) without decoding\n",
+				s.SkippedBlocks, s.SkippedBlocks+s.Blocks, s.SkippedBytes)
+		}
+	}
 }
 
 func split(s string) []string {

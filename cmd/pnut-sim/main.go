@@ -32,6 +32,7 @@ func main() {
 	maxStarts := flag.Int64("max-starts", 0, "stop after this many firings (0 = horizon only)")
 	seed := flag.Int64("seed", 1, "random seed (equal seeds give equal traces)")
 	flush := flag.Bool("flush", false, "flush after every record (for live piping)")
+	format := flag.String("trace-format", trace.FormatText, "trace encoding: text (debuggable) or col (compact columnar binary)")
 	reps := flag.Int("reps", 1, "independent replications; >1 emits a pooled statistics report instead of a trace")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -reps mode (0 = GOMAXPROCS; never affects results)")
 	flag.Parse()
@@ -77,9 +78,15 @@ func main() {
 		return
 	}
 
-	w := trace.NewWriter(os.Stdout, trace.HeaderOf(net), *flush)
+	w, err := trace.NewFormatWriter(os.Stdout, trace.HeaderOf(net), *format, *flush)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := sim.Run(net, w, opt)
 	if err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "pnut-sim: %s: clock=%d starts=%d ends=%d quiescent=%v\n",

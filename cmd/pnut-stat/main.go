@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,7 +15,13 @@ import (
 )
 
 func main() {
-	r := trace.NewReader(os.Stdin)
+	format := flag.String("trace-format", trace.FormatAuto, "input trace encoding: auto (sniff), text or col")
+	flag.Parse()
+
+	r, _, err := trace.OpenReader(os.Stdin, *format)
+	if err != nil {
+		fatal(err)
+	}
 	h, err := r.Header()
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,166 @@
+// pnut-trace converts and inspects stored traces, bridging the two
+// codecs: the line-oriented text format (the debuggable interchange)
+// and the columnar binary format (the compact analysis store).
+//
+//	pnut-trace convert -to col  < run.trace  > run.ctrace
+//	pnut-trace convert -to text < run.ctrace > run.trace
+//	pnut-trace inspect < run.ctrace
+//
+// convert is lossless in both directions: text -> col -> text is
+// byte-identical, which CI enforces on every push. inspect prints the
+// header, record counts by kind, the time span, and — for columnar
+// input — block-level structure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "convert":
+		convert(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pnut-trace: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  pnut-trace convert [-to text|col] [-from auto|text|col] [file]   re-encode a trace (stdin/stdout by default)
+  pnut-trace inspect [-from auto|text|col] [file]                  summarize a trace and its block structure
+`)
+	os.Exit(2)
+}
+
+// open resolves the optional positional file argument (default stdin)
+// and wraps it in the right reader.
+func open(fs *flag.FlagSet, from string) (trace.RecordReader, string, func()) {
+	in := io.Reader(os.Stdin)
+	closeFn := func() {}
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		in = f
+		closeFn = func() { f.Close() }
+	default:
+		usage()
+	}
+	r, format, err := trace.OpenReader(in, from)
+	if err != nil {
+		fatal(err)
+	}
+	return r, format, closeFn
+}
+
+func convert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	to := fs.String("to", trace.FormatCol, "output encoding: text or col")
+	from := fs.String("from", trace.FormatAuto, "input encoding: auto (sniff), text or col")
+	fs.Parse(args)
+
+	r, inFormat, closeFn := open(fs, *from)
+	defer closeFn()
+	h, err := r.Header()
+	if err != nil {
+		fatal(err)
+	}
+	out := bufio.NewWriterSize(os.Stdout, 256*1024)
+	w, err := trace.NewFormatWriter(out, h, *to, false)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := trace.Copy(r, w)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pnut-trace: converted %d records %s -> %s\n", n, inFormat, *to)
+}
+
+func inspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	from := fs.String("from", trace.FormatAuto, "input encoding: auto (sniff), text or col")
+	fs.Parse(args)
+
+	r, format, closeFn := open(fs, *from)
+	defer closeFn()
+	h, err := r.Header()
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		counts              = map[trace.Kind]int64{}
+		total, deltas       int64
+		firstTime, lastTime petri.Time
+		starts, ends        int64
+		sawFirst, sawFinal  bool
+	)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if !sawFirst {
+			firstTime, sawFirst = rec.Time, true
+		}
+		lastTime = rec.Time
+		counts[rec.Kind]++
+		total++
+		deltas += int64(len(rec.Deltas))
+		if rec.Kind == trace.Final {
+			starts, ends, sawFinal = rec.Starts, rec.Ends, true
+		}
+	}
+	fmt.Printf("format:      %s\n", format)
+	fmt.Printf("net:         %s (%d places, %d transitions)\n", h.Net, len(h.Places), len(h.Trans))
+	fmt.Printf("records:     %d (initial %d, start %d, end %d, final %d)\n",
+		total, counts[trace.Initial], counts[trace.Start], counts[trace.End], counts[trace.Final])
+	fmt.Printf("deltas:      %d\n", deltas)
+	if sawFirst {
+		fmt.Printf("time span:   %d .. %d\n", firstTime, lastTime)
+	}
+	if sawFinal {
+		fmt.Printf("final:       starts=%d ends=%d\n", starts, ends)
+	}
+	if cr, ok := r.(*trace.ColReader); ok {
+		s := cr.Stats()
+		fmt.Printf("blocks:      %d decoded", s.Blocks)
+		if s.Blocks > 0 {
+			fmt.Printf(" (%.1f records/block)", float64(s.Records)/float64(s.Blocks))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-trace:", err)
+	os.Exit(1)
+}

@@ -49,9 +49,13 @@ func main() {
 	unicode := flag.Bool("unicode", false, "use block-character waveforms")
 	figure7 := flag.Bool("figure7", false, "use the paper's Figure 7 probe set (pipeline traces)")
 	vcd := flag.String("vcd", "", "also write the probes as a VCD waveform file")
+	format := flag.String("trace-format", trace.FormatAuto, "input trace encoding: auto (sniff), text or col")
 	flag.Parse()
 
-	r := trace.NewReader(os.Stdin)
+	r, _, err := trace.OpenReader(os.Stdin, *format)
+	if err != nil {
+		fatal(err)
+	}
 	seq, err := query.SeqFromReader(r)
 	if err != nil {
 		fatal(err)

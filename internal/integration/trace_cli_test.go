@@ -1,0 +1,131 @@
+package integration_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCLITraceConvertRoundTrip is the CI round-trip gate as a test:
+// pnut-sim's text trace converted text -> col -> text must be
+// byte-identical, pnut-sim -trace-format col must produce exactly the
+// converted columnar bytes, and pnut-stat must report identically over
+// both encodings.
+func TestCLITraceConvertRoundTrip(t *testing.T) {
+	bins := buildTools(t, "pnut-sim", "pnut-trace", "pnut-stat", "pnut-filter")
+	simArgs := []string{"-net", testdataPath(t, "pipeline.pn"), "-horizon", "2000", "-seed", "3"}
+
+	text, err := exec.Command(bins["pnut-sim"], simArgs...).Output()
+	if err != nil {
+		t.Fatalf("pnut-sim: %v", err)
+	}
+	direct, err := exec.Command(bins["pnut-sim"], append(simArgs, "-trace-format", "col")...).Output()
+	if err != nil {
+		t.Fatalf("pnut-sim -trace-format col: %v", err)
+	}
+	if len(direct) >= len(text) {
+		t.Errorf("columnar trace is not smaller: %d vs %d bytes", len(direct), len(text))
+	}
+
+	col := runPipe(t, bins["pnut-trace"], text, "convert", "-to", "col")
+	if !bytes.Equal(col, direct) {
+		t.Error("converted columnar trace differs from pnut-sim's direct columnar output")
+	}
+	back := runPipe(t, bins["pnut-trace"], col, "convert", "-to", "text")
+	if !bytes.Equal(back, text) {
+		t.Error("text -> col -> text is not byte-identical")
+	}
+
+	statText := runPipe(t, bins["pnut-stat"], text)
+	statCol := runPipe(t, bins["pnut-stat"], col)
+	if !bytes.Equal(statText, statCol) {
+		t.Error("pnut-stat reports differ between text and col input")
+	}
+
+	// Filtering columnar input emits columnar output (auto matches the
+	// input format) identical, after conversion, to the text filter.
+	filtText := runPipe(t, bins["pnut-filter"], text, "-places", "Bus_busy,Bus_free")
+	filtCol := runPipe(t, bins["pnut-filter"], col, "-places", "Bus_busy,Bus_free")
+	if !bytes.HasPrefix(filtCol, []byte("PNUTCOL1")) {
+		t.Error("filter on columnar input did not emit columnar output")
+	}
+	if got := runPipe(t, bins["pnut-trace"], filtCol, "convert", "-to", "text"); !bytes.Equal(got, filtText) {
+		t.Error("filtered trace differs between text and col paths")
+	}
+
+	// inspect summarizes both encodings the same way (minus the format
+	// and block lines).
+	inspText := runPipe(t, bins["pnut-trace"], text, "inspect")
+	inspCol := runPipe(t, bins["pnut-trace"], col, "inspect")
+	strip := func(b []byte) string {
+		var keep []string
+		for _, line := range strings.Split(string(b), "\n") {
+			if strings.HasPrefix(line, "format:") || strings.HasPrefix(line, "blocks:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(inspText) != strip(inspCol) {
+		t.Errorf("inspect summaries differ:\n%s\nvs\n%s", inspText, inspCol)
+	}
+}
+
+// TestCLIExpTraceDir: pnut-exp -trace-dir writes one decodable trace
+// per replication, identical to the single-run traces of the same
+// seeds.
+func TestCLIExpTraceDir(t *testing.T) {
+	bins := buildTools(t, "pnut-exp", "pnut-sim", "pnut-trace")
+	dir := filepath.Join(t.TempDir(), "traces")
+	out, err := exec.Command(bins["pnut-exp"],
+		"-net", testdataPath(t, "pipeline.pn"), "-horizon", "500", "-reps", "3", "-seed", "9",
+		"-throughput", "Issue", "-trace-dir", dir, "-trace-format", "col").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pnut-exp: %v\n%s", err, out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("wrote %d traces, want 3", len(entries))
+	}
+	for rep := 0; rep < 3; rep++ {
+		name := filepath.Join(dir, fmt.Sprintf("rep-%04d.trace", rep))
+		enc, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replication rep ran with seed 9+rep: its trace must equal the
+		// equivalent single-run columnar trace.
+		want, err := exec.Command(bins["pnut-sim"],
+			"-net", testdataPath(t, "pipeline.pn"), "-horizon", "500",
+			"-seed", strconv.Itoa(9+rep), "-trace-format", "col").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Errorf("rep %d trace differs from pnut-sim -seed %d output", rep, 9+rep)
+		}
+	}
+}
+
+// runPipe runs bin with args feeding stdin, failing the test on error.
+func runPipe(t *testing.T, bin string, stdin []byte, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = bytes.NewReader(stdin)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, stderr.Bytes())
+	}
+	return out
+}

@@ -150,8 +150,9 @@ func (b *Builder) Seq() *Seq {
 	return &b.seq
 }
 
-// SeqFromReader drains a stored trace into a Seq.
-func SeqFromReader(r *trace.Reader) (*Seq, error) {
+// SeqFromReader drains a stored trace into a Seq. It accepts either
+// codec's reader (or anything else that streams records).
+func SeqFromReader(r trace.RecordReader) (*Seq, error) {
 	h, err := r.Header()
 	if err != nil {
 		return nil, err

@@ -340,7 +340,7 @@ func parseDeltas(s string, numPlaces int) ([]Delta, error) {
 }
 
 // Copy streams every record from r into obs, returning the record count.
-func Copy(r *Reader, obs Observer) (int, error) {
+func Copy(r RecordReader, obs Observer) (int, error) {
 	n := 0
 	for {
 		rec, err := r.Next()

@@ -45,6 +45,13 @@ func NewFilter(h Header, next Observer, places, transitions []string) (*Filter, 
 	return f, nil
 }
 
+// Keep returns the filter's keep sets, indexed by place and transition
+// id. A ColReader feeding this filter can pass them to Skip so blocks
+// the filter would fully drop are never decoded.
+func (f *Filter) Keep() (places, transitions []bool) {
+	return f.keepPlace, f.keepTrans
+}
+
 // Record implements Observer.
 func (f *Filter) Record(rec *Record) error {
 	switch rec.Kind {

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// FuzzColReader hardens the columnar decoder: arbitrary input must
+// either decode to records or fail with an error — never panic, never
+// loop forever, never produce out-of-range ids. The seed corpus holds
+// valid encodings (several shapes), truncations, and byte flips; go
+// fuzzing mutates from there.
+func FuzzColReader(f *testing.F) {
+	seed := func(events int, flushEvery bool, rngSeed int64) []byte {
+		rng := rand.New(rand.NewSource(rngSeed))
+		h, recs := genTrace(rng, events)
+		var buf bytes.Buffer
+		w := NewColWriter(&buf, h, flushEvery)
+		for i := range recs {
+			if err := w.Record(&recs[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := seed(50, false, 1)
+	f.Add(valid)
+	f.Add(seed(0, false, 2))
+	f.Add(seed(200, true, 3))
+	// Truncated blocks: a corrupt block must error, never panic.
+	for _, cut := range []int{1, len(colMagic), len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	// Flipped bytes in the header and in a block.
+	for _, pos := range []int{0, len(colMagic) + 1, len(valid) - 5} {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte(colMagic))
+	f.Add([]byte("pnut-trace 1\nnet x\n")) // text magic: must be rejected
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewColReader(bytes.NewReader(data))
+		h, err := r.Header()
+		if err != nil {
+			return
+		}
+		for n := 0; ; n++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			// Decoded records must respect the header's id spaces.
+			switch rec.Kind {
+			case Initial:
+				if len(rec.Marking) != len(h.Places) {
+					t.Fatalf("initial marking has %d places, header %d", len(rec.Marking), len(h.Places))
+				}
+			case Start, End:
+				if int(rec.Trans) < 0 || int(rec.Trans) >= len(h.Trans) {
+					t.Fatalf("transition id %d out of range", rec.Trans)
+				}
+				for _, d := range rec.Deltas {
+					if int(d.Place) < 0 || int(d.Place) >= len(h.Places) {
+						t.Fatalf("delta place %d out of range", d.Place)
+					}
+					if d.Change == 0 {
+						t.Fatal("zero delta change decoded")
+					}
+				}
+			case Final:
+			default:
+				t.Fatalf("unknown kind %q decoded", byte(rec.Kind))
+			}
+			if n > 1<<22 {
+				t.Fatal("runaway record stream")
+			}
+		}
+	})
+}
+
+// FuzzColRoundTrip mutates text traces: any text trace the text reader
+// accepts must survive text -> col -> text byte-identically.
+func FuzzColRoundTrip(f *testing.F) {
+	for _, events := range []int{0, 5, 80} {
+		rng := rand.New(rand.NewSource(int64(events)))
+		h, recs := genTrace(rng, events)
+		var buf bytes.Buffer
+		w := NewWriter(&buf, h, false)
+		for i := range recs {
+			if err := w.Record(&recs[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r := NewReader(bytes.NewReader([]byte(src)))
+		h, err := r.Header()
+		if err != nil {
+			return
+		}
+		var recs []Record
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // text trace invalid: nothing to round trip
+			}
+			recs = append(recs, rec.Clone())
+		}
+		// Canonical text form of what the reader understood.
+		reEncode := func(recs []Record) []byte {
+			var buf bytes.Buffer
+			w := NewWriter(&buf, h, false)
+			for i := range recs {
+				if err := w.Record(&recs[i]); err != nil {
+					t.Fatalf("re-encoding accepted record: %v", err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		t1 := reEncode(recs)
+		var colBuf bytes.Buffer
+		cw := NewColWriter(&colBuf, h, false)
+		for i := range recs {
+			if err := cw.Record(&recs[i]); err != nil {
+				t.Fatalf("col rejected record the text reader produced: %v", err)
+			}
+		}
+		if err := cw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		cr := NewColReader(bytes.NewReader(colBuf.Bytes()))
+		if _, err := cr.Header(); err != nil {
+			t.Fatalf("col round trip: header: %v", err)
+		}
+		var back []Record
+		for {
+			rec, err := cr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("col round trip: %v", err)
+			}
+			back = append(back, rec.Clone())
+		}
+		if t2 := reEncode(back); !bytes.Equal(t1, t2) {
+			t.Fatalf("text->col->text not identity:\n%q\nvs\n%q", t1, t2)
+		}
+	})
+}

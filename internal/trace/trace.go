@@ -9,6 +9,13 @@
 // transitions, and the stream interfaces let a simulator's output be
 // "plugged" directly into an analyzer with no intermediate file.
 //
+// Traces have two interchangeable encodings behind the same
+// Observer/RecordReader interfaces: the line-oriented text format below
+// (Writer/Reader — the debuggable interchange) and the columnar binary
+// format of col.go (ColWriter/ColReader — the compact store for
+// full-trace analysis at production sweep sizes). OpenReader sniffs the
+// magic bytes and returns whichever reader matches.
+//
 // The text encoding is line oriented:
 //
 //	pnut-trace 1
