@@ -69,7 +69,7 @@ func mustProcessor(tb testing.TB, p pipeline.Params) *petri.Net {
 func runStats(tb testing.TB, net *petri.Net, cycles int64, seed int64) *stats.Stats {
 	tb.Helper()
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: cycles, Seed: seed}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: cycles, Seed: seed}); err != nil {
 		tb.Fatal(err)
 	}
 	return s
@@ -179,7 +179,7 @@ func BenchmarkFig6Animation(b *testing.B) {
 	frames := 0
 	for i := 0; i < b.N; i++ {
 		a := anim.New(net, io.Discard, anim.Options{FlowSteps: 3, HideIdle: true})
-		if _, err := sim.Run(net, a, sim.Options{Horizon: 100, Seed: 1}); err != nil {
+		if _, err := sim.Run(context.Background(), net, a, sim.Options{Horizon: 100, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 		frames = a.Frames()
@@ -192,7 +192,7 @@ func BenchmarkFig6Animation(b *testing.B) {
 func BenchmarkFig7Tracer(b *testing.B) {
 	net := mustProcessor(b, pipeline.DefaultParams())
 	qb := query.NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: paperCycles, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: paperCycles, Seed: 1988}); err != nil {
 		b.Fatal(err)
 	}
 	seq := qb.Seq()
@@ -219,7 +219,7 @@ func BenchmarkFig7Tracer(b *testing.B) {
 func BenchmarkSec44Queries(b *testing.B) {
 	net := mustProcessor(b, pipeline.DefaultParams())
 	qb := query.NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: paperCycles, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: paperCycles, Seed: 1988}); err != nil {
 		b.Fatal(err)
 	}
 	seq := qb.Seq()
@@ -256,7 +256,7 @@ func cacheBuild(pt experiment.Point) (*petri.Net, error) {
 // benchmark on any error.
 func mustSweep(tb testing.TB, opt experiment.SweepOptions) *experiment.SweepResult {
 	tb.Helper()
-	r, err := experiment.Sweep(opt)
+	r, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -340,11 +340,10 @@ func sweepBench(b *testing.B, workers int) {
 func gridBenchConfig() sweepcli.Config {
 	return sweepcli.Config{
 		Model:       "cache",
-		Horizon:     paperCycles,
-		Seed:        1988,
+		RunFlags:    sweepcli.RunFlags{Horizon: paperCycles, Seed: 1988},
 		Reps:        4,
 		Axes:        sweepcli.Repeated{"DHitRatio=0.5,0.9", "MemoryCycles=1,5"},
-		Throughputs: sweepcli.Repeated{"Issue"},
+		MetricFlags: sweepcli.MetricFlags{Throughputs: sweepcli.Repeated{"Issue"}},
 	}
 }
 
@@ -603,7 +602,7 @@ func experimentBench(b *testing.B, workers int) {
 	var events int64
 	var elapsed float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiment.Run(net, experiment.Options{
+		r, err := experiment.Run(context.Background(), net, experiment.Options{
 			Reps:     16,
 			Workers:  workers,
 			BaseSeed: 1988,
@@ -638,14 +637,14 @@ func BenchmarkEngineReuse(b *testing.B) {
 	b.Run("reused", func(b *testing.B) {
 		eng := sim.NewEngine(net)
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Run(nil, sim.Options{Horizon: 1_000, Seed: int64(i)}); err != nil {
+			if _, err := eng.Run(context.Background(), nil, sim.Options{Horizon: 1_000, Seed: int64(i)}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("fresh", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(net, nil, sim.Options{Horizon: 1_000, Seed: int64(i)}); err != nil {
+			if _, err := sim.Run(context.Background(), net, nil, sim.Options{Horizon: 1_000, Seed: int64(i)}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -659,7 +658,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	net := mustProcessor(b, pipeline.DefaultParams())
 	var events int64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(net, nil, sim.Options{Horizon: paperCycles, Seed: int64(i)})
+		res, err := sim.Run(context.Background(), net, nil, sim.Options{Horizon: paperCycles, Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -700,7 +699,7 @@ func Example() {
 		panic(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
 		panic(err)
 	}
 	issue, _ := s.Throughput("Issue")

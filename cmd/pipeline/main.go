@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +79,7 @@ func main() {
 		qb = query.NewBuilder(h)
 		obs = append(obs, qb)
 	}
-	res, err := sim.Run(net, obs, sim.Options{Horizon: *cycles, Seed: *seed})
+	res, err := sim.Run(context.Background(), net, obs, sim.Options{Horizon: *cycles, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,247 @@
+// pnut-bench is the engine's checked-in perf trajectory: it times the
+// indexed event scheduler on fixed members of the modelgen families and
+// emits a JSON report (events/sec, ns/event, allocs/event per net
+// size). The repository commits one such report as BENCH_sim.json;
+// CI regenerates it and gates with -baseline, so a change that slows
+// the hot loop or puts an allocation back on the firing path fails the
+// build instead of landing silently.
+//
+// Raw events/sec is machine-bound, so the gate normalizes by a
+// calibration score — a fixed integer-mixing loop timed on the same
+// machine in the same process — before comparing against the baseline:
+// only the machine-independent ratio events_per_sec/calibration must
+// stay within -tolerance. allocs/event is compared absolutely (its
+// budget is zero on any machine).
+//
+//	pnut-bench -out BENCH_sim.json                      # regenerate
+//	pnut-bench -baseline BENCH_sim.json -tolerance 0.1  # gate
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/modelgen"
+	"repro/internal/petri"
+	"repro/internal/sim"
+)
+
+// benchCase is one fixed workload of the trajectory. Shapes and seeds
+// are frozen: editing them invalidates every committed baseline.
+type benchCase struct {
+	Name    string `json:"name"`
+	Family  string `json:"family"`
+	Stages  int    `json:"stages,omitempty"` // deep_pipeline
+	Width   int    `json:"width,omitempty"`  // fork_join
+	Depth   int    `json:"depth,omitempty"`  // fork_join
+	Tokens  int    `json:"tokens,omitempty"`
+	Horizon int64  `json:"horizon"`
+}
+
+func (c benchCase) build() *petri.Net {
+	switch c.Family {
+	case "deep_pipeline":
+		return modelgen.DeepPipeline(c.Stages, c.Tokens, 1)
+	case "fork_join":
+		return modelgen.ForkJoin(c.Width, c.Depth, 1)
+	}
+	panic("unknown family " + c.Family)
+}
+
+var cases = []benchCase{
+	{Name: "deep_pipeline_64", Family: "deep_pipeline", Stages: 64, Tokens: 8, Horizon: 40_000},
+	{Name: "deep_pipeline_256", Family: "deep_pipeline", Stages: 256, Tokens: 32, Horizon: 20_000},
+	{Name: "deep_pipeline_1024", Family: "deep_pipeline", Stages: 1024, Tokens: 64, Horizon: 8_000},
+	{Name: "fork_join_32x8", Family: "fork_join", Width: 32, Depth: 8, Horizon: 60_000},
+}
+
+// measurement is one case's results.
+type measurement struct {
+	benchCase
+	Events        int64   `json:"events"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	AllocsPerEvnt float64 `json:"allocs_per_event"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	// Normalized is the best events-per-second-to-calibration ratio
+	// over the paired runs — the machine-portable figure the baseline
+	// gate compares. Calibration is the pairing run's score.
+	Normalized  float64 `json:"normalized"`
+	Calibration float64 `json:"calibration_score"`
+}
+
+// report is the BENCH_sim.json schema.
+type report struct {
+	GoOS   string        `json:"goos"`
+	GoArch string        `json:"goarch"`
+	NumCPU int           `json:"num_cpu"`
+	Cases  []measurement `json:"cases"`
+}
+
+// calibrate times a fixed splitmix64-style mixing loop and returns
+// iterations per second: a proxy for single-core integer speed, so
+// reports from different machines compare on Normalized rather than
+// raw throughput. Each timed engine run is paired with its own
+// calibration taken immediately before it, so load and CPU-frequency
+// swings during the benchmark cancel out of the normalized figure.
+func calibrate() float64 {
+	const iters = 1 << 23
+	x := uint64(0x9e3779b97f4a7c15)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		x ^= z >> 31
+	}
+	el := time.Since(start).Seconds()
+	if x == 0 { // defeat dead-code elimination
+		fmt.Fprintln(os.Stderr)
+	}
+	return iters / el
+}
+
+// measure runs one case repeat times on a warm engine and keeps the
+// fastest run (least-noise estimator for a deterministic workload).
+func measure(c benchCase, repeat int) (measurement, error) {
+	net := c.build()
+	eng := sim.NewEngine(net)
+	opt := sim.Options{Seed: 1, Horizon: c.Horizon}
+	// Warm-up grows the engine's buffers and faults the code in.
+	res, err := eng.Run(context.Background(), nil, opt)
+	if err != nil {
+		return measurement{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	if res.Ends == 0 {
+		return measurement{}, fmt.Errorf("%s: no events simulated", c.Name)
+	}
+	var (
+		bestNs, bestNorm, bestCal float64
+		allocs, bytes             uint64
+		before, after             runtime.MemStats
+	)
+	for r := 0; r < repeat; r++ {
+		cal := calibrate()
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err = eng.Run(context.Background(), nil, opt)
+		el := time.Since(start)
+		if err != nil {
+			return measurement{}, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		runtime.ReadMemStats(&after)
+		ns := float64(el.Nanoseconds()) / float64(res.Ends)
+		if r == 0 || ns < bestNs {
+			bestNs = ns
+			allocs = after.Mallocs - before.Mallocs
+			bytes = after.TotalAlloc - before.TotalAlloc
+		}
+		if norm := (1e9 / ns) / cal; norm > bestNorm {
+			bestNorm, bestCal = norm, cal
+		}
+	}
+	return measurement{
+		benchCase:     c,
+		Events:        res.Ends,
+		NsPerEvent:    bestNs,
+		EventsPerSec:  1e9 / bestNs,
+		AllocsPerEvnt: float64(allocs) / float64(res.Ends),
+		BytesPerEvent: float64(bytes) / float64(res.Ends),
+		Normalized:    bestNorm,
+		Calibration:   bestCal,
+	}, nil
+}
+
+// compare gates rep against the baseline: each case's Normalized score
+// must be within tol of the baseline's, and allocs/event must not grow
+// past the zero budget. Returns the number of failures.
+func compare(rep, base *report, tol float64) int {
+	byName := make(map[string]measurement, len(base.Cases))
+	for _, m := range base.Cases {
+		byName[m.Name] = m
+	}
+	failures := 0
+	for _, m := range rep.Cases {
+		b, ok := byName[m.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pnut-bench: %-20s not in baseline (informational)\n", m.Name)
+			continue
+		}
+		floor := b.Normalized * (1 - tol)
+		status := "ok"
+		if m.Normalized < floor {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(os.Stderr, "pnut-bench: %-20s %10.0f events/s (normalized %.3g, baseline %.3g, floor %.3g) %s\n",
+			m.Name, m.EventsPerSec, m.Normalized, b.Normalized, floor, status)
+		// The allocation budget is absolute: the firing path allocates
+		// nothing, so allow only per-run noise.
+		if m.AllocsPerEvnt > 0.01 {
+			fmt.Fprintf(os.Stderr, "pnut-bench: %-20s %.4f allocs/event exceeds the zero budget\n", m.Name, m.AllocsPerEvnt)
+			failures++
+		}
+	}
+	return failures
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH_sim.json to gate against")
+	tol := flag.Float64("tolerance", 0.10, "allowed fractional drop of normalized events/sec vs -baseline")
+	repeat := flag.Int("repeat", 3, "timed runs per case (fastest wins)")
+	flag.Parse()
+
+	rep := &report{
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+	for _, c := range cases {
+		m, err := measure(c, *repeat)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Cases = append(rep.Cases, m)
+		fmt.Fprintf(os.Stderr, "pnut-bench: %-20s %8d events  %7.1f ns/event  %10.0f events/s  %.4f allocs/event\n",
+			m.Name, m.Events, m.NsPerEvent, m.EventsPerSec, m.AllocsPerEvnt)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *baseline != "" {
+		src, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base report
+		if err := json.Unmarshal(src, &base); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *baseline, err))
+		}
+		if n := compare(rep, &base, *tol); n > 0 {
+			fatal(fmt.Errorf("%d case(s) regressed beyond %.0f%% of the committed baseline", n, *tol*100))
+		}
+		fmt.Fprintln(os.Stderr, "pnut-bench: within baseline tolerance")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnut-bench:", err)
+	os.Exit(1)
+}

@@ -16,43 +16,32 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/ptl"
-	"repro/internal/sim"
+	"repro/internal/sweepcli"
 	"repro/internal/trace"
 )
 
-type repeated []string
-
-func (r *repeated) String() string { return strings.Join(*r, ", ") }
-
-func (r *repeated) Set(v string) error {
-	*r = append(*r, v)
-	return nil
-}
-
 func main() {
 	netPath := flag.String("net", "", "path to the .pn net description (required)")
-	horizon := flag.Int64("horizon", 10_000, "simulation length in clock ticks per replication")
-	maxStarts := flag.Int64("max-starts", 0, "stop each replication after this many firings (0 = horizon only)")
-	seed := flag.Int64("seed", 1, "base seed; replication i uses seed+i")
+	var run sweepcli.RunFlags
+	run.Register(flag.CommandLine, "base seed; replication i uses seed+i")
 	reps := flag.Int("reps", 10, "number of independent replications")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
 	report := flag.Bool("report", false, "also print the pooled statistics report")
 	traceDir := flag.String("trace-dir", "", "write every replication's full trace into this directory (rep-NNNN.trace)")
-	traceFormat := flag.String("trace-format", trace.FormatCol, "encoding for -trace-dir traces: text or col")
-	var throughputs, utilizations repeated
-	flag.Var(&throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
-	flag.Var(&utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
+	traceFormat := sweepcli.TraceFormat(flag.CommandLine, trace.FormatCol)
+	var sel sweepcli.MetricFlags
+	sel.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *netPath == "" {
@@ -69,23 +58,15 @@ func main() {
 		fatal(err)
 	}
 
-	var metrics []experiment.Metric
-	for _, tr := range throughputs {
-		metrics = append(metrics, experiment.Throughput(tr))
-	}
-	for _, p := range utilizations {
-		metrics = append(metrics, experiment.Utilization(p))
-	}
-
+	metrics := sel.Metrics()
+	so := run.SimOptions()
+	so.Seed = 0 // the driver seeds each replication from BaseSeed
 	opt := experiment.Options{
 		Reps:     *reps,
 		Workers:  *parallel,
-		BaseSeed: *seed,
-		Sim: sim.Options{
-			Horizon:   *horizon,
-			MaxStarts: *maxStarts,
-		},
-		Metrics: metrics,
+		BaseSeed: run.Seed,
+		Sim:      so,
+		Metrics:  metrics,
 	}
 
 	// With -trace-dir every replication also streams its full trace to
@@ -129,7 +110,7 @@ func main() {
 		}
 	}
 
-	r, err := experiment.Run(net, opt)
+	r, err := experiment.Run(context.Background(), net, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -139,7 +120,7 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	fmt.Fprintf(out, "experiment %s: %d replications, base seed %d, %d workers\n",
-		net.Name, r.Reps, *seed, r.Workers)
+		net.Name, r.Reps, run.Seed, r.Workers)
 	fmt.Fprintf(out, "simulated %d ticks total, %d events\n", r.Pooled.Duration(), r.Events)
 	for i, m := range metrics {
 		fmt.Fprintf(out, "%-32s %s\n", m.Name, r.Summaries[i])

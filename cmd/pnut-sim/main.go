@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,16 +24,16 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/ptl"
 	"repro/internal/sim"
+	"repro/internal/sweepcli"
 	"repro/internal/trace"
 )
 
 func main() {
 	netPath := flag.String("net", "", "path to the .pn net description (required)")
-	horizon := flag.Int64("horizon", 10_000, "simulation length in clock ticks")
-	maxStarts := flag.Int64("max-starts", 0, "stop after this many firings (0 = horizon only)")
-	seed := flag.Int64("seed", 1, "random seed (equal seeds give equal traces)")
+	var run sweepcli.RunFlags
+	run.Register(flag.CommandLine, "random seed (equal seeds give equal traces)")
 	flush := flag.Bool("flush", false, "flush after every record (for live piping)")
-	format := flag.String("trace-format", trace.FormatText, "trace encoding: text (debuggable) or col (compact columnar binary)")
+	format := sweepcli.TraceFormat(flag.CommandLine, trace.FormatText)
 	reps := flag.Int("reps", 1, "independent replications; >1 emits a pooled statistics report instead of a trace")
 	parallel := flag.Int("parallel", 0, "worker goroutines for -reps mode (0 = GOMAXPROCS; never affects results)")
 	flag.Parse()
@@ -50,17 +51,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := sim.Options{
-		Horizon:   *horizon,
-		MaxStarts: *maxStarts,
-		Seed:      *seed,
-	}
+	opt := run.SimOptions()
 
 	if *reps > 1 {
-		r, err := experiment.Run(net, experiment.Options{
+		r, err := experiment.Run(context.Background(), net, experiment.Options{
 			Reps:     *reps,
 			Workers:  *parallel,
-			BaseSeed: *seed,
+			BaseSeed: run.Seed,
 			Sim:      opt,
 		})
 		if err != nil {
@@ -82,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(net, w, opt)
+	res, err := sim.Run(context.Background(), net, w, opt)
 	if err != nil {
 		fatal(err)
 	}

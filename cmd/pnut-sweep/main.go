@@ -90,7 +90,7 @@ func main() {
 		fatal(fmt.Errorf("-shard/-cells select a partial grid and require -emit cells"))
 	}
 
-	r, err := experiment.Sweep(opt)
+	r, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		fatal(err)
 	}

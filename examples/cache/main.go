@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func measure(p pipeline.Params, c *pipeline.CacheParams) (ipc, bus float64) {
 		log.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 30_000, Seed: 13}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 30_000, Seed: 13}); err != nil {
 		log.Fatal(err)
 	}
 	ipc, _ = s.Throughput("Issue")

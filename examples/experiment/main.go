@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -31,7 +32,7 @@ func main() {
 		},
 	}
 
-	r, err := experiment.Run(net, opt)
+	r, err := experiment.Run(context.Background(), net, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 	// Re-run serially: the pooled report must be byte-identical.
 	parallelReport := report(r)
 	opt.Workers = 1
-	serial, err := experiment.Run(net, opt)
+	serial, err := experiment.Run(context.Background(), net, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

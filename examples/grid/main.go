@@ -39,7 +39,7 @@ func main() {
 	}
 
 	// In process: the reference result.
-	ref, err := experiment.Sweep(opt)
+	ref, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

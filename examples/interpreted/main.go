@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	res, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 7})
+	res, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

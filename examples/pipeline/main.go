@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,7 +30,7 @@ func main() {
 	h := trace.HeaderOf(net)
 	s := stats.New(h)
 	qb := query.NewBuilder(h)
-	if _, err := sim.Run(net, trace.Tee{s, qb}, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, trace.Tee{s, qb}, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
 		log.Fatal(err)
 	}
 

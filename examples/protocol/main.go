@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,7 @@ func main() {
 		h := trace.HeaderOf(net)
 		s := stats.New(h)
 		qb := query.NewBuilder(h)
-		if _, err := sim.Run(net, trace.Tee{s, qb}, sim.Options{Horizon: 50_000, Seed: 3}); err != nil {
+		if _, err := sim.Run(context.Background(), net, trace.Tee{s, qb}, sim.Options{Horizon: 50_000, Seed: 3}); err != nil {
 			log.Fatal(err)
 		}
 		sends, _ := s.EventRowByName("send")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -65,7 +66,7 @@ func main() {
 	// statistics tool (no intermediate file, exactly as the paper's
 	// tools plug together).
 	s := stats.New(trace.HeaderOf(net))
-	res, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1})
+	res, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 		},
 	}
 
-	r, err := experiment.Sweep(opt)
+	r, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 	// Re-run serially: the full CSV encoding must be byte-identical.
 	parallelCSV := csvOf(r)
 	opt.Workers = 1
-	serial, err := experiment.Sweep(opt)
+	serial, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 		h := trace.HeaderOf(net)
 		s := stats.New(h)
 		qb := query.NewBuilder(h)
-		if _, err := sim.Run(net, trace.Tee{s, qb}, sim.Options{Horizon: 5_000, Seed: 1}); err != nil {
+		if _, err := sim.Run(context.Background(), net, trace.Tee{s, qb}, sim.Options{Horizon: 5_000, Seed: 1}); err != nil {
 			log.Fatal(err)
 		}
 		seq := qb.Seq()

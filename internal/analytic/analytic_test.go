@@ -1,6 +1,7 @@
 package analytic
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestProbabilisticBranching(t *testing.T) {
 	}
 	// Cross-validate against a long simulation.
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 400_000, Seed: 6}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 400_000, Seed: 6}); err != nil {
 		t.Fatal(err)
 	}
 	simFast, _ := s.Throughput("finish_fast")
@@ -166,7 +167,7 @@ func TestPipelineAnalyticMatchesSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 400_000, Seed: 2}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 400_000, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	sBus, _ := s.Utilization("Bus_busy")

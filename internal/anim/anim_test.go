@@ -1,6 +1,7 @@
 package anim
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestAnimationFrames(t *testing.T) {
 	net := tinyNet(t)
 	var out strings.Builder
 	a := New(net, &out, Options{FlowSteps: 2})
-	if _, err := sim.Run(net, a, sim.Options{Horizon: 10}); err != nil {
+	if _, err := sim.Run(context.Background(), net, a, sim.Options{Horizon: 10}); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -79,7 +80,7 @@ func TestHideIdle(t *testing.T) {
 	net := tinyNet(t)
 	var out strings.Builder
 	a := New(net, &out, Options{FlowSteps: 1, HideIdle: true})
-	if _, err := sim.Run(net, a, sim.Options{Horizon: 10}); err != nil {
+	if _, err := sim.Run(context.Background(), net, a, sim.Options{Horizon: 10}); err != nil {
 		t.Fatal(err)
 	}
 	// In the initial frame b is empty and must not appear on a state
@@ -93,7 +94,7 @@ func TestMaxFramesStops(t *testing.T) {
 	net := tinyNet(t)
 	var out strings.Builder
 	a := New(net, &out, Options{FlowSteps: 3, MaxFrames: 2})
-	if _, err := sim.Run(net, a, sim.Options{Horizon: 10}); err != nil {
+	if _, err := sim.Run(context.Background(), net, a, sim.Options{Horizon: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if a.Frames() != 2 {
@@ -113,7 +114,7 @@ func TestStepFuncAbort(t *testing.T) {
 		}
 		return nil
 	}})
-	_, err := sim.Run(net, a, sim.Options{Horizon: 10})
+	_, err := sim.Run(context.Background(), net, a, sim.Options{Horizon: 10})
 	if !errors.Is(err, boom) {
 		t.Errorf("expected step abort to propagate, got %v", err)
 	}
@@ -130,7 +131,7 @@ func TestFigure6PipelineAnimation(t *testing.T) {
 	}
 	var out strings.Builder
 	a := New(net, &out, Options{FlowSteps: 2, HideIdle: true, MaxFrames: 120})
-	if _, err := sim.Run(net, a, sim.Options{Horizon: 40, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), net, a, sim.Options{Horizon: 40, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()

@@ -39,7 +39,7 @@ func adaptiveGridOptions(workers int) experiment.SweepOptions {
 // in-process adaptive Sweep.
 func TestAdaptiveExecuteMatchesSweep(t *testing.T) {
 	opt := adaptiveGridOptions(0)
-	want, err := experiment.Sweep(opt)
+	want, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestAdaptiveExecuteMatchesSweep(t *testing.T) {
 // uninterrupted run.
 func TestAdaptiveKillAndResume(t *testing.T) {
 	opt := adaptiveGridOptions(1)
-	want, err := experiment.Sweep(opt)
+	want, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

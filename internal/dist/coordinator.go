@@ -46,7 +46,7 @@ func (o *Options) logf(format string, args ...any) {
 // Execute runs opt's sweep grid across shards via copt.Runner and
 // reassembles the exact in-process SweepResult: for any shard count and
 // any per-worker parallelism, the result — and every byte of its table,
-// CSV and pooled reports — is identical to experiment.Sweep(opt).
+// CSV and pooled reports — is identical to experiment.Sweep(context.Background(), opt).
 //
 // On a runner error the remaining spans are cancelled and the error
 // returned; cells that completed before the failure are already

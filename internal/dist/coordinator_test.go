@@ -62,7 +62,7 @@ func encode(t *testing.T, r *experiment.SweepResult) string {
 func TestExecuteMatchesSweep(t *testing.T) {
 	for _, reps := range []int{1, 3} {
 		opt := gridOptions(reps, 0)
-		want, err := experiment.Sweep(opt)
+		want, err := experiment.Sweep(context.Background(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func flakyRunner(inner Runner, victim int) Runner {
 // byte-identical to a run that never failed.
 func TestKillOneWorkerAndResume(t *testing.T) {
 	opt := gridOptions(3, 2) // 12 cells
-	want, err := experiment.Sweep(opt)
+	want, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestJournalTruncatedTail(t *testing.T) {
 		t.Errorf("truncated journal loaded %d cells, want %d", len(recs), opt.NumCells()-1)
 	}
 
-	want, err := experiment.Sweep(opt)
+	want, err := experiment.Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,7 @@ func adaptiveGridOptions(workers int) SweepOptions {
 func TestAdaptiveStoppingCriterion(t *testing.T) {
 	opt := adaptiveGridOptions(0)
 	a := opt.Adaptive
-	r, err := Sweep(opt)
+	r, err := Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestAdaptiveStoppingCriterion(t *testing.T) {
 // (otherwise the grid does not exercise the mechanism).
 func TestAdaptiveSavesReplications(t *testing.T) {
 	opt := adaptiveGridOptions(0)
-	r, err := Sweep(opt)
+	r, err := Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestAdaptiveSavesReplications(t *testing.T) {
 func TestAdaptiveDeterministicAcrossWorkerCounts(t *testing.T) {
 	var want string
 	for i, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
-		r, err := Sweep(adaptiveGridOptions(w))
+		r, err := Sweep(context.Background(), adaptiveGridOptions(w))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -131,11 +131,11 @@ func TestAdaptiveMinEqualsMaxMatchesFixed(t *testing.T) {
 	adaptive.Adaptive = &AdaptiveOptions{
 		Metric: "throughput(Issue)", RelCI: 1e-12, MinReps: 4, MaxReps: 4, Batch: 1,
 	}
-	fr, err := Sweep(fixed)
+	fr, err := Sweep(context.Background(), fixed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ar, err := Sweep(adaptive)
+	ar, err := Sweep(context.Background(), adaptive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestAdaptiveValidation(t *testing.T) {
 		a := *base.Adaptive
 		c.mutate(&a)
 		opt.Adaptive = &a
-		if _, err := Sweep(opt); err == nil || !strings.Contains(err.Error(), c.want) {
+		if _, err := Sweep(context.Background(), opt); err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error = %v, want substring %q", name, err, c.want)
 		}
 	}

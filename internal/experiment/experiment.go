@@ -182,15 +182,12 @@ func runPool(ctx context.Context, workers, cells int, do func(worker, cell int) 
 // Run executes opt.Reps independent replications of net across a
 // worker pool and merges the results. The merged statistics and every
 // metric summary are bit-for-bit independent of the worker count.
-func Run(net *petri.Net, opt Options) (*Result, error) {
-	return RunContext(context.Background(), net, opt)
-}
-
-// RunContext is Run with cancellation: when ctx is cancelled the pool
-// stops claiming replications (in-flight ones finish first) and ctx's
-// error is returned. A driver coordinating several experiments can
-// therefore abandon one without leaking its worker goroutines.
-func RunContext(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
+//
+// ctx cancels the experiment: the pool stops claiming replications,
+// in-flight runs stop at their next scheduler batch (the context is
+// threaded into sim.Engine.Run), and ctx's error is returned. Pass
+// context.Background() when cancellation is not needed.
+func Run(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
 	if opt.Reps < 1 {
 		return nil, fmt.Errorf("experiment: Reps must be at least 1, got %d", opt.Reps)
 	}
@@ -219,7 +216,7 @@ func RunContext(ctx context.Context, net *petri.Net, opt Options) (*Result, erro
 				obs = trace.Tee{acc, extra}
 			}
 		}
-		res, err := engs[worker].Run(obs, so)
+		res, err := engs[worker].Run(ctx, obs, so)
 		if err != nil {
 			return err
 		}
@@ -267,4 +264,12 @@ func RunContext(ctx context.Context, net *petri.Net, opt Options) (*Result, erro
 		r.Events += runs[i].Ends
 	}
 	return r, nil
+}
+
+// RunContext is the former name of the context-first Run.
+//
+// Deprecated: Run is context-first now; call Run directly. This thin
+// wrapper remains for one release and will be removed.
+func RunContext(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
+	return Run(ctx, net, opt)
 }

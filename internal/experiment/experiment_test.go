@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -25,7 +26,7 @@ func testNet(t testing.TB) *petri.Net {
 
 func run(t *testing.T, net *petri.Net, workers int) *Result {
 	t.Helper()
-	r, err := Run(net, Options{
+	r, err := Run(context.Background(), net, Options{
 		Reps:     12,
 		Workers:  workers,
 		BaseSeed: 400,
@@ -119,7 +120,7 @@ func TestObserverPerReplication(t *testing.T) {
 	const reps = 6
 	var calls atomic.Int64
 	finals := make([]atomic.Int64, reps)
-	_, err := Run(net, Options{
+	_, err := Run(context.Background(), net, Options{
 		Reps:     reps,
 		Workers:  3,
 		BaseSeed: 7,
@@ -152,7 +153,7 @@ func TestObserverPerReplication(t *testing.T) {
 func TestErrorPropagation(t *testing.T) {
 	net := testNet(t)
 	sentinel := errors.New("boom")
-	_, err := Run(net, Options{
+	_, err := Run(context.Background(), net, Options{
 		Reps:    8,
 		Workers: 4,
 		Sim:     sim.Options{Horizon: 500},
@@ -169,10 +170,10 @@ func TestErrorPropagation(t *testing.T) {
 		t.Errorf("error %v does not wrap the observer failure", err)
 	}
 
-	if _, err := Run(net, Options{Reps: 0, Sim: sim.Options{Horizon: 1}}); err == nil {
+	if _, err := Run(context.Background(), net, Options{Reps: 0, Sim: sim.Options{Horizon: 1}}); err == nil {
 		t.Error("Reps=0 must be rejected")
 	}
-	if _, err := Run(net, Options{Reps: 2}); err == nil {
+	if _, err := Run(context.Background(), net, Options{Reps: 2}); err == nil {
 		t.Error("missing Horizon/MaxStarts must be rejected")
 	}
 }
@@ -180,7 +181,7 @@ func TestErrorPropagation(t *testing.T) {
 // TestSingleRep: the driver degrades to a plain run.
 func TestSingleRep(t *testing.T) {
 	net := testNet(t)
-	r, err := Run(net, Options{
+	r, err := Run(context.Background(), net, Options{
 		Reps:     1,
 		BaseSeed: 99,
 		Sim:      sim.Options{Horizon: 5_000},
@@ -190,7 +191,7 @@ func TestSingleRep(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, direct, sim.Options{Horizon: 5_000, Seed: 99}); err != nil {
+	if _, err := sim.Run(context.Background(), net, direct, sim.Options{Horizon: 5_000, Seed: 99}); err != nil {
 		t.Fatal(err)
 	}
 	want, _ := direct.Throughput("Issue")
@@ -205,7 +206,7 @@ func TestSingleRep(t *testing.T) {
 // TestUnknownMetric: metric errors surface with the replication index.
 func TestUnknownMetric(t *testing.T) {
 	net := testNet(t)
-	_, err := Run(net, Options{
+	_, err := Run(context.Background(), net, Options{
 		Reps:    3,
 		Sim:     sim.Options{Horizon: 100},
 		Metrics: []Metric{Throughput("no_such_transition")},

@@ -192,7 +192,7 @@ func RunCellSpansContext(ctx context.Context, opt SweepOptions, spans []CellSpan
 		so := opt.Sim
 		so.Seed = opt.BaseSeed + int64(cell)
 		acc := stats.New(headers[slot[p]])
-		res, err := w.eng.Run(acc, so)
+		res, err := w.eng.Run(ctx, acc, so)
 		if err != nil {
 			return err
 		}

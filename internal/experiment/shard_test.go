@@ -82,7 +82,7 @@ func TestParseAxisRange(t *testing.T) {
 // in-process Sweep.
 func TestRunCellsSpansAssembleToSweep(t *testing.T) {
 	opt := gridOptions(3, 0) // 4 points x 3 reps = 12 cells
-	want, err := Sweep(opt)
+	want, err := Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestRunCellsSpansAssembleToSweep(t *testing.T) {
 // order.
 func TestCellCodecRoundTrip(t *testing.T) {
 	opt := gridOptions(2, 0) // 8 cells
-	want, err := Sweep(opt)
+	want, err := Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

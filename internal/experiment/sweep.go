@@ -393,20 +393,17 @@ func expandRange(name, part string) ([]float64, error) {
 // point through one shared worker pool, and merges per-point results.
 // Every number in the result is bit-for-bit independent of the worker
 // count.
-func Sweep(opt SweepOptions) (*SweepResult, error) {
-	return SweepContext(context.Background(), opt)
-}
-
-// SweepContext is Sweep with cancellation: when ctx is cancelled the
-// shared pool stops claiming cells (in-flight cells finish first) and
-// ctx's error is returned. The distributed coordinator relies on this
-// to abandon local shards when a sibling worker process dies instead of
-// hanging the pool.
+//
+// ctx cancels the sweep: the shared pool stops claiming cells,
+// in-flight runs stop at their next scheduler batch, and ctx's error
+// is returned. The distributed coordinator relies on this to abandon
+// local shards when a sibling worker process dies instead of hanging
+// the pool; pass context.Background() when cancellation is not needed.
 //
 // The sweep is one shard spanning the whole grid followed by the same
 // deterministic assembly a distributed run ends with, so the in-process
 // and multi-process paths cannot drift apart.
-func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
+func Sweep(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -430,6 +427,14 @@ func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
 	r.Workers = opt.workers(opt.NumCells())
 	r.Elapsed = time.Since(start)
 	return r, nil
+}
+
+// SweepContext is the former name of the context-first Sweep.
+//
+// Deprecated: Sweep is context-first now; call Sweep directly. This
+// thin wrapper remains for one release and will be removed.
+func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
+	return Sweep(ctx, opt)
 }
 
 func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

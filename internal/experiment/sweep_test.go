@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -59,7 +60,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, reps := range []int{1, 3} {
 		var want string
 		for i, w := range workerCounts {
-			r, err := Sweep(gridOptions(reps, w))
+			r, err := Sweep(context.Background(), gridOptions(reps, w))
 			if err != nil {
 				t.Fatalf("reps=%d workers=%d: %v", reps, w, err)
 			}
@@ -87,7 +88,7 @@ func TestSweepSinglePointMatchesRun(t *testing.T) {
 	simOpt := sim.Options{Horizon: 2_000}
 	metrics := []Metric{Throughput("Issue")}
 
-	sw, err := Sweep(SweepOptions{
+	sw, err := Sweep(context.Background(), SweepOptions{
 		Reps:     5,
 		BaseSeed: 400,
 		Sim:      simOpt,
@@ -100,7 +101,7 @@ func TestSweepSinglePointMatchesRun(t *testing.T) {
 	if len(sw.Points) != 1 {
 		t.Fatalf("zero-axis sweep has %d points", len(sw.Points))
 	}
-	run, err := Run(net, Options{Reps: 5, BaseSeed: 400, Sim: simOpt, Metrics: metrics})
+	run, err := Run(context.Background(), net, Options{Reps: 5, BaseSeed: 400, Sim: simOpt, Metrics: metrics})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +125,12 @@ func TestSweepSinglePointMatchesRun(t *testing.T) {
 // is a clean error, 1 runs and summarizes with N=1 (no CI).
 func TestSweepReplicationEdgeCases(t *testing.T) {
 	opt := gridOptions(0, 1)
-	if _, err := Sweep(opt); err == nil || !strings.Contains(err.Error(), "Reps") {
+	if _, err := Sweep(context.Background(), opt); err == nil || !strings.Contains(err.Error(), "Reps") {
 		t.Errorf("Reps=0 error = %v, want a Reps complaint", err)
 	}
 
 	opt.Reps = 1
-	r, err := Sweep(opt)
+	r, err := Sweep(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,13 +155,13 @@ func TestSweepValidation(t *testing.T) {
 
 	noBuild := base
 	noBuild.Build = nil
-	if _, err := Sweep(noBuild); err == nil || !strings.Contains(err.Error(), "Build") {
+	if _, err := Sweep(context.Background(), noBuild); err == nil || !strings.Contains(err.Error(), "Build") {
 		t.Errorf("nil Build error = %v", err)
 	}
 
 	emptyAxis := base
 	emptyAxis.Axes = []Axis{{Name: "DHitRatio"}}
-	if _, err := Sweep(emptyAxis); err == nil || !strings.Contains(err.Error(), "no values") {
+	if _, err := Sweep(context.Background(), emptyAxis); err == nil || !strings.Contains(err.Error(), "no values") {
 		t.Errorf("empty axis error = %v", err)
 	}
 
@@ -169,19 +170,19 @@ func TestSweepValidation(t *testing.T) {
 		{Name: "DHitRatio", Values: []float64{0.5}},
 		{Name: "DHitRatio", Values: []float64{0.9}},
 	}
-	if _, err := Sweep(dupAxis); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if _, err := Sweep(context.Background(), dupAxis); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Errorf("duplicate axis error = %v", err)
 	}
 
 	unnamed := base
 	unnamed.Axes = []Axis{{Values: []float64{1}}}
-	if _, err := Sweep(unnamed); err == nil || !strings.Contains(err.Error(), "name") {
+	if _, err := Sweep(context.Background(), unnamed); err == nil || !strings.Contains(err.Error(), "name") {
 		t.Errorf("unnamed axis error = %v", err)
 	}
 
 	badParam := base
 	badParam.Axes = []Axis{{Name: "NoSuchParam", Values: []float64{1}}}
-	if _, err := Sweep(badParam); err == nil || !strings.Contains(err.Error(), "NoSuchParam") {
+	if _, err := Sweep(context.Background(), badParam); err == nil || !strings.Contains(err.Error(), "NoSuchParam") {
 		t.Errorf("unknown parameter error = %v", err)
 	}
 }
@@ -232,7 +233,7 @@ func TestParseAxis(t *testing.T) {
 func TestSweepBuildErrorNamesThePoint(t *testing.T) {
 	opt := gridOptions(2, 1)
 	opt.Axes = []Axis{{Name: "DHitRatio", Values: []float64{0.5, 7}}} // 7 is out of range
-	_, err := Sweep(opt)
+	_, err := Sweep(context.Background(), opt)
 	if err == nil || !strings.Contains(err.Error(), "DHitRatio=7") {
 		t.Errorf("build error does not name the point: %v", err)
 	}

@@ -7,6 +7,7 @@ package integration_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -35,7 +36,7 @@ func runPipelineTrace(t *testing.T, cycles int64) ([]byte, *stats.Stats) {
 	var buf bytes.Buffer
 	w := trace.NewWriter(&buf, h, false)
 	live := stats.New(h)
-	if _, err := sim.Run(net, trace.Tee{w, live}, sim.Options{Horizon: cycles, Seed: 99}); err != nil {
+	if _, err := sim.Run(context.Background(), net, trace.Tee{w, live}, sim.Options{Horizon: cycles, Seed: 99}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -179,7 +180,7 @@ func TestPnFileRoundTripThroughTools(t *testing.T) {
 			t.Fatalf("%s: %v", path, err)
 		}
 		s := stats.New(trace.HeaderOf(net))
-		if _, err := sim.Run(net, s, sim.Options{Horizon: 2_000, Seed: 5}); err != nil {
+		if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 2_000, Seed: 5}); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
 		th, err := s.Throughput("Issue")

@@ -1,0 +1,125 @@
+// Package modelgen builds deterministic families of large timed Petri
+// nets for benchmarks and scheduler/oracle property tests. Two shapes
+// cover the workloads the paper's models stress:
+//
+//   - DeepPipeline: a long ring of stages, the token-recirculation
+//     pattern of the Section 2 processor scaled to hundreds of stages.
+//     Stages draw varied firing and enabling delays, every third stage
+//     carries a frequency-weighted rival (probabilistic conflict) and
+//     every fourth a single-server cap, so the hot loop sees conflicts,
+//     caps and timer resets — not just a conveyor belt.
+//   - ForkJoin: one wide fork into parallel branch chains joined back
+//     into the source, the barrier-synchronisation pattern; weighted
+//     arcs on the fork/join exercise multi-token consumption.
+//
+// Both families are closed (tokens only circulate) and every cycle
+// carries at least one strictly positive delay, so generated nets can
+// never livelock at a single instant. Structure and delays depend only
+// on (shape parameters, seed): equal arguments build identical nets on
+// every run and platform, which is what lets tests pin traces to seeds.
+package modelgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/petri"
+)
+
+// delayFor draws a small firing-time distribution. Lo bounds are >= 1:
+// no generated cycle is ever timeless.
+func delayFor(r *rand.Rand) petri.Delay {
+	switch r.Intn(3) {
+	case 0:
+		return petri.Constant(1 + petri.Time(r.Intn(5)))
+	case 1:
+		lo := 1 + petri.Time(r.Intn(3))
+		return petri.Uniform{Lo: lo, Hi: lo + petri.Time(1+r.Intn(4))}
+	default:
+		return petri.Choice{
+			Durations: []petri.Time{1 + petri.Time(r.Intn(3)), 4 + petri.Time(r.Intn(4))},
+			Weights:   []float64{2, 1},
+		}
+	}
+}
+
+// DeepPipeline builds a ring of stages places s0..s{stages-1}, stage i
+// drained by transition ti into stage i+1 (mod stages), with tokens
+// initial tokens on s0. Every third stage has a rival transition
+// (frequency-weighted conflict over the same tokens) and every fourth a
+// single-server cap. Panics if stages < 2 or tokens < 1.
+func DeepPipeline(stages, tokens int, seed int64) *petri.Net {
+	if stages < 2 || tokens < 1 {
+		panic(fmt.Sprintf("modelgen: DeepPipeline(%d, %d) needs stages >= 2, tokens >= 1", stages, tokens))
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := petri.NewBuilder(fmt.Sprintf("deep_pipeline_s%d_k%d_seed%d", stages, tokens, seed))
+	for i := 0; i < stages; i++ {
+		if i == 0 {
+			b.Place(place("s", i), tokens)
+		} else {
+			b.Place(place("s", i), 0)
+		}
+	}
+	for i := 0; i < stages; i++ {
+		next := (i + 1) % stages
+		t := b.Trans(place("t", i)).In(place("s", i)).Out(place("s", next)).Firing(delayFor(r))
+		if r.Intn(2) == 0 {
+			t.EnablingConst(1 + petri.Time(r.Intn(3)))
+		}
+		if i%4 == 1 {
+			t.Servers(1)
+		}
+		if i%3 == 2 {
+			// A rival over the same stage: same pre/post sets, different
+			// delay and weight, so ripe-set conflict resolution runs.
+			b.Trans(place("u", i)).In(place("s", i)).Out(place("s", next)).
+				Firing(delayFor(r)).Freq(0.5 + float64(r.Intn(3)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// ForkJoin builds width parallel chains of depth stages between a fork
+// and a join over a shared source place. The fork consumes two tokens
+// per firing and the join returns two (weighted arcs), the source
+// starts with 2*tokens tokens, and the join carries a firing delay, so
+// the net is conservative and live. Panics if width < 2, depth < 1 or
+// tokens < 1.
+func ForkJoin(width, depth int, seed int64) *petri.Net {
+	if width < 2 || depth < 1 {
+		panic(fmt.Sprintf("modelgen: ForkJoin(%d, %d) needs width >= 2, depth >= 1", width, depth))
+	}
+	tokens := 1
+	r := rand.New(rand.NewSource(seed))
+	b := petri.NewBuilder(fmt.Sprintf("fork_join_w%d_d%d_seed%d", width, depth, seed))
+	b.Place("src", 2*tokens)
+	for w := 0; w < width; w++ {
+		for d := 0; d <= depth; d++ {
+			b.Place(branchPlace(w, d), 0)
+		}
+	}
+	fork := b.Trans("fork").In("src", 2).FiringConst(1)
+	for w := 0; w < width; w++ {
+		fork.Out(branchPlace(w, 0))
+	}
+	for w := 0; w < width; w++ {
+		for d := 0; d < depth; d++ {
+			t := b.Trans(fmt.Sprintf("b%d_t%d", w, d)).
+				In(branchPlace(w, d)).Out(branchPlace(w, d+1)).
+				Firing(delayFor(r))
+			if r.Intn(3) == 0 {
+				t.EnablingConst(1 + petri.Time(r.Intn(2)))
+			}
+		}
+	}
+	join := b.Trans("join").Out("src", 2).Firing(delayFor(r))
+	for w := 0; w < width; w++ {
+		join.In(branchPlace(w, depth))
+	}
+	return b.MustBuild()
+}
+
+func place(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+func branchPlace(w, d int) string { return fmt.Sprintf("b%d_p%d", w, d) }

@@ -268,24 +268,51 @@ func joinLines(lines []string) string {
 }
 
 func (n *Net) buildIndexes() {
-	n.affected = make([][]TransID, len(n.Places))
+	// Collect the place→transition pairs (deduplicated: a place may feed
+	// a transition through both an input and an inhibitor arc), counting
+	// per place first so the adjacency flattens into one CSR index: a
+	// shared id slice plus per-place offsets. Transitions are visited in
+	// ascending id, so each place's list is sorted by construction.
+	counts := make([]int32, len(n.Places)+1)
 	seen := make(map[[2]int]bool)
-	add := func(p PlaceID, t TransID) {
-		k := [2]int{int(p), int(t)}
-		if !seen[k] {
-			seen[k] = true
-			n.affected[p] = append(n.affected[p], t)
+	visit := func(emit func(p PlaceID, t TransID)) {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for ti := range n.Trans {
+			tr := &n.Trans[ti]
+			for _, a := range tr.In {
+				if k := [2]int{int(a.Place), ti}; !seen[k] {
+					seen[k] = true
+					emit(a.Place, TransID(ti))
+				}
+			}
+			for _, a := range tr.Inhib {
+				if k := [2]int{int(a.Place), ti}; !seen[k] {
+					seen[k] = true
+					emit(a.Place, TransID(ti))
+				}
+			}
 		}
 	}
+	total := 0
+	visit(func(p PlaceID, t TransID) {
+		counts[p+1]++
+		total++
+	})
+	n.affOff = counts
+	for p := 1; p < len(n.affOff); p++ {
+		n.affOff[p] += n.affOff[p-1]
+	}
+	n.affList = make([]TransID, total)
+	next := make([]int32, len(n.Places))
+	copy(next, n.affOff[:len(n.Places)])
+	visit(func(p PlaceID, t TransID) {
+		n.affList[next[p]] = t
+		next[p]++
+	})
 	for ti := range n.Trans {
-		tr := &n.Trans[ti]
-		for _, a := range tr.In {
-			add(a.Place, TransID(ti))
-		}
-		for _, a := range tr.Inhib {
-			add(a.Place, TransID(ti))
-		}
-		if tr.Predicate != nil {
+		if n.Trans[ti].Predicate != nil {
 			n.predicated = append(n.predicated, TransID(ti))
 		}
 	}

@@ -111,9 +111,16 @@ type Net struct {
 	placeIdx map[string]PlaceID
 	transIdx map[string]TransID
 
-	// affected[p] lists transitions whose enablement can change when the
-	// marking of place p changes (p appears among their In or Inhib arcs).
-	affected [][]TransID
+	// The place→transition adjacency ("which transitions must be
+	// rechecked when this place's marking changes": p appears among
+	// their In or Inhib arcs) is stored flattened in CSR form — one
+	// shared id slice plus per-place offsets — so the simulator's
+	// per-event refresh walks contiguous memory instead of chasing one
+	// heap-allocated slice per place. affOff has NumPlaces+1 entries;
+	// place p's transitions are affList[affOff[p]:affOff[p+1]], in
+	// ascending transition id.
+	affOff  []int32
+	affList []TransID
 	// predicated lists transitions carrying predicates; their enablement
 	// can change whenever the environment changes.
 	predicated []TransID
@@ -158,8 +165,10 @@ func (n *Net) MustTrans(name string) TransID {
 }
 
 // Affected returns the transitions whose enablement may change when the
-// marking of p changes.
-func (n *Net) Affected(p PlaceID) []TransID { return n.affected[p] }
+// marking of p changes, in ascending transition id. The returned slice
+// is a view into the net's shared adjacency index; callers must not
+// modify it.
+func (n *Net) Affected(p PlaceID) []TransID { return n.affList[n.affOff[p]:n.affOff[p+1]] }
 
 // Predicated returns the transitions that carry predicates.
 func (n *Net) Predicated() []TransID { return n.predicated }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func TestAnalyzePipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
 		t.Fatal(err)
 	}
 	a, err := Analyze(s)

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestFigure5Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -192,7 +193,7 @@ func TestBusInvariantHoldsInFullModel(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := sim.Run(net, obs, sim.Options{Horizon: 20_000, Seed: 3}); err != nil {
+	if _, err := sim.Run(context.Background(), net, obs, sim.Options{Horizon: 20_000, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if violations > 0 {
@@ -206,7 +207,7 @@ func TestPrefetchSubnet(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// With no operand/store competition the decode stage is limited by
@@ -228,7 +229,7 @@ func TestDecoderSubnet(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	th, _ := s.Throughput("Issue")
@@ -249,7 +250,7 @@ func TestExecutionSubnet(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Execution-only throughput: mean service = 4.6 cycles + store
@@ -269,7 +270,7 @@ func TestInterpretedProcessorRuns(t *testing.T) {
 		t.Fatal("interpreted net not marked interpreted")
 	}
 	s := stats.New(trace.HeaderOf(net))
-	res, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 11})
+	res, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,11 +329,11 @@ func TestCacheProcessorRelievesBus(t *testing.T) {
 		t.Fatal(err)
 	}
 	sBase := stats.New(trace.HeaderOf(base))
-	if _, err := sim.Run(base, sBase, sim.Options{Horizon: 20_000, Seed: 5}); err != nil {
+	if _, err := sim.Run(context.Background(), base, sBase, sim.Options{Horizon: 20_000, Seed: 5}); err != nil {
 		t.Fatal(err)
 	}
 	sCached := stats.New(trace.HeaderOf(cached))
-	if _, err := sim.Run(cached, sCached, sim.Options{Horizon: 20_000, Seed: 5}); err != nil {
+	if _, err := sim.Run(context.Background(), cached, sCached, sim.Options{Horizon: 20_000, Seed: 5}); err != nil {
 		t.Fatal(err)
 	}
 	busBase, _ := sBase.Utilization("Bus_busy")
@@ -357,7 +358,7 @@ func TestCacheExtremes(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000, Seed: 2}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	bus, _ := s.Utilization("Bus_busy")
@@ -375,7 +376,7 @@ func TestCacheExtremes(t *testing.T) {
 		t.Fatal(err)
 	}
 	s0 := stats.New(trace.HeaderOf(net0))
-	if _, err := sim.Run(net0, s0, sim.Options{Horizon: 10_000, Seed: 2}); err != nil {
+	if _, err := sim.Run(context.Background(), net0, s0, sim.Options{Horizon: 10_000, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	hits, _ := s0.EventRowByName("icache_hit")
@@ -395,11 +396,11 @@ func TestSequentialBaselineSlower(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := stats.New(trace.HeaderOf(pipe))
-	if _, err := sim.Run(pipe, sp, sim.Options{Horizon: 30_000, Seed: 9}); err != nil {
+	if _, err := sim.Run(context.Background(), pipe, sp, sim.Options{Horizon: 30_000, Seed: 9}); err != nil {
 		t.Fatal(err)
 	}
 	ss := stats.New(trace.HeaderOf(seq))
-	if _, err := sim.Run(seq, ss, sim.Options{Horizon: 30_000, Seed: 9}); err != nil {
+	if _, err := sim.Run(context.Background(), seq, ss, sim.Options{Horizon: 30_000, Seed: 9}); err != nil {
 		t.Fatal(err)
 	}
 	thPipe, _ := sp.Throughput("Issue")
@@ -426,7 +427,7 @@ func TestMemorySpeedSensitivity(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := stats.New(trace.HeaderOf(net))
-		if _, err := sim.Run(net, s, sim.Options{Horizon: 20_000, Seed: 4}); err != nil {
+		if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 20_000, Seed: 4}); err != nil {
 			t.Fatal(err)
 		}
 		th, _ := s.Throughput("Issue")

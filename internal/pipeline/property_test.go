@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -38,7 +39,7 @@ func TestQuickParameterSpace(t *testing.T) {
 			return false
 		}
 		s := stats.New(trace.HeaderOf(net))
-		if _, err := sim.Run(net, s, sim.Options{Horizon: 4_000, Seed: seed}); err != nil {
+		if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 4_000, Seed: seed}); err != nil {
 			return false
 		}
 		issue, _ := s.Throughput("Issue")
@@ -101,7 +102,7 @@ func TestQuickBusInvariantAcrossParams(t *testing.T) {
 			}
 			return nil
 		})
-		if _, err := sim.Run(net, obs, sim.Options{Horizon: 2_000, Seed: seed}); err != nil {
+		if _, err := sim.Run(context.Background(), net, obs, sim.Options{Horizon: 2_000, Seed: seed}); err != nil {
 			return false
 		}
 		return ok
@@ -182,7 +183,7 @@ func TestSequentialNeverOverlaps(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := sim.Run(net, obs, sim.Options{Horizon: 20_000, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), net, obs, sim.Options{Horizon: 20_000, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if overlaps > 0 {

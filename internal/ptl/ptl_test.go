@@ -1,6 +1,7 @@
 package ptl
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -135,7 +136,7 @@ func TestParsePipelineMatchesProgrammatic(t *testing.T) {
 	// (transition order matches).
 	run := func(n *petri.Net) string {
 		c := trace.NewCollect(trace.HeaderOf(n))
-		if _, err := sim.Run(n, c, sim.Options{Horizon: 2_000, Seed: 42}); err != nil {
+		if _, err := sim.Run(context.Background(), n, c, sim.Options{Horizon: 2_000, Seed: 42}); err != nil {
 			t.Fatal(err)
 		}
 		return c.String()
@@ -183,7 +184,7 @@ func TestInterpretedRoundTripBehaviour(t *testing.T) {
 	}
 	runStats := func(n *petri.Net) float64 {
 		s := stats.New(trace.HeaderOf(n))
-		if _, err := sim.Run(n, s, sim.Options{Horizon: 5_000, Seed: 7}); err != nil {
+		if _, err := sim.Run(context.Background(), n, s, sim.Options{Horizon: 5_000, Seed: 7}); err != nil {
 			t.Fatal(err)
 		}
 		th, _ := s.Throughput("Issue")
@@ -232,7 +233,7 @@ trans c
 		t.Errorf("c.Firing = %T", c.Firing)
 	}
 	// And the whole thing simulates.
-	if _, err := sim.Run(n, nil, sim.Options{Horizon: 200, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), n, nil, sim.Options{Horizon: 200, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -254,7 +255,7 @@ trans t
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(n, nil, sim.Options{MaxStarts: 3})
+	res, err := sim.Run(context.Background(), n, nil, sim.Options{MaxStarts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

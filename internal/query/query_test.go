@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func busSeq(t *testing.T) *Seq {
 	b.Trans("release").In("Bus_busy").Out("Bus_free").Out("done").EnablingConst(4)
 	net := b.MustBuild()
 	qb := NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: 100}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: 100}); err != nil {
 		t.Fatal(err)
 	}
 	return qb.Seq()
@@ -251,7 +252,7 @@ func TestPaperQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	qb := NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: 10_000, Seed: 1988}); err != nil {
 		t.Fatal(err)
 	}
 	seq := qb.Seq()

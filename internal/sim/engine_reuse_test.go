@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,12 +31,12 @@ func TestEngineReuseMatchesFreshRuns(t *testing.T) {
 	var reports []string
 	for i, o := range opts {
 		reused := stats.New(h)
-		resReused, err := eng.Run(reused, o)
+		resReused, err := eng.Run(context.Background(), reused, o)
 		if err != nil {
 			t.Fatalf("run %d (reused): %v", i, err)
 		}
 		fresh := stats.New(h)
-		resFresh, err := sim.Run(net, fresh, o)
+		resFresh, err := sim.Run(context.Background(), net, fresh, o)
 		if err != nil {
 			t.Fatalf("run %d (fresh): %v", i, err)
 		}
@@ -74,11 +75,11 @@ func TestEngineReuseInterpreted(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := sim.NewEngine(net)
-	first, err := eng.Run(nil, sim.Options{Horizon: 1_000, Seed: 42})
+	first, err := eng.Run(context.Background(), nil, sim.Options{Horizon: 1_000, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := eng.Run(nil, sim.Options{Horizon: 1_000, Seed: 42})
+	second, err := eng.Run(context.Background(), nil, sim.Options{Horizon: 1_000, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+// Oracle exposes the frozen linear-scan engine (see oracle_test.go) to
+// the external test package, which compares it against the indexed
+// scheduler but also needs packages (stats) that import sim and so
+// cannot be imported from package-internal tests.
+type Oracle struct{ e *oracleEngine }
+
+// NewOracle builds a fresh oracle engine for net.
+func NewOracle(net *petri.Net) Oracle { return Oracle{newOracleEngine(net)} }
+
+// Run runs the oracle once; the engine may be reused like the real one.
+func (o Oracle) Run(obs trace.Observer, opt Options) (Result, error) { return o.e.Run(obs, opt) }

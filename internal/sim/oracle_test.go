@@ -1,0 +1,389 @@
+package sim
+
+// This file freezes the pre-scheduler engine — the straightforward
+// O(T)-scan-per-event implementation the paper describes — as a
+// test-only oracle. The production engine (sim.go) replaced its linear
+// scans with an indexed event scheduler; the contract is that for equal
+// seeds the two produce byte-identical traces on every net. The
+// property tests in sched_test.go and the benchmarks in
+// sched_bench_test.go compare against this reference, so it must keep
+// the original semantics verbatim:
+//
+//   - nextEventTime: linear scan over every transition per event;
+//   - settle: rebuild the ripe set by scanning every transition per
+//     firing, choose by relative frequency in ascending id order;
+//   - completions: a container/heap ordered by (time, insertion seq).
+//
+// Do not "improve" this file; it is the semantics baseline.
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/petri"
+	"repro/internal/trace"
+)
+
+type oracleCompletion struct {
+	at    petri.Time
+	seq   int64
+	trans petri.TransID
+}
+
+type oracleCompletionHeap []oracleCompletion
+
+func (h oracleCompletionHeap) Len() int { return len(h) }
+func (h oracleCompletionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleCompletionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oracleCompletionHeap) Push(x any)   { *h = append(*h, x.(oracleCompletion)) }
+func (h *oracleCompletionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type oracleTransState struct {
+	enabled bool
+	ripeAt  petri.Time // valid while enabled
+	active  int        // concurrent firings in progress
+}
+
+// oracleEngine is the frozen linear-scan engine.
+type oracleEngine struct {
+	net   *petri.Net
+	opt   Options
+	rng   *rand.Rand
+	src   rand.Source
+	env   *expr.Env
+	obs   trace.Observer
+	clock petri.Time
+	m     petri.Marking
+	ts    []oracleTransState
+	pend  oracleCompletionHeap
+	seq   int64
+
+	starts, ends int64
+
+	deltas []trace.Delta
+	ripe   []petri.TransID
+}
+
+func newOracleEngine(net *petri.Net) *oracleEngine {
+	src := rand.NewSource(0)
+	e := &oracleEngine{
+		net: net,
+		src: src,
+		rng: rand.New(src),
+		m:   make(petri.Marking, net.NumPlaces()),
+		ts:  make([]oracleTransState, net.NumTrans()),
+	}
+	e.env = net.NewEnv(e.rng)
+	return e
+}
+
+func (e *oracleEngine) reset(opt Options) {
+	e.opt = opt
+	e.src.Seed(opt.Seed)
+	e.m = e.net.InitialMarkingInto(e.m)
+	for i := range e.ts {
+		e.ts[i] = oracleTransState{}
+	}
+	e.pend = e.pend[:0]
+	e.clock, e.seq, e.starts, e.ends = 0, 0, 0, 0
+	e.env = e.net.NewEnv(e.rng)
+}
+
+// Run simulates exactly like the original engine's Run.
+func (e *oracleEngine) Run(obs trace.Observer, opt Options) (Result, error) {
+	if opt.Horizon <= 0 && opt.MaxStarts <= 0 {
+		return Result{}, errors.New("sim: Options must set Horizon or MaxStarts")
+	}
+	if opt.MaxStepsPerInstant <= 0 {
+		opt.MaxStepsPerInstant = 1_000_000
+	}
+	if obs == nil {
+		obs = trace.Discard
+	}
+	e.obs = obs
+	e.reset(opt)
+	if err := e.run(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Clock:     e.clock,
+		Starts:    e.starts,
+		Ends:      e.ends,
+		Quiescent: e.quiescent(),
+		Final:     e.m.Clone(),
+		Vars:      e.env.Snapshot(),
+	}, nil
+}
+
+func (e *oracleEngine) quiescent() bool {
+	if len(e.pend) > 0 {
+		return false
+	}
+	for i := range e.ts {
+		if e.ts[i].enabled && e.net.Trans[i].EffFreq() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *oracleEngine) emit(rec *trace.Record) error { return e.obs.Record(rec) }
+
+func (e *oracleEngine) run() error {
+	init := trace.Record{Kind: trace.Initial, Time: 0, Marking: e.m.Clone()}
+	if err := e.emit(&init); err != nil {
+		return err
+	}
+	if err := e.refreshAll(); err != nil {
+		return err
+	}
+	if err := e.settle(); err != nil {
+		return err
+	}
+	for !e.done() {
+		next, any := e.nextEventTime()
+		if !any {
+			break // quiescent
+		}
+		if e.opt.Horizon > 0 && next > e.opt.Horizon {
+			e.clock = e.opt.Horizon
+			break
+		}
+		e.clock = next
+		if err := e.completeDue(); err != nil {
+			return err
+		}
+		if err := e.settle(); err != nil {
+			return err
+		}
+	}
+	if e.opt.Horizon > 0 && e.clock < e.opt.Horizon && e.quiescent() {
+		e.clock = e.opt.Horizon
+	}
+	fin := trace.Record{Kind: trace.Final, Time: e.clock, Starts: e.starts, Ends: e.ends}
+	return e.emit(&fin)
+}
+
+func (e *oracleEngine) done() bool {
+	return e.opt.MaxStarts > 0 && e.starts >= e.opt.MaxStarts
+}
+
+// nextEventTime is the O(T) linear scan the scheduler replaced.
+func (e *oracleEngine) nextEventTime() (petri.Time, bool) {
+	var next petri.Time
+	any := false
+	if len(e.pend) > 0 {
+		next = e.pend[0].at
+		any = true
+	}
+	for i := range e.ts {
+		st := &e.ts[i]
+		if !st.enabled || e.capped(petri.TransID(i)) || e.net.Trans[i].EffFreq() == 0 {
+			continue
+		}
+		if !any || st.ripeAt < next {
+			next = st.ripeAt
+			any = true
+		}
+	}
+	return next, any
+}
+
+func (e *oracleEngine) capped(t petri.TransID) bool {
+	s := e.net.Trans[t].Servers
+	return s > 0 && e.ts[t].active >= s
+}
+
+func (e *oracleEngine) refresh(t petri.TransID) error {
+	now, err := e.net.Enabled(t, e.m, e.env)
+	if err != nil {
+		return err
+	}
+	st := &e.ts[t]
+	switch {
+	case now && !st.enabled:
+		st.enabled = true
+		if err := e.startTimer(t); err != nil {
+			return err
+		}
+	case !now && st.enabled:
+		st.enabled = false
+	}
+	return nil
+}
+
+func (e *oracleEngine) startTimer(t petri.TransID) error {
+	st := &e.ts[t]
+	var d petri.Time
+	if del := e.net.Trans[t].Enabling; del != nil {
+		var err error
+		d, err = del.Sample(e.rng, e.env)
+		if err != nil {
+			return fmt.Errorf("sim: enabling time of %q: %w", e.net.Trans[t].Name, err)
+		}
+		if d < 0 {
+			return fmt.Errorf("sim: negative enabling time %d for %q", d, e.net.Trans[t].Name)
+		}
+	}
+	st.ripeAt = e.clock + d
+	return nil
+}
+
+func (e *oracleEngine) refreshAll() error {
+	for i := range e.ts {
+		if err := e.refresh(petri.TransID(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *oracleEngine) refreshAffected(places []trace.Delta, envChanged bool) error {
+	for _, d := range places {
+		for _, t := range e.net.Affected(d.Place) {
+			if err := e.refresh(t); err != nil {
+				return err
+			}
+		}
+	}
+	if envChanged {
+		for _, t := range e.net.Predicated() {
+			if err := e.refresh(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// settle rebuilds the ripe set with a full scan per firing.
+func (e *oracleEngine) settle() error {
+	for step := 0; ; step++ {
+		if step > e.opt.MaxStepsPerInstant {
+			return fmt.Errorf("%w (t=%d)", ErrLivelock, e.clock)
+		}
+		if e.done() {
+			return nil
+		}
+		e.ripe = e.ripe[:0]
+		for i := range e.ts {
+			t := petri.TransID(i)
+			st := &e.ts[i]
+			if st.enabled && !e.capped(t) && st.ripeAt <= e.clock && e.net.Trans[i].EffFreq() != 0 {
+				e.ripe = append(e.ripe, t)
+			}
+		}
+		if len(e.ripe) == 0 {
+			return nil
+		}
+		pick := e.choose(e.ripe)
+		if err := e.fire(pick); err != nil {
+			return err
+		}
+	}
+}
+
+func (e *oracleEngine) choose(ripe []petri.TransID) petri.TransID {
+	if len(ripe) == 1 {
+		return ripe[0]
+	}
+	total := 0.0
+	for _, t := range ripe {
+		total += e.net.Trans[t].EffFreq()
+	}
+	x := e.rng.Float64() * total
+	for _, t := range ripe {
+		x -= e.net.Trans[t].EffFreq()
+		if x < 0 {
+			return t
+		}
+	}
+	return ripe[len(ripe)-1]
+}
+
+func (e *oracleEngine) fire(t petri.TransID) error {
+	tr := &e.net.Trans[t]
+	var dur petri.Time
+	if tr.Firing != nil {
+		var err error
+		dur, err = tr.Firing.Sample(e.rng, e.env)
+		if err != nil {
+			return fmt.Errorf("sim: firing time of %q: %w", tr.Name, err)
+		}
+		if dur < 0 {
+			return fmt.Errorf("sim: negative firing time %d for %q", dur, tr.Name)
+		}
+	}
+	e.deltas = e.deltas[:0]
+	for _, a := range tr.In {
+		e.deltas = append(e.deltas, trace.Delta{Place: a.Place, Change: -a.Weight})
+	}
+	e.net.Consume(t, e.m)
+	e.starts++
+	rec := trace.Record{Kind: trace.Start, Time: e.clock, Trans: t, Deltas: e.deltas}
+	if err := e.emit(&rec); err != nil {
+		return err
+	}
+	if err := e.refreshAffected(e.deltas, false); err != nil {
+		return err
+	}
+	if e.ts[t].enabled {
+		if err := e.startTimer(t); err != nil {
+			return err
+		}
+	}
+	if dur == 0 {
+		return e.complete(t)
+	}
+	e.ts[t].active++
+	e.seq++
+	heap.Push(&e.pend, oracleCompletion{at: e.clock + dur, seq: e.seq, trans: t})
+	return nil
+}
+
+func (e *oracleEngine) complete(t petri.TransID) error {
+	tr := &e.net.Trans[t]
+	e.deltas = e.deltas[:0]
+	for _, a := range tr.Out {
+		e.deltas = append(e.deltas, trace.Delta{Place: a.Place, Change: a.Weight})
+	}
+	e.net.Produce(t, e.m)
+	e.ends++
+	envChanged := false
+	if tr.Action != nil {
+		if err := tr.Action.Exec(e.env); err != nil {
+			return fmt.Errorf("sim: action of %q: %w", tr.Name, err)
+		}
+		envChanged = true
+	}
+	rec := trace.Record{Kind: trace.End, Time: e.clock, Trans: t, Deltas: e.deltas}
+	if err := e.emit(&rec); err != nil {
+		return err
+	}
+	return e.refreshAffected(e.deltas, envChanged)
+}
+
+func (e *oracleEngine) completeDue() error {
+	for len(e.pend) > 0 && e.pend[0].at == e.clock {
+		c := heap.Pop(&e.pend).(oracleCompletion)
+		e.ts[c.trans].active--
+		if err := e.complete(c.trans); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,13 +17,35 @@
 //     frequency [WPS86]; selection repeats until no transition is ready,
 //     then the clock advances to the next completion or ripening.
 //
+// # Event scheduling
+//
+// The hot loop is indexed rather than scanned. One binary heap holds
+// every future event — firing completions and enabling-timer ripenings
+// — ordered by (time, insertion sequence), with lazy invalidation:
+// a ripening entry carries the generation of the timer that scheduled
+// it, and entries whose generation no longer matches are discarded when
+// they surface. The set of transitions ready to fire *now* (the ripe
+// set) is maintained incrementally from enablement refreshes instead of
+// being rebuilt by a full transition scan per firing, kept in ascending
+// transition-id order so conflict resolution consumes random numbers in
+// exactly the order of the original scanning engine. Per event the
+// engine does O(log E) heap work plus O(neighborhood) refresh work,
+// instead of O(T) scans — and the firing path allocates nothing once
+// the engine's buffers are warm.
+//
+// Determinism contract: for equal seeds the engine produces bit-equal
+// traces — equal-time completions complete in firing-start order,
+// equal-time ripenings join the ripe set before conflict resolution,
+// and the ripe set is always iterated in ascending transition id. The
+// frozen linear-scan engine in oracle_test.go pins this contract.
+//
 // The engine knows nothing about analysis: it emits trace records to an
 // Observer (package trace), which may be a file writer, a statistics
 // accumulator, a tracer, an animator, or any Tee of those.
 package sim
 
 import (
-	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -64,42 +86,53 @@ type Result struct {
 // at a single instant.
 var ErrLivelock = errors.New("sim: livelock: too many firings at one instant")
 
-type completion struct {
+// Event kinds in the unified scheduler heap.
+const (
+	evComplete = uint8(iota) // a started firing finishes at ev.at
+	evRipen                  // an enabling timer expires at ev.at
+)
+
+// event is one scheduled occurrence. Events order by (at, seq); seq is
+// a global insertion counter, so equal-time completions pop in the
+// order their firings started — the tie-break the determinism contract
+// pins. Ripening entries are invalidated lazily: gen snapshots the
+// transition's timer generation at push time and a mismatch at pop time
+// means the timer was since reset or cleared.
+type event struct {
 	at    petri.Time
 	seq   int64
 	trans petri.TransID
+	gen   uint32
+	kind  uint8
 }
 
-type completionHeap []completion
-
-func (h completionHeap) Len() int { return len(h) }
-func (h completionHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
+// transState is the per-transition simulation state.
 type transState struct {
 	enabled bool
-	ripeAt  petri.Time // valid while enabled
-	active  int        // concurrent firings in progress
+	// deferred marks an enabled, timed transition that is at its server
+	// cap: its ripening is not an event (the original engine's scan
+	// skipped capped transitions), so no heap entry exists, and the
+	// completion that uncaps it re-arms the stored ripeAt.
+	deferred bool
+	// hasEntry tracks whether a live ripening entry for gen is in the
+	// heap, so invalidation can count stale entries for compaction.
+	hasEntry bool
+	gen      uint32
+	ripeAt   petri.Time // valid while enabled
+	active   int        // concurrent firings in progress
 }
+
+// ctxCheckBatch is how many scheduler steps run between context-
+// cancellation checks: cancellation latency is a few thousand events
+// while the per-event overhead stays one counter increment.
+const ctxCheckBatch = 4096
 
 // Engine is a reusable simulator for one immutable net. A fresh Engine
 // is cheap — the net's Affected/Predicated indexes are precomputed at
 // Build time — but replication drivers (package experiment) run many
 // short experiments back to back, so Run resets and reuses the engine's
-// state vectors and scratch buffers instead of reallocating them.
+// state vectors, event heap and scratch buffers instead of reallocating
+// them.
 //
 // An Engine is not safe for concurrent use; give each goroutine its
 // own (see NewEngine).
@@ -110,17 +143,35 @@ type Engine struct {
 	src   rand.Source
 	env   *expr.Env
 	obs   trace.Observer
+	ctx   context.Context
 	clock petri.Time
 	m     petri.Marking
 	ts    []transState
-	pend  completionHeap
+
+	// evq is the unified event heap; stale counts invalidated ripening
+	// entries still buried in it (compacted away when they dominate).
+	evq   []event
+	stale int
 	seq   int64
 
+	// ripeList is the current ripe set in ascending transition id;
+	// ripePos[t] is t's index in it, -1 when absent.
+	ripeList []petri.TransID
+	ripePos  []int32
+
+	// effFreq caches EffFreq per transition: the hot loop reads it as a
+	// dense slice instead of chasing into the Transition structs.
+	effFreq []float64
+
 	starts, ends int64
+	ctxTick      uint32
 
 	// scratch buffers reused across records
 	deltas []trace.Delta
-	ripe   []petri.TransID
+	// rec is the scratch record reused for every emitted event, so the
+	// firing path allocates nothing per event (observers must not retain
+	// records, see trace.Observer).
+	rec trace.Record
 }
 
 // NewEngine returns an engine for net with all per-run state allocated
@@ -128,11 +179,17 @@ type Engine struct {
 func NewEngine(net *petri.Net) *Engine {
 	src := rand.NewSource(0)
 	e := &Engine{
-		net: net,
-		src: src,
-		rng: rand.New(src),
-		m:   make(petri.Marking, net.NumPlaces()),
-		ts:  make([]transState, net.NumTrans()),
+		net:      net,
+		src:      src,
+		rng:      rand.New(src),
+		m:        make(petri.Marking, net.NumPlaces()),
+		ts:       make([]transState, net.NumTrans()),
+		ripeList: make([]petri.TransID, 0, net.NumTrans()),
+		ripePos:  make([]int32, net.NumTrans()),
+		effFreq:  make([]float64, net.NumTrans()),
+	}
+	for i := range e.effFreq {
+		e.effFreq[i] = net.Trans[i].EffFreq()
 	}
 	e.env = net.NewEnv(e.rng)
 	return e
@@ -148,15 +205,31 @@ func (e *Engine) reset(opt Options) {
 	for i := range e.ts {
 		e.ts[i] = transState{}
 	}
-	e.pend = e.pend[:0]
+	e.evq = e.evq[:0]
+	e.stale = 0
+	e.ripeList = e.ripeList[:0]
+	for i := range e.ripePos {
+		e.ripePos[i] = -1
+	}
 	e.clock, e.seq, e.starts, e.ends = 0, 0, 0, 0
+	e.ctxTick = 0
 	e.env = e.net.NewEnv(e.rng)
 }
 
 // Run simulates the engine's net once under opt, streaming the trace to
 // obs (nil discards it), and returns the run summary. The engine may be
 // Run again with fresh Options; equal seeds give equal traces.
-func (e *Engine) Run(obs trace.Observer, opt Options) (Result, error) {
+//
+// ctx cancels a run in progress: it is checked every few thousand
+// scheduler steps (never per event), and a cancelled run returns ctx's
+// error. A nil ctx means context.Background().
+func (e *Engine) Run(ctx context.Context, obs trace.Observer, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if opt.Horizon <= 0 && opt.MaxStarts <= 0 {
 		return Result{}, errors.New("sim: Options must set Horizon or MaxStarts")
 	}
@@ -167,8 +240,11 @@ func (e *Engine) Run(obs trace.Observer, opt Options) (Result, error) {
 		obs = trace.Discard
 	}
 	e.obs = obs
+	e.ctx = ctx
 	e.reset(opt)
-	if err := e.run(); err != nil {
+	err := e.run()
+	e.ctx = nil
+	if err != nil {
 		return Result{}, err
 	}
 	return Result{
@@ -183,17 +259,17 @@ func (e *Engine) Run(obs trace.Observer, opt Options) (Result, error) {
 
 // Run simulates net, streaming the trace to obs (which may be nil to
 // discard it), and returns the run summary. It is the one-shot form of
-// NewEngine(net).Run(obs, opt).
-func Run(net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
-	return NewEngine(net).Run(obs, opt)
+// NewEngine(net).Run(ctx, obs, opt).
+func Run(ctx context.Context, net *petri.Net, obs trace.Observer, opt Options) (Result, error) {
+	return NewEngine(net).Run(ctx, obs, opt)
 }
 
 func (e *Engine) quiescent() bool {
-	if len(e.pend) > 0 {
-		return false
+	if e.starts > e.ends {
+		return false // firings in progress: completions are pending
 	}
 	for i := range e.ts {
-		if e.ts[i].enabled && e.net.Trans[i].EffFreq() != 0 {
+		if e.ts[i].enabled && e.effFreq[i] != 0 {
 			return false
 		}
 	}
@@ -202,9 +278,17 @@ func (e *Engine) quiescent() bool {
 
 func (e *Engine) emit(rec *trace.Record) error { return e.obs.Record(rec) }
 
+// checkCtx reports the context's error once per ctxCheckBatch calls.
+func (e *Engine) checkCtx() error {
+	if e.ctxTick++; e.ctxTick&(ctxCheckBatch-1) != 0 {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
 func (e *Engine) run() error {
-	init := trace.Record{Kind: trace.Initial, Time: 0, Marking: e.m.Clone()}
-	if err := e.emit(&init); err != nil {
+	e.rec = trace.Record{Kind: trace.Initial, Time: 0, Marking: e.m.Clone()}
+	if err := e.emit(&e.rec); err != nil {
 		return err
 	}
 	if err := e.refreshAll(); err != nil {
@@ -214,6 +298,9 @@ func (e *Engine) run() error {
 		return err
 	}
 	for !e.done() {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		next, any := e.nextEventTime()
 		if !any {
 			break // quiescent
@@ -234,38 +321,70 @@ func (e *Engine) run() error {
 		// A quiescent net simply idles until the end of the experiment.
 		e.clock = e.opt.Horizon
 	}
-	fin := trace.Record{Kind: trace.Final, Time: e.clock, Starts: e.starts, Ends: e.ends}
-	return e.emit(&fin)
+	e.rec = trace.Record{Kind: trace.Final, Time: e.clock, Starts: e.starts, Ends: e.ends}
+	return e.emit(&e.rec)
 }
 
 func (e *Engine) done() bool {
 	return e.opt.MaxStarts > 0 && e.starts >= e.opt.MaxStarts
 }
 
-// nextEventTime returns the earliest pending completion or ripening.
+// nextEventTime peeks the earliest live event, discarding stale
+// ripening entries that surface at the top of the heap. By the arm
+// invariant a live ripening always belongs to an enabled, uncapped,
+// nonzero-frequency transition, so no further checks are needed.
 func (e *Engine) nextEventTime() (petri.Time, bool) {
-	var next petri.Time
-	any := false
-	if len(e.pend) > 0 {
-		next = e.pend[0].at
-		any = true
-	}
-	for i := range e.ts {
-		st := &e.ts[i]
-		if !st.enabled || e.capped(petri.TransID(i)) || e.net.Trans[i].EffFreq() == 0 {
-			continue
+	for len(e.evq) > 0 {
+		top := &e.evq[0]
+		if top.kind == evComplete || top.gen == e.ts[top.trans].gen {
+			return top.at, true
 		}
-		if !any || st.ripeAt < next {
-			next = st.ripeAt
-			any = true
-		}
+		e.popEvent()
+		e.stale--
 	}
-	return next, any
+	return 0, false
 }
 
 func (e *Engine) capped(t petri.TransID) bool {
 	s := e.net.Trans[t].Servers
 	return s > 0 && e.ts[t].active >= s
+}
+
+// arm re-derives transition t's scheduling state after anything that
+// could change it: enablement flips, timer restarts, or reaching the
+// server cap. Any previous heap entry is invalidated (generation bump);
+// then t is either ripe now (joins the ripe set), ripening later (a new
+// heap entry), deferred (capped: the uncapping completion re-arms it),
+// or unscheduled (disabled or frequency 0).
+func (e *Engine) arm(t petri.TransID) {
+	st := &e.ts[t]
+	if st.hasEntry {
+		e.stale++
+		st.hasEntry = false
+	}
+	st.gen++
+	st.deferred = false
+	e.clearRipe(t)
+	if !st.enabled || e.effFreq[t] == 0 {
+		return
+	}
+	if e.capped(t) {
+		st.deferred = true
+		return
+	}
+	if st.ripeAt <= e.clock {
+		e.setRipe(t)
+	} else {
+		e.pushRipen(t)
+	}
+}
+
+// pushRipen schedules t's current timer as a heap event.
+func (e *Engine) pushRipen(t petri.TransID) {
+	st := &e.ts[t]
+	e.seq++
+	e.pushEvent(event{at: st.ripeAt, seq: e.seq, trans: t, gen: st.gen, kind: evRipen})
+	st.hasEntry = true
 }
 
 // refresh recomputes the enabled state of transition t, starting or
@@ -284,11 +403,13 @@ func (e *Engine) refresh(t petri.TransID) error {
 		}
 	case !now && st.enabled:
 		st.enabled = false
+		e.arm(t)
 	}
 	return nil
 }
 
-// startTimer samples the enabling delay for t and sets its ripening time.
+// startTimer samples the enabling delay for t, sets its ripening time
+// and re-arms its scheduling state.
 func (e *Engine) startTimer(t petri.TransID) error {
 	st := &e.ts[t]
 	var d petri.Time
@@ -303,6 +424,7 @@ func (e *Engine) startTimer(t petri.TransID) error {
 		}
 	}
 	st.ripeAt = e.clock + d
+	e.arm(t)
 	return nil
 }
 
@@ -336,7 +458,10 @@ func (e *Engine) refreshAffected(places []trace.Delta, envChanged bool) error {
 	return nil
 }
 
-// settle starts every firing that can start at the current instant.
+// settle starts every firing that can start at the current instant. The
+// ripe set is already current — refresh/arm maintain it incrementally —
+// so each step is a conflict-resolution draw plus one firing, with no
+// per-transition scan.
 func (e *Engine) settle() error {
 	for step := 0; ; step++ {
 		if step > e.opt.MaxStepsPerInstant {
@@ -345,18 +470,13 @@ func (e *Engine) settle() error {
 		if e.done() {
 			return nil
 		}
-		e.ripe = e.ripe[:0]
-		for i := range e.ts {
-			t := petri.TransID(i)
-			st := &e.ts[i]
-			if st.enabled && !e.capped(t) && st.ripeAt <= e.clock && e.net.Trans[i].EffFreq() != 0 {
-				e.ripe = append(e.ripe, t)
-			}
-		}
-		if len(e.ripe) == 0 {
+		if len(e.ripeList) == 0 {
 			return nil
 		}
-		pick := e.choose(e.ripe)
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
+		pick := e.choose(e.ripeList)
 		if err := e.fire(pick); err != nil {
 			return err
 		}
@@ -371,11 +491,11 @@ func (e *Engine) choose(ripe []petri.TransID) petri.TransID {
 	}
 	total := 0.0
 	for _, t := range ripe {
-		total += e.net.Trans[t].EffFreq()
+		total += e.effFreq[t]
 	}
 	x := e.rng.Float64() * total
 	for _, t := range ripe {
-		x -= e.net.Trans[t].EffFreq()
+		x -= e.effFreq[t]
 		if x < 0 {
 			return t
 		}
@@ -404,12 +524,19 @@ func (e *Engine) fire(t petri.TransID) error {
 	}
 	e.net.Consume(t, e.m)
 	e.starts++
-	rec := trace.Record{Kind: trace.Start, Time: e.clock, Trans: t, Deltas: e.deltas}
-	if err := e.emit(&rec); err != nil {
+	e.rec = trace.Record{Kind: trace.Start, Time: e.clock, Trans: t, Deltas: e.deltas}
+	if err := e.emit(&e.rec); err != nil {
 		return err
 	}
 	if err := e.refreshAffected(e.deltas, false); err != nil {
 		return err
+	}
+	// Count the in-flight firing before re-arming, so the timer restart
+	// below sees the server cap this firing may have just filled.
+	if dur > 0 {
+		e.ts[t].active++
+		e.seq++
+		e.pushEvent(event{at: e.clock + dur, seq: e.seq, trans: t, kind: evComplete})
 	}
 	// The enabling timer restarts for the next firing if t is still
 	// enabled (continuous enablement is counted per firing).
@@ -421,9 +548,6 @@ func (e *Engine) fire(t petri.TransID) error {
 	if dur == 0 {
 		return e.complete(t)
 	}
-	e.ts[t].active++
-	e.seq++
-	heap.Push(&e.pend, completion{at: e.clock + dur, seq: e.seq, trans: t})
 	return nil
 }
 
@@ -444,21 +568,151 @@ func (e *Engine) complete(t petri.TransID) error {
 		}
 		envChanged = true
 	}
-	rec := trace.Record{Kind: trace.End, Time: e.clock, Trans: t, Deltas: e.deltas}
-	if err := e.emit(&rec); err != nil {
+	e.rec = trace.Record{Kind: trace.End, Time: e.clock, Trans: t, Deltas: e.deltas}
+	if err := e.emit(&e.rec); err != nil {
 		return err
 	}
 	return e.refreshAffected(e.deltas, envChanged)
 }
 
-// completeDue finishes every firing scheduled for the current clock.
+// completeDue drains every event scheduled for the current clock:
+// completions finish their firing (in firing-start order, preserving
+// the trace tie-break), live ripenings move their transition into the
+// ripe set, and stale ripenings are discarded.
 func (e *Engine) completeDue() error {
-	for len(e.pend) > 0 && e.pend[0].at == e.clock {
-		c := heap.Pop(&e.pend).(completion)
-		e.ts[c.trans].active--
-		if err := e.complete(c.trans); err != nil {
+	for len(e.evq) > 0 && e.evq[0].at == e.clock {
+		ev := e.popEvent()
+		st := &e.ts[ev.trans]
+		if ev.kind == evRipen {
+			if ev.gen != st.gen {
+				e.stale--
+				continue
+			}
+			st.hasEntry = false
+			e.setRipe(ev.trans)
+			continue
+		}
+		st.active--
+		if st.deferred && st.enabled && !e.capped(ev.trans) {
+			// The cap lifted: the stored timer becomes schedulable again,
+			// exactly as the scanning engine's recheck would observe it.
+			st.deferred = false
+			if st.ripeAt <= e.clock {
+				e.setRipe(ev.trans)
+			} else {
+				e.pushRipen(ev.trans)
+			}
+		}
+		if err := e.complete(ev.trans); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// setRipe inserts t into the ripe set, keeping ascending id order.
+func (e *Engine) setRipe(t petri.TransID) {
+	if e.ripePos[t] >= 0 {
+		return
+	}
+	lo, hi := 0, len(e.ripeList)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.ripeList[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.ripeList = append(e.ripeList, 0)
+	copy(e.ripeList[lo+1:], e.ripeList[lo:])
+	e.ripeList[lo] = t
+	for i := lo; i < len(e.ripeList); i++ {
+		e.ripePos[e.ripeList[i]] = int32(i)
+	}
+}
+
+// clearRipe removes t from the ripe set if present.
+func (e *Engine) clearRipe(t petri.TransID) {
+	i := e.ripePos[t]
+	if i < 0 {
+		return
+	}
+	copy(e.ripeList[i:], e.ripeList[i+1:])
+	e.ripeList = e.ripeList[:len(e.ripeList)-1]
+	e.ripePos[t] = -1
+	for j := int(i); j < len(e.ripeList); j++ {
+		e.ripePos[e.ripeList[j]] = int32(j)
+	}
+}
+
+// evLess orders events by (time, insertion sequence).
+func (e *Engine) evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// pushEvent sifts ev into the heap, compacting first when stale entries
+// dominate, so lazy invalidation cannot grow the heap unboundedly.
+func (e *Engine) pushEvent(ev event) {
+	if e.stale > 64 && e.stale > len(e.evq)/2 {
+		e.compact()
+	}
+	e.evq = append(e.evq, ev)
+	i := len(e.evq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.evLess(&e.evq[i], &e.evq[parent]) {
+			break
+		}
+		e.evq[i], e.evq[parent] = e.evq[parent], e.evq[i]
+		i = parent
+	}
+}
+
+// popEvent removes and returns the heap minimum.
+func (e *Engine) popEvent() event {
+	top := e.evq[0]
+	n := len(e.evq) - 1
+	e.evq[0] = e.evq[n]
+	e.evq = e.evq[:n]
+	e.siftDown(0)
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.evq)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && e.evLess(&e.evq[r], &e.evq[l]) {
+			small = r
+		}
+		if !e.evLess(&e.evq[small], &e.evq[i]) {
+			return
+		}
+		e.evq[i], e.evq[small] = e.evq[small], e.evq[i]
+		i = small
+	}
+}
+
+// compact drops stale ripening entries in place and re-heapifies:
+// O(live + stale), amortized against the pushes that created them.
+func (e *Engine) compact() {
+	keep := e.evq[:0]
+	for _, ev := range e.evq {
+		if ev.kind == evComplete || ev.gen == e.ts[ev.trans].gen {
+			keep = append(keep, ev)
+		}
+	}
+	e.evq = keep
+	e.stale = 0
+	for i := len(e.evq)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestObserverErrorAborts(t *testing.T) {
 		}
 		return nil
 	})
-	_, err := Run(net, obs, Options{Horizon: 100})
+	_, err := Run(context.Background(), net, obs, Options{Horizon: 100})
 	if !errors.Is(err, boom) {
 		t.Errorf("observer error not propagated: %v", err)
 	}
@@ -38,7 +39,7 @@ func TestActionRuntimeErrorSurfaces(t *testing.T) {
 	b.Place("p", 1)
 	b.Trans("t").In("p").Out("p").EnablingConst(1).Action("x = 1 / 0")
 	net := b.MustBuild()
-	_, err := Run(net, nil, Options{Horizon: 10})
+	_, err := Run(context.Background(), net, nil, Options{Horizon: 10})
 	if err == nil || !strings.Contains(err.Error(), "action") {
 		t.Errorf("action error not surfaced: %v", err)
 	}
@@ -49,7 +50,7 @@ func TestPredicateRuntimeErrorSurfaces(t *testing.T) {
 	b.Place("p", 1)
 	b.Trans("t").In("p").Out("p").Pred("undefined_variable > 0").EnablingConst(1)
 	net := b.MustBuild()
-	_, err := Run(net, nil, Options{Horizon: 10})
+	_, err := Run(context.Background(), net, nil, Options{Horizon: 10})
 	if err == nil || !strings.Contains(err.Error(), "predicate") {
 		t.Errorf("predicate error not surfaced: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestExprDelayErrorSurfaces(t *testing.T) {
 	b.Trans("t").In("p").Out("p").
 		Firing(petri.ExprDelay{E: expr.MustParseExpr("nosuch_table[0]")})
 	net := b.MustBuild()
-	_, err := Run(net, nil, Options{Horizon: 10})
+	_, err := Run(context.Background(), net, nil, Options{Horizon: 10})
 	if err == nil || !strings.Contains(err.Error(), "firing time") {
 		t.Errorf("delay error not surfaced: %v", err)
 	}
@@ -73,7 +74,7 @@ func TestNegativeExprDelayRejected(t *testing.T) {
 	b.Var("d", -3)
 	b.Trans("t").In("p").Out("p").Enabling(petri.ExprDelay{E: expr.MustParseExpr("d")})
 	net := b.MustBuild()
-	_, err := Run(net, nil, Options{Horizon: 10})
+	_, err := Run(context.Background(), net, nil, Options{Horizon: 10})
 	if err == nil {
 		t.Error("negative enabling delay accepted")
 	}
@@ -85,7 +86,7 @@ func TestHorizonAndMaxStartsTogether(t *testing.T) {
 	b.Trans("t").In("p").Out("p").EnablingConst(1)
 	net := b.MustBuild()
 	// MaxStarts binds first.
-	res, err := Run(net, nil, Options{Horizon: 1_000, MaxStarts: 5})
+	res, err := Run(context.Background(), net, nil, Options{Horizon: 1_000, MaxStarts: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestHorizonAndMaxStartsTogether(t *testing.T) {
 		t.Errorf("clock = %d, should stop well before horizon", res.Clock)
 	}
 	// Horizon binds first.
-	res, err = Run(net, nil, Options{Horizon: 3, MaxStarts: 1_000})
+	res, err = Run(context.Background(), net, nil, Options{Horizon: 3, MaxStarts: 1_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestFreqZeroNeverFires(t *testing.T) {
 	b.Trans("always").In("p").Out("bb").EnablingConst(2)
 	net := b.MustBuild()
 	c := trace.NewCollect(trace.HeaderOf(net))
-	res, err := Run(net, c, Options{Horizon: 100})
+	res, err := Run(context.Background(), net, c, Options{Horizon: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFreqZeroNeverFires(t *testing.T) {
 	b2.Place("p", 1)
 	b2.Place("q", 0)
 	b2.Trans("never").In("p").Out("q").Freq(0)
-	res2, err := Run(b2.MustBuild(), nil, Options{Horizon: 50})
+	res2, err := Run(context.Background(), b2.MustBuild(), nil, Options{Horizon: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestUniformEnablingDelaysVary(t *testing.T) {
 	b.Trans("t").In("p").Out("p").Enabling(petri.Uniform{Lo: 1, Hi: 6})
 	net := b.MustBuild()
 	c := trace.NewCollect(trace.HeaderOf(net))
-	if _, err := Run(net, c, Options{Horizon: 5_000, Seed: 2}); err != nil {
+	if _, err := Run(context.Background(), net, c, Options{Horizon: 5_000, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Inter-firing gaps must take several distinct values in [1,6].
@@ -179,7 +180,7 @@ func TestSourceTransitionWithDelay(t *testing.T) {
 	b.Place("out", 0)
 	b.Trans("tick").Out("out").EnablingConst(4)
 	net := b.MustBuild()
-	res, err := Run(net, nil, Options{Horizon: 40})
+	res, err := Run(context.Background(), net, nil, Options{Horizon: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestCompletionOrderDeterministic(t *testing.T) {
 	net := b.MustBuild()
 	run := func() string {
 		c := trace.NewCollect(trace.HeaderOf(net))
-		if _, err := Run(net, c, Options{Horizon: 10, Seed: 1}); err != nil {
+		if _, err := Run(context.Background(), net, c, Options{Horizon: 10, Seed: 1}); err != nil {
 			t.Fatal(err)
 		}
 		return c.String()

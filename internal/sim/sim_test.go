@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -13,7 +14,7 @@ import (
 func collect(t *testing.T, net *petri.Net, opt Options) (*trace.Collect, Result) {
 	t.Helper()
 	c := trace.NewCollect(trace.HeaderOf(net))
-	res, err := Run(net, c, opt)
+	res, err := Run(context.Background(), net, c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestDeterminism(t *testing.T) {
 	net := mixNet(t)
 	run := func() string {
 		c := trace.NewCollect(trace.HeaderOf(net))
-		if _, err := Run(net, c, Options{Horizon: 1000, Seed: 7}); err != nil {
+		if _, err := Run(context.Background(), net, c, Options{Horizon: 1000, Seed: 7}); err != nil {
 			t.Fatal(err)
 		}
 		return c.String()
@@ -152,7 +153,7 @@ func TestDeterminism(t *testing.T) {
 		t.Error("equal seeds produced different traces")
 	}
 	c2 := trace.NewCollect(trace.HeaderOf(net))
-	if _, err := Run(net, c2, Options{Horizon: 1000, Seed: 8}); err != nil {
+	if _, err := Run(context.Background(), net, c2, Options{Horizon: 1000, Seed: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if run() == c2.String() {
@@ -207,7 +208,7 @@ func TestLivelockDetected(t *testing.T) {
 	b.Place("a", 1)
 	b.Trans("spin").In("a").Out("a")
 	net := b.MustBuild()
-	_, err := Run(net, nil, Options{Horizon: 10, MaxStepsPerInstant: 100})
+	_, err := Run(context.Background(), net, nil, Options{Horizon: 10, MaxStepsPerInstant: 100})
 	if err == nil || !strings.Contains(err.Error(), "livelock") {
 		t.Errorf("expected livelock error, got %v", err)
 	}
@@ -215,7 +216,7 @@ func TestLivelockDetected(t *testing.T) {
 
 func TestOptionsValidation(t *testing.T) {
 	net := mixNet(t)
-	if _, err := Run(net, nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), net, nil, Options{}); err == nil {
 		t.Error("options without stop condition accepted")
 	}
 }
@@ -397,7 +398,7 @@ func TestBusMutualExclusionInvariant(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := Run(net, obs2, Options{Horizon: 1000}); err != nil {
+	if _, err := Run(context.Background(), net, obs2, Options{Horizon: 1000}); err != nil {
 		t.Fatal(err)
 	}
 	if bad2 != 0 {
@@ -441,7 +442,7 @@ func TestQuickTokenConservation(t *testing.T) {
 			}
 			return nil
 		})
-		if _, err := Run(net, obs, Options{Horizon: 200, MaxStarts: 500}); err != nil {
+		if _, err := Run(context.Background(), net, obs, Options{Horizon: 200, MaxStarts: 500}); err != nil {
 			return false
 		}
 		return ok

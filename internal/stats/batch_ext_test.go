@@ -1,6 +1,7 @@
 package stats_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestBatchMeansAgreesWithStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Run(net, trace.Tee{s, bm}, sim.Options{Horizon: 50_000, Seed: 12}); err != nil {
+	if _, err := sim.Run(context.Background(), net, trace.Tee{s, bm}, sim.Options{Horizon: 50_000, Seed: 12}); err != nil {
 		t.Fatal(err)
 	}
 	global, _ := s.Utilization("Bus_busy")

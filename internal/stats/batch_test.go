@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestBatchMeansDeterministicWave(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Run(net, bm, sim.Options{Horizon: 100}); err != nil {
+	if _, err := sim.Run(context.Background(), net, bm, sim.Options{Horizon: 100}); err != nil {
 		t.Fatal(err)
 	}
 	batches := bm.Batches()
@@ -51,7 +52,7 @@ func TestBatchMeansThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Run(net, bm, sim.Options{Horizon: 200}); err != nil {
+	if _, err := sim.Run(context.Background(), net, bm, sim.Options{Horizon: 200}); err != nil {
 		t.Fatal(err)
 	}
 	// One completion every 2 ticks. A completion landing exactly on a

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func TestResidenceLittlesLaw(t *testing.T) {
 	b.Trans("serve").In("queue").Out("sink").EnablingConst(6)
 	stable := b.MustBuild()
 	s2 := New(trace.HeaderOf(stable))
-	if _, err := sim.Run(stable, s2, sim.Options{Horizon: 100_000}); err != nil {
+	if _, err := sim.Run(context.Background(), stable, s2, sim.Options{Horizon: 100_000}); err != nil {
 		t.Fatal(err)
 	}
 	row2, err := s2.Residence(stable, "queue")
@@ -57,7 +58,7 @@ func TestResidenceNeverLeft(t *testing.T) {
 	b.Trans("fill").In("src").Out("src").Out("trap").EnablingConst(5)
 	net := b.MustBuild()
 	s := New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 1_000}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 1_000}); err != nil {
 		t.Fatal(err)
 	}
 	row, err := s.Residence(net, "trap")
@@ -72,7 +73,7 @@ func TestResidenceNeverLeft(t *testing.T) {
 func TestBottleneckOrdering(t *testing.T) {
 	net := delayLine(t)
 	s := New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000}); err != nil {
 		t.Fatal(err)
 	}
 	rows, err := s.Bottlenecks(net)

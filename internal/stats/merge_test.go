@@ -1,6 +1,7 @@
 package stats_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func runOnce(t *testing.T, seed int64, horizon int64) *stats.Stats {
 		t.Fatal(err)
 	}
 	s := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: horizon, Seed: seed}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: horizon, Seed: seed}); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -110,7 +111,7 @@ func TestMergeRejectsMismatchedNets(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := stats.New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, b, sim.Options{Horizon: 500, Seed: 1}); err != nil {
+	if _, err := sim.Run(context.Background(), net, b, sim.Options{Horizon: 500, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Merge(b); err == nil {

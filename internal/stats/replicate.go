@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,7 +48,7 @@ func Replicate(net *petri.Net, opt sim.Options, n int, metric func(*Stats) (floa
 		o := opt
 		o.Seed = opt.Seed + int64(i)
 		s := New(h)
-		if _, err := sim.Run(net, s, o); err != nil {
+		if _, err := sim.Run(context.Background(), net, s, o); err != nil {
 			return Summary{}, fmt.Errorf("stats: replication %d: %w", i, err)
 		}
 		v, err := metric(s)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -178,7 +179,7 @@ func TestIntegrationUtilizationHalf(t *testing.T) {
 	b.Trans("finish").In("busy").Out("idle").Out("served").EnablingConst(2)
 	net := b.MustBuild()
 	s := New(trace.HeaderOf(net))
-	if _, err := sim.Run(net, s, sim.Options{Horizon: 10_000}); err != nil {
+	if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 10_000}); err != nil {
 		t.Fatal(err)
 	}
 	u, err := s.Utilization("busy")
@@ -217,7 +218,7 @@ func TestQuickFilterPreservesKeptStats(t *testing.T) {
 			return false
 		}
 		obs := trace.Tee{full, filt}
-		if _, err := sim.Run(net, obs, sim.Options{Horizon: 500, Seed: seed}); err != nil {
+		if _, err := sim.Run(context.Background(), net, obs, sim.Options{Horizon: 500, Seed: seed}); err != nil {
 			return false
 		}
 		a, _ := full.PlaceRowByName("q")
@@ -242,7 +243,7 @@ func TestQuickMeanWithinBounds(t *testing.T) {
 			return false
 		}
 		s := New(trace.HeaderOf(net))
-		if _, err := sim.Run(net, s, sim.Options{Horizon: 300, Seed: seed}); err != nil {
+		if _, err := sim.Run(context.Background(), net, s, sim.Options{Horizon: 300, Seed: seed}); err != nil {
 			return false
 		}
 		for _, row := range s.PlaceRows() {

@@ -1,9 +1,13 @@
-// Package sweepcli holds the sweep-shape flag surface shared by the
-// pnut-sweep worker and the pnut-grid coordinator. Keeping flag
-// registration, option expansion and worker-argv reconstruction in one
-// place guarantees the coordinator launches workers whose grid — axes,
-// seed schedule, metrics — is exactly its own: WorkerArgs is the
-// inverse of Register.
+// Package sweepcli holds the flag surface shared by the simulating
+// CLIs. The per-run shape (-horizon, -max-starts, -seed), the adaptive
+// replication flags and the metric selectors are each one flag group —
+// registered by pnut-sim, pnut-exp, pnut-sweep and pnut-grid from the
+// same definitions, so the tools cannot drift apart in spelling,
+// defaults or help text. Config composes the groups into the full sweep
+// shape the pnut-sweep worker and the pnut-grid coordinator share;
+// WorkerArgs is the inverse of Config.Register, which guarantees the
+// coordinator launches workers whose grid — axes, seed schedule,
+// metrics — is exactly its own.
 package sweepcli
 
 import (
@@ -18,6 +22,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/ptl"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Repeated is a repeatable string flag.
@@ -31,27 +36,162 @@ func (r *Repeated) Set(v string) error {
 	return nil
 }
 
-// Config is the sweep shape both CLIs share: model source, grid axes,
-// replication/seed schedule and metrics.
-type Config struct {
-	Model     string
-	Net       string
+// RunFlags is the per-run shape every simulating tool takes: how long
+// to run and which seed to start from.
+type RunFlags struct {
 	Horizon   int64
 	MaxStarts int64
 	Seed      int64
-	Reps      int
-	Parallel  int
+}
 
-	// Adaptive replication (CI-targeted stopping): Adaptive is the
-	// "metric:relci" spec, empty for fixed -reps sweeps.
+// Register installs -horizon, -max-starts and -seed on fs with the
+// shared defaults. seedUsage overrides the -seed help text for tools
+// whose seed schedule needs explaining (the sweep grid); empty keeps
+// the generic text.
+func (f *RunFlags) Register(fs *flag.FlagSet, seedUsage string) {
+	if seedUsage == "" {
+		seedUsage = "base random seed (equal seeds give equal results)"
+	}
+	fs.Int64Var(&f.Horizon, "horizon", 10_000, "simulation length in clock ticks per run")
+	fs.Int64Var(&f.MaxStarts, "max-starts", 0, "stop a run after this many firings (0 = horizon only)")
+	fs.Int64Var(&f.Seed, "seed", 1, seedUsage)
+}
+
+// SimOptions expands the group into per-run simulation options.
+func (f *RunFlags) SimOptions() sim.Options {
+	return sim.Options{Horizon: f.Horizon, MaxStarts: f.MaxStarts, Seed: f.Seed}
+}
+
+// Args reconstructs the flag list that reproduces the group.
+func (f *RunFlags) Args() []string {
+	return []string{
+		"-horizon", strconv.FormatInt(f.Horizon, 10),
+		"-max-starts", strconv.FormatInt(f.MaxStarts, 10),
+		"-seed", strconv.FormatInt(f.Seed, 10),
+	}
+}
+
+// AdaptiveFlags is the CI-targeted stopping group: Adaptive is the
+// "metric:relci" spec, empty for fixed-replication runs.
+type AdaptiveFlags struct {
 	Adaptive string
 	MinReps  int
 	MaxReps  int
 	Batch    int
+}
 
-	Axes         Repeated
+// Register installs the -adaptive flag family on fs.
+func (f *AdaptiveFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Adaptive, "adaptive", "", "adaptive replication as metric:relci, e.g. 'throughput(Issue):0.05':\n"+
+		"run -min-reps per point, then batches of -batch more until the metric's\n"+
+		"95% CI half-width is within relci of |mean| or -max-reps is hit; overrides -reps")
+	fs.IntVar(&f.MinReps, "min-reps", 4, "with -adaptive: first-round replications per point (>= 2)")
+	fs.IntVar(&f.MaxReps, "max-reps", 64, "with -adaptive: replication cap per point; also fixes the seed layout")
+	fs.IntVar(&f.Batch, "batch", 0, "with -adaptive: extra replications per round for unconverged points (0 = min-reps)")
+}
+
+// Options parses the "metric:relci" spec and folds in the round shape
+// (a zero Batch defaults to MinReps). It returns nil when -adaptive is
+// unset. Metric names contain no colons, so the split is at the last
+// one.
+func (f *AdaptiveFlags) Options() (*experiment.AdaptiveOptions, error) {
+	if f.Adaptive == "" {
+		return nil, nil
+	}
+	i := strings.LastIndex(f.Adaptive, ":")
+	if i < 0 {
+		return nil, fmt.Errorf("-adaptive %q is not metric:relci (e.g. 'throughput(Issue):0.05')", f.Adaptive)
+	}
+	metric := strings.TrimSpace(f.Adaptive[:i])
+	relCI, err := strconv.ParseFloat(strings.TrimSpace(f.Adaptive[i+1:]), 64)
+	if err != nil || metric == "" {
+		return nil, fmt.Errorf("-adaptive %q is not metric:relci (e.g. 'throughput(Issue):0.05')", f.Adaptive)
+	}
+	batch := f.Batch
+	if batch == 0 {
+		batch = f.MinReps
+	}
+	return &experiment.AdaptiveOptions{
+		Metric:  metric,
+		RelCI:   relCI,
+		MinReps: f.MinReps,
+		MaxReps: f.MaxReps,
+		Batch:   batch,
+	}, nil
+}
+
+// Args reconstructs the flag list that reproduces the group; empty when
+// -adaptive is unset.
+func (f *AdaptiveFlags) Args() []string {
+	if f.Adaptive == "" {
+		return nil
+	}
+	return []string{
+		"-adaptive", f.Adaptive,
+		"-min-reps", strconv.Itoa(f.MinReps),
+		"-max-reps", strconv.Itoa(f.MaxReps),
+		"-batch", strconv.Itoa(f.Batch),
+	}
+}
+
+// MetricFlags is the repeatable metric-selector group.
+type MetricFlags struct {
 	Throughputs  Repeated
 	Utilizations Repeated
+}
+
+// Register installs -throughput and -utilization on fs.
+func (f *MetricFlags) Register(fs *flag.FlagSet) {
+	fs.Var(&f.Throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
+	fs.Var(&f.Utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
+}
+
+// Metrics expands the selectors, throughputs first.
+func (f *MetricFlags) Metrics() []experiment.Metric {
+	var metrics []experiment.Metric
+	for _, tr := range f.Throughputs {
+		metrics = append(metrics, experiment.Throughput(tr))
+	}
+	for _, p := range f.Utilizations {
+		metrics = append(metrics, experiment.Utilization(p))
+	}
+	return metrics
+}
+
+// Args reconstructs the flag list that reproduces the group.
+func (f *MetricFlags) Args() []string {
+	var args []string
+	for _, tr := range f.Throughputs {
+		args = append(args, "-throughput", tr)
+	}
+	for _, u := range f.Utilizations {
+		args = append(args, "-utilization", u)
+	}
+	return args
+}
+
+// TraceFormat installs the shared -trace-format flag on fs with the
+// given default (text for tools whose trace goes to a terminal, col for
+// bulk writers) and returns its value destination.
+func TraceFormat(fs *flag.FlagSet, def string) *string {
+	return fs.String("trace-format", def, "trace encoding: "+trace.FormatText+" (debuggable) or "+trace.FormatCol+" (compact columnar binary)")
+}
+
+// Config is the sweep shape the worker and coordinator CLIs share:
+// model source, grid axes, replication/seed schedule and metrics. The
+// embedded groups promote their fields, so cfg.Seed, cfg.Adaptive and
+// cfg.Throughputs read as before the groups were factored out.
+type Config struct {
+	Model    string
+	Net      string
+	Reps     int
+	Parallel int
+
+	RunFlags
+	AdaptiveFlags
+	MetricFlags
+
+	Axes Repeated
 }
 
 // Register installs the shared flags on fs.
@@ -59,20 +199,12 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Model, "model", "pipeline", "built-in model: pipeline or cache; axis names are parameters\n"+
 		strings.Join(pipeline.ParamNames(), ", "))
 	fs.StringVar(&c.Net, "net", "", "path to a .pn net (overrides -model; axis names are net vars)")
-	fs.Int64Var(&c.Horizon, "horizon", 10_000, "simulation length in clock ticks per replication")
-	fs.Int64Var(&c.MaxStarts, "max-starts", 0, "stop each replication after this many firings (0 = horizon only)")
-	fs.Int64Var(&c.Seed, "seed", 1, "base seed; cell (point p, rep r) uses seed + p*reps + r\n(with -adaptive the stride is -max-reps: seed + p*max-reps + r)")
+	c.RunFlags.Register(fs, "base seed; cell (point p, rep r) uses seed + p*reps + r\n(with -adaptive the stride is -max-reps: seed + p*max-reps + r)")
 	fs.IntVar(&c.Reps, "reps", 5, "independent replications per grid point (fixed; see -adaptive)")
 	fs.IntVar(&c.Parallel, "parallel", 0, "worker goroutines (0 = GOMAXPROCS; never affects results)")
-	fs.StringVar(&c.Adaptive, "adaptive", "", "adaptive replication as metric:relci, e.g. 'throughput(Issue):0.05':\n"+
-		"run -min-reps per point, then batches of -batch more until the metric's\n"+
-		"95% CI half-width is within relci of |mean| or -max-reps is hit; overrides -reps")
-	fs.IntVar(&c.MinReps, "min-reps", 4, "with -adaptive: first-round replications per point (>= 2)")
-	fs.IntVar(&c.MaxReps, "max-reps", 64, "with -adaptive: replication cap per point; also fixes the seed layout")
-	fs.IntVar(&c.Batch, "batch", 0, "with -adaptive: extra replications per round for unconverged points (0 = min-reps)")
+	c.AdaptiveFlags.Register(fs)
 	fs.Var(&c.Axes, "axis", "swept parameter as Name=v1,v2,... or Name=lo:hi:step (repeatable; product of axes is the grid)")
-	fs.Var(&c.Throughputs, "throughput", "transition whose completion rate to summarize (repeatable)")
-	fs.Var(&c.Utilizations, "utilization", "place whose mean token count to summarize (repeatable)")
+	c.MetricFlags.Register(fs)
 }
 
 // Options expands the config into sweep options plus the model name.
@@ -86,67 +218,30 @@ func (c *Config) Options() (experiment.SweepOptions, string, error) {
 		}
 		parsed = append(parsed, ax)
 	}
-	var metrics []experiment.Metric
-	for _, tr := range c.Throughputs {
-		metrics = append(metrics, experiment.Throughput(tr))
-	}
-	for _, p := range c.Utilizations {
-		metrics = append(metrics, experiment.Utilization(p))
-	}
+	metrics := c.Metrics()
 	if len(metrics) == 0 {
 		return experiment.SweepOptions{}, "", fmt.Errorf("at least one -throughput or -utilization metric is required")
 	}
-	var adaptive *experiment.AdaptiveOptions
-	if c.Adaptive != "" {
-		var err error
-		if adaptive, err = c.adaptiveOptions(); err != nil {
-			return experiment.SweepOptions{}, "", err
-		}
+	adaptive, err := c.AdaptiveFlags.Options()
+	if err != nil {
+		return experiment.SweepOptions{}, "", err
 	}
 	build, name, err := buildHook(c.Net, c.Model)
 	if err != nil {
 		return experiment.SweepOptions{}, "", err
 	}
+	so := c.SimOptions()
+	so.Seed = 0 // the sweep seeds each cell from BaseSeed
 	return experiment.SweepOptions{
 		Axes:     parsed,
 		Reps:     c.Reps,
 		Adaptive: adaptive,
 		Workers:  c.Parallel,
 		BaseSeed: c.Seed,
-		Sim: sim.Options{
-			Horizon:   c.Horizon,
-			MaxStarts: c.MaxStarts,
-		},
-		Metrics: metrics,
-		Build:   build,
+		Sim:      so,
+		Metrics:  metrics,
+		Build:    build,
 	}, name, nil
-}
-
-// adaptiveOptions parses the -adaptive "metric:relci" spec and folds in
-// the -min-reps/-max-reps/-batch shape (a zero -batch defaults to
-// -min-reps). Metric names contain no colons, so the split is at the
-// last one.
-func (c *Config) adaptiveOptions() (*experiment.AdaptiveOptions, error) {
-	i := strings.LastIndex(c.Adaptive, ":")
-	if i < 0 {
-		return nil, fmt.Errorf("-adaptive %q is not metric:relci (e.g. 'throughput(Issue):0.05')", c.Adaptive)
-	}
-	metric := strings.TrimSpace(c.Adaptive[:i])
-	relCI, err := strconv.ParseFloat(strings.TrimSpace(c.Adaptive[i+1:]), 64)
-	if err != nil || metric == "" {
-		return nil, fmt.Errorf("-adaptive %q is not metric:relci (e.g. 'throughput(Issue):0.05')", c.Adaptive)
-	}
-	batch := c.Batch
-	if batch == 0 {
-		batch = c.MinReps
-	}
-	return &experiment.AdaptiveOptions{
-		Metric:  metric,
-		RelCI:   relCI,
-		MinReps: c.MinReps,
-		MaxReps: c.MaxReps,
-		Batch:   batch,
-	}, nil
 }
 
 // WorkerArgs reconstructs the flag list that reproduces this sweep
@@ -160,30 +255,16 @@ func (c *Config) WorkerArgs(parallel int) []string {
 	} else {
 		args = append(args, "-model", c.Model)
 	}
+	args = append(args, c.RunFlags.Args()...)
 	args = append(args,
-		"-horizon", strconv.FormatInt(c.Horizon, 10),
-		"-max-starts", strconv.FormatInt(c.MaxStarts, 10),
-		"-seed", strconv.FormatInt(c.Seed, 10),
 		"-reps", strconv.Itoa(c.Reps),
 		"-parallel", strconv.Itoa(parallel),
 	)
-	if c.Adaptive != "" {
-		args = append(args,
-			"-adaptive", c.Adaptive,
-			"-min-reps", strconv.Itoa(c.MinReps),
-			"-max-reps", strconv.Itoa(c.MaxReps),
-			"-batch", strconv.Itoa(c.Batch),
-		)
-	}
+	args = append(args, c.AdaptiveFlags.Args()...)
 	for _, a := range c.Axes {
 		args = append(args, "-axis", a)
 	}
-	for _, tr := range c.Throughputs {
-		args = append(args, "-throughput", tr)
-	}
-	for _, u := range c.Utilizations {
-		args = append(args, "-utilization", u)
-	}
+	args = append(args, c.MetricFlags.Args()...)
 	return args
 }
 

@@ -12,21 +12,23 @@ import (
 func TestWorkerArgsRoundTrip(t *testing.T) {
 	cfgs := []Config{
 		{
-			Model: "cache", Horizon: 1234, MaxStarts: 9, Seed: 42, Reps: 7,
-			Axes:         Repeated{"DHitRatio=0:1:0.25", "MemoryCycles=1,5,12"},
-			Throughputs:  Repeated{"Issue"},
-			Utilizations: Repeated{"Bus_busy", "storing"},
+			Model: "cache", RunFlags: RunFlags{Horizon: 1234, MaxStarts: 9, Seed: 42}, Reps: 7,
+			Axes: Repeated{"DHitRatio=0:1:0.25", "MemoryCycles=1,5,12"},
+			MetricFlags: MetricFlags{
+				Throughputs:  Repeated{"Issue"},
+				Utilizations: Repeated{"Bus_busy", "storing"},
+			},
 		},
 		{
-			Net: "testdata/pipeline.pn", Model: "pipeline", Horizon: 10_000, Seed: 1, Reps: 5,
+			Net: "testdata/pipeline.pn", Model: "pipeline", RunFlags: RunFlags{Horizon: 10_000, Seed: 1}, Reps: 5,
 			Axes:        Repeated{"max_type=4,6"},
-			Throughputs: Repeated{"Issue"},
+			MetricFlags: MetricFlags{Throughputs: Repeated{"Issue"}},
 		},
 		{
-			Model: "cache", Horizon: 1234, Seed: 42, Reps: 7,
-			Adaptive: "throughput(Issue):0.05", MinReps: 3, MaxReps: 24, Batch: 3,
-			Axes:        Repeated{"DHitRatio=0:1:0.25"},
-			Throughputs: Repeated{"Issue"},
+			Model: "cache", RunFlags: RunFlags{Horizon: 1234, Seed: 42}, Reps: 7,
+			AdaptiveFlags: AdaptiveFlags{Adaptive: "throughput(Issue):0.05", MinReps: 3, MaxReps: 24, Batch: 3},
+			Axes:          Repeated{"DHitRatio=0:1:0.25"},
+			MetricFlags:   MetricFlags{Throughputs: Repeated{"Issue"}},
 		},
 	}
 	for _, want := range cfgs {
@@ -51,7 +53,7 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 
 // TestOptionsValidation: metrics are required, unknown models rejected.
 func TestOptionsValidation(t *testing.T) {
-	c := Config{Model: "cache", Reps: 2, Horizon: 100}
+	c := Config{Model: "cache", Reps: 2, RunFlags: RunFlags{Horizon: 100}}
 	if _, _, err := c.Options(); err == nil {
 		t.Error("no metrics accepted")
 	}

@@ -1,6 +1,7 @@
 package tracer
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func squareWaveSeq(t *testing.T) *query.Seq {
 	b.Trans("fall").In("on").Out("off").EnablingConst(5)
 	net := b.MustBuild()
 	qb := query.NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: 40}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: 40}); err != nil {
 		t.Fatal(err)
 	}
 	return qb.Seq()
@@ -34,7 +35,7 @@ func pipelineSeq(t *testing.T) *query.Seq {
 		t.Fatal(err)
 	}
 	qb := query.NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: 2_000, Seed: 1988}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: 2_000, Seed: 1988}); err != nil {
 		t.Fatal(err)
 	}
 	return qb.Seq()
@@ -176,7 +177,7 @@ func TestRenderMultiLevelAndUnicode(t *testing.T) {
 	b.Trans("up").In("src").Out("lvl").EnablingConst(2)
 	net := b.MustBuild()
 	qb := query.NewBuilder(trace.HeaderOf(net))
-	if _, err := sim.Run(net, qb, sim.Options{Horizon: 30}); err != nil {
+	if _, err := sim.Run(context.Background(), net, qb, sim.Options{Horizon: 30}); err != nil {
 		t.Fatal(err)
 	}
 	tr := New(qb.Seq())

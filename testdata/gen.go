@@ -12,6 +12,8 @@
 //	pipeline_interpreted.pn  — the Section 3 table-driven variant
 //	mutex.pn                 — a timed mutual-exclusion net used by the
 //	                           reachability and analytic CLI tests
+//	gen_pipeline.pn          — a small modelgen.DeepPipeline member
+//	gen_forkjoin.pn          — a small modelgen.ForkJoin member
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/modelgen"
 	"repro/internal/petri"
 	"repro/internal/pipeline"
 	"repro/internal/ptl"
@@ -39,6 +42,12 @@ func main() {
 	write(dir, "pipeline_interpreted.pn", interp)
 
 	write(dir, "mutex.pn", mutex())
+
+	// Small members of the modelgen benchmark families, checked in so
+	// CLI-level tests can exercise the same shapes the scheduler
+	// benchmarks and oracle property tests generate in-process.
+	write(dir, "gen_pipeline.pn", modelgen.DeepPipeline(12, 3, 1))
+	write(dir, "gen_forkjoin.pn", modelgen.ForkJoin(4, 3, 2))
 }
 
 // mutex builds a timed mutual-exclusion net: two processes cycle
