@@ -27,13 +27,21 @@
 // between rounds, so the output is still byte-identical to the
 // in-process pnut-sweep run for any -procs value.
 //
-// With -journal, completed cells are checkpointed as they arrive. If a
-// worker dies, the run fails but keeps the journal; re-running the same
-// command re-dispatches only the missing cells and emits output
-// identical to a run that never failed. Workers, shard counts and
-// goroutine counts never change a result byte: cell c always runs with
-// seed -seed + c, and the coordinator merges complete grids in cell
-// order.
+// With -retries, a dying worker no longer fails the run: the dead
+// shard's undelivered cells are re-planned and retried (after
+// -backoff, doubling per attempt), a worker slot that keeps dying is
+// quarantined and its spans redistributed across the survivors, and
+// -speculate lets idle slots re-dispatch the longest-running span.
+// Determinism makes duplicate deliveries byte-identical, so the first
+// write wins and output never changes.
+//
+// With -journal, completed cells are checkpointed as they arrive. If
+// the run does fail (retry budget exhausted), the journal survives;
+// re-running the same command re-dispatches only the missing cells and
+// emits output identical to a run that never failed. Workers, shard
+// counts, goroutine counts, retries and speculation never change a
+// result byte: cell c always runs with seed -seed + c, and the
+// coordinator merges complete grids in cell order.
 package main
 
 import (
@@ -55,6 +63,8 @@ import (
 func main() {
 	var cfg sweepcli.Config
 	cfg.Register(flag.CommandLine)
+	var fault sweepcli.FaultFlags
+	fault.Register(flag.CommandLine)
 	format := flag.String("format", "table", "output format: table or csv")
 	procs := flag.Int("procs", 2, "worker processes (shards); results never depend on it")
 	workerCmd := flag.String("worker-cmd", "pnut-sweep",
@@ -90,6 +100,7 @@ func main() {
 		Journal: *journal,
 		Meta:    &meta,
 	}
+	fault.Apply(&copt)
 	if *verbose {
 		copt.Log = os.Stderr
 	}

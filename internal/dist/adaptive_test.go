@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiment"
@@ -234,5 +236,71 @@ func TestJournalCorruptFinalLine(t *testing.T) {
 	}
 	if len(recs) != opt.NumCells()-1 {
 		t.Errorf("truncated journal loaded %d cells, want %d", len(recs), opt.NumCells()-1)
+	}
+}
+
+// TestAdaptiveRetryCompletesInOneCall: a worker death in a later
+// adaptive round is absorbed by the round's retry budget — the whole
+// sweep completes in a single Execute call (no journal re-run), the
+// journal holds every cell exactly once, and the output is
+// byte-identical to the in-process Sweep.
+func TestAdaptiveRetryCompletesInOneCall(t *testing.T) {
+	opt := adaptiveGridOptions(1)
+	want, err := experiment.Sweep(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 0*opt.RepStride() + 3 // dispatched in round 2 only
+	if want.Points[0].Reps <= 3 {
+		t.Fatalf("point 0 converged at %d reps; victim cell %d never runs", want.Points[0].Reps, victim)
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+
+	var tripped atomic.Bool
+	base := LocalRunner(opt)
+	runner := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		if victim >= span.Lo && victim < span.Hi && !tripped.Load() {
+			return base(ctx, span, func(rec experiment.CellRecord) error {
+				if rec.Cell == victim && tripped.CompareAndSwap(false, true) {
+					return fmt.Errorf("worker killed at cell %d", victim)
+				}
+				return emit(rec)
+			})
+		}
+		return base(ctx, span, emit)
+	}
+	var log strings.Builder
+	got, err := Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  runner,
+		Journal: journal,
+		Retries: 1,
+		Log:     &log,
+	})
+	if err != nil {
+		t.Fatalf("retried adaptive run failed: %v\nlog:\n%s", err, log.String())
+	}
+	if !tripped.Load() {
+		t.Fatal("victim cell was never dispatched")
+	}
+	if !strings.Contains(log.String(), "retrying") {
+		t.Errorf("log does not mention the retry:\n%s", log.String())
+	}
+	recs, err := loadJournal(journal, experiment.MetaOf(opt, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != got.TotalReps {
+		t.Errorf("journal holds %d cells, want %d", len(recs), got.TotalReps)
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(raw, []byte("\n")); n != got.TotalReps+1 {
+		t.Errorf("journal holds %d lines, want meta + %d cells: every cell exactly once", n, got.TotalReps)
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("retried adaptive run differs from an uninterrupted Sweep")
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -33,8 +34,28 @@ type Options struct {
 	// derived from the sweep options with an empty net name.
 	Meta *experiment.CellMeta
 	// Log, if non-nil, receives progress lines (resumed cells, dispatch
-	// plan, shard completions).
+	// plan, shard completions, retries and quarantines).
 	Log io.Writer
+	// Retries is the per-span re-dispatch budget of one round: a failed
+	// span is re-planned over only its undelivered cells (delivered
+	// cells are already journaled and never re-executed) and retried up
+	// to Retries times before the round fails. 0 fails on the first
+	// worker death, as the coordinator always used to.
+	Retries int
+	// Backoff is the base delay before a failed span is re-dispatched;
+	// attempt k waits Backoff << (k-1), capped at 30s. 0 retries
+	// immediately.
+	Backoff time.Duration
+	// Speculate lets an idle worker slot re-dispatch the
+	// longest-running in-flight span (straggler mitigation). The
+	// duplicate deliveries are byte-identical by determinism and the
+	// first write wins, so output never changes.
+	Speculate bool
+	// Quarantine is the consecutive-failure count at which a worker
+	// slot is taken out of rotation and its spans redistributed across
+	// the surviving slots — without charging the spans' retry budgets.
+	// 0 means DefaultQuarantine; negative disables quarantining.
+	Quarantine int
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -48,9 +69,14 @@ func (o *Options) logf(format string, args ...any) {
 // any per-worker parallelism, the result — and every byte of its table,
 // CSV and pooled reports — is identical to experiment.Sweep(context.Background(), opt).
 //
-// On a runner error the remaining spans are cancelled and the error
-// returned; cells that completed before the failure are already
-// journaled, so a re-run with the same journal only pays for the rest.
+// A runner error no longer has to kill the round: with copt.Retries
+// set, the failed span's undelivered cells are re-planned and retried
+// (with exponential backoff), persistently dying worker slots are
+// quarantined and their work redistributed, and — with copt.Speculate —
+// idle slots re-dispatch stragglers. Only when a span exhausts its
+// budget does the round fail; cells that completed before the failure
+// are already journaled, so a re-run with the same journal only pays
+// for the rest. None of this changes a single output byte.
 func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*experiment.SweepResult, error) {
 	if copt.Runner == nil {
 		return nil, fmt.Errorf("dist: Options.Runner is required")
@@ -95,8 +121,12 @@ func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*e
 		defer jn.close()
 	}
 
-	// dispatch fans one batch of pending spans out across up to shards
-	// concurrent runner invocations, journaling records as they arrive.
+	rec := &recorder{byCell: byCell, jn: jn}
+
+	// dispatch drains one batch of pending spans through the
+	// fault-tolerant scheduler (see retry.go): up to shards concurrent
+	// runner invocations, records journaled as they arrive, failed
+	// spans salvaged and retried per the Options budgets.
 	dispatch := func(spans []Span) error {
 		units := planUnits(spans, shards)
 		if len(units) == 0 {
@@ -110,59 +140,11 @@ func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*e
 
 		runCtx, cancel := context.WithCancel(ctx)
 		defer cancel()
-		var (
-			mu      sync.Mutex // guards byCell and the journal ordering
-			wg      sync.WaitGroup
-			errOnce sync.Once
-			firstE  error
-		)
-		fail := func(err error) {
-			errOnce.Do(func() { firstE = err })
-			cancel()
-		}
-		sem := make(chan struct{}, shards)
-		for _, unit := range units {
-			unit := unit
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				select {
-				case sem <- struct{}{}:
-					defer func() { <-sem }()
-				case <-runCtx.Done():
-					return
-				}
-				emit := func(rec experiment.CellRecord) error {
-					if rec.Cell < unit.Lo || rec.Cell >= unit.Hi {
-						return fmt.Errorf("cell %d outside shard %s", rec.Cell, unit)
-					}
-					mu.Lock()
-					defer mu.Unlock()
-					if byCell[rec.Cell] != nil {
-						return fmt.Errorf("cell %d delivered twice", rec.Cell)
-					}
-					if jn != nil {
-						if err := jn.append(rec); err != nil {
-							return err
-						}
-					}
-					r := rec
-					byCell[rec.Cell] = &r
-					return nil
-				}
-				if err := copt.Runner(runCtx, unit, emit); err != nil {
-					fail(fmt.Errorf("dist: shard %s: %w", unit, err))
-					return
-				}
-				copt.logf("shard %s done", unit)
-			}()
-		}
-		wg.Wait()
-		if firstE != nil {
+		if err := newDispatcher(runCtx, cancel, &copt, rec, shards).run(units); err != nil {
 			if jn != nil {
-				return fmt.Errorf("%w (completed cells are journaled in %s; re-run to resume)", firstE, copt.Journal)
+				return fmt.Errorf("%w (completed cells are journaled in %s; re-run to resume)", err, copt.Journal)
 			}
-			return firstE
+			return err
 		}
 		return nil
 	}
@@ -235,6 +217,64 @@ func Execute(ctx context.Context, opt experiment.SweepOptions, copt Options) (*e
 	r.Workers = shards
 	r.Elapsed = time.Since(start)
 	return r, nil
+}
+
+// recorder is the round-crossing delivery state: the byCell table, the
+// journal and the duplicate policy. Salvage retries and speculative
+// re-dispatch can deliver a cell more than once; determinism makes
+// honest duplicates byte-identical, so the first write wins (the cell
+// is journaled exactly once) and a mismatching duplicate is reported
+// as corruption.
+type recorder struct {
+	mu     sync.Mutex
+	byCell []*experiment.CellRecord
+	jn     *journal
+}
+
+// have reports whether cell has been delivered.
+func (r *recorder) have(cell int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byCell[cell] != nil
+}
+
+// deliver accepts one completed cell, journaling first writes and
+// dropping byte-identical duplicates.
+func (r *recorder) deliver(rec experiment.CellRecord) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev := r.byCell[rec.Cell]; prev != nil {
+		same, err := sameRecord(prev, &rec)
+		if err != nil {
+			return permanent(err)
+		}
+		if same {
+			return nil // duplicate delivery of identical bytes: first write wins
+		}
+		return permanent(fmt.Errorf("cell %d delivered twice with different content", rec.Cell))
+	}
+	if r.jn != nil {
+		if err := r.jn.append(rec); err != nil {
+			return permanent(err)
+		}
+	}
+	c := rec
+	r.byCell[rec.Cell] = &c
+	return nil
+}
+
+// sameRecord compares two cell records through the canonical JSONL
+// encoding — the same bytes a worker streams and the journal stores.
+func sameRecord(a, b *experiment.CellRecord) (bool, error) {
+	ea, err := experiment.EncodeCell(*a)
+	if err != nil {
+		return false, err
+	}
+	eb, err := experiment.EncodeCell(*b)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ea, eb), nil
 }
 
 // LocalRunner returns a Runner that executes spans in this process

@@ -1,14 +1,17 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/petri"
@@ -268,5 +271,268 @@ func TestExecuteValidation(t *testing.T) {
 	if _, err := Execute(context.Background(), bad, Options{Runner: LocalRunner(bad)}); err == nil ||
 		!strings.Contains(err.Error(), "Reps") {
 		t.Errorf("bad sweep options error = %v", err)
+	}
+}
+
+// TestRetrySalvagesPartialSpan is the tentpole contract: a worker that
+// dies mid-stream no longer kills the round. The cells it delivered
+// before dying are journaled exactly once and never re-executed; only
+// the undelivered remainder is re-planned and retried, and the single
+// Execute call completes byte-identical to the in-process Sweep — no
+// manual journal resume.
+func TestRetrySalvagesPartialSpan(t *testing.T) {
+	opt := gridOptions(3, 2) // 12 cells; units 0:6 and 6:12
+	want, err := experiment.Sweep(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+
+	// The span holding cell 8 dies at cell 8 the first two times it is
+	// dispatched, having streamed the cells before it; the third
+	// attempt is healthy.
+	var failures atomic.Int32
+	var mu sync.Mutex
+	delivered := make(map[int]int)
+	base := LocalRunner(opt)
+	runner := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		count := func(rec experiment.CellRecord) error {
+			mu.Lock()
+			delivered[rec.Cell]++
+			mu.Unlock()
+			return emit(rec)
+		}
+		if span.Lo <= 8 && 8 < span.Hi && failures.Load() < 2 {
+			return base(ctx, span, func(rec experiment.CellRecord) error {
+				if rec.Cell == 8 {
+					failures.Add(1)
+					return fmt.Errorf("worker killed at cell 8")
+				}
+				return count(rec)
+			})
+		}
+		return base(ctx, span, count)
+	}
+
+	var log strings.Builder
+	got, err := Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  runner,
+		Journal: journal,
+		Retries: 2,
+		Log:     &log,
+	})
+	if err != nil {
+		t.Fatalf("retried run failed: %v\nlog:\n%s", err, log.String())
+	}
+	if failures.Load() != 2 {
+		t.Errorf("flaky span failed %d times, want 2", failures.Load())
+	}
+	if !strings.Contains(log.String(), "retrying") {
+		t.Errorf("log does not mention the retry:\n%s", log.String())
+	}
+	for c := 0; c < opt.NumCells(); c++ {
+		if delivered[c] != 1 {
+			t.Errorf("cell %d delivered %d times, want exactly once", c, delivered[c])
+		}
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(raw, []byte("\n")); n != opt.NumCells()+1 {
+		t.Errorf("journal holds %d lines, want meta + %d cells", n, opt.NumCells())
+	}
+	recs, err := loadJournal(journal, experiment.MetaOf(opt, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != opt.NumCells() {
+		t.Errorf("journal loaded %d cells, want %d", len(recs), opt.NumCells())
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("retried run differs from an uninterrupted Sweep")
+	}
+}
+
+// TestRetryBudgetExhausted: a span that dies on every dispatch drains
+// its budget and then fails the round with an error naming both the
+// cause and the exhausted budget.
+func TestRetryBudgetExhausted(t *testing.T) {
+	opt := gridOptions(3, 2)
+	_, err := Execute(context.Background(), opt, Options{
+		Shards:  2,
+		Runner:  flakyRunner(LocalRunner(opt), 8),
+		Retries: 2,
+		Backoff: time.Millisecond, // exercise the backoff timer path
+	})
+	if err == nil || !strings.Contains(err.Error(), "killed at cell 8") {
+		t.Fatalf("exhausted run error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "retry budget of 2 exhausted") {
+		t.Errorf("error does not name the exhausted budget: %v", err)
+	}
+}
+
+// TestQuarantineRedistributes: a failure that quarantines its worker
+// slot is charged to the slot, not the span — the work is picked up by
+// the surviving slots with zero retry budget, and the round completes.
+func TestQuarantineRedistributes(t *testing.T) {
+	opt := gridOptions(3, 2)
+	want, err := experiment.Sweep(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tripped atomic.Bool
+	runner := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		if tripped.CompareAndSwap(false, true) {
+			return fmt.Errorf("host down")
+		}
+		return LocalRunner(opt)(ctx, span, emit)
+	}
+	var log strings.Builder
+	got, err := Execute(context.Background(), opt, Options{
+		Shards:     2,
+		Runner:     runner,
+		Retries:    0, // redistribution must not need any budget
+		Quarantine: 1,
+		Log:        &log,
+	})
+	if err != nil {
+		t.Fatalf("quarantined run failed: %v\nlog:\n%s", err, log.String())
+	}
+	if !strings.Contains(log.String(), "quarantined") {
+		t.Errorf("log does not mention the quarantine:\n%s", log.String())
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("run with a quarantined slot differs from Sweep")
+	}
+}
+
+// TestAllSlotsQuarantined: when every slot has been quarantined there
+// is nobody left to run the queue, and the round fails with a clear
+// diagnosis instead of hanging.
+func TestAllSlotsQuarantined(t *testing.T) {
+	opt := gridOptions(3, 2)
+	always := func(context.Context, Span, func(experiment.CellRecord) error) error {
+		return fmt.Errorf("host down")
+	}
+	_, err := Execute(context.Background(), opt, Options{
+		Shards:     2,
+		Runner:     always,
+		Retries:    5,
+		Quarantine: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("all-slots-dead error = %v", err)
+	}
+}
+
+// TestSpeculateStragglerRedispatch: with Speculate, an idle slot
+// re-dispatches the longest-running in-flight span. The duplicate
+// deliveries are byte-identical and deduplicated first-write-wins, so
+// the journal holds every cell exactly once and the output is
+// unchanged.
+func TestSpeculateStragglerRedispatch(t *testing.T) {
+	opt := gridOptions(3, 2) // 12 cells; units 0:6 and 6:12
+	want, err := experiment.Sweep(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+
+	// The first attempt on span 0:6 stalls until its speculative twin
+	// has delivered the whole span, then runs anyway — every one of its
+	// deliveries is a duplicate.
+	specDone := make(chan struct{})
+	var stalled atomic.Bool
+	var mu sync.Mutex
+	delivered := make(map[int]int)
+	base := LocalRunner(opt)
+	runner := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		count := func(rec experiment.CellRecord) error {
+			mu.Lock()
+			delivered[rec.Cell]++
+			mu.Unlock()
+			return emit(rec)
+		}
+		if span.Lo == 0 && stalled.CompareAndSwap(false, true) {
+			select {
+			case <-specDone:
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return fmt.Errorf("no speculative re-dispatch happened")
+			}
+			return base(ctx, span, count)
+		}
+		err := base(ctx, span, count)
+		if span.Lo == 0 && err == nil {
+			close(specDone)
+		}
+		return err
+	}
+
+	var log strings.Builder
+	got, err := Execute(context.Background(), opt, Options{
+		Shards:    2,
+		Runner:    runner,
+		Journal:   journal,
+		Speculate: true,
+		Log:       &log,
+	})
+	if err != nil {
+		t.Fatalf("speculative run failed: %v\nlog:\n%s", err, log.String())
+	}
+	if !strings.Contains(log.String(), "speculatively") {
+		t.Errorf("log does not mention speculation:\n%s", log.String())
+	}
+	dups := 0
+	for _, n := range delivered {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicate deliveries: the straggler was never speculated on")
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(raw, []byte("\n")); n != opt.NumCells()+1 {
+		t.Errorf("journal holds %d lines, want meta + %d cells: duplicates must not be journaled", n, opt.NumCells())
+	}
+	if encode(t, got) != encode(t, want) {
+		t.Error("speculative run differs from Sweep")
+	}
+}
+
+// TestMismatchedDuplicateRejected: first-write-wins only covers honest
+// byte-identical duplicates; a duplicate with different content is
+// corruption and must abort the round permanently, retries or not.
+func TestMismatchedDuplicateRejected(t *testing.T) {
+	opt := gridOptions(3, 1) // one shard owns the whole grid
+	base := LocalRunner(opt)
+	runner := func(ctx context.Context, span Span, emit func(experiment.CellRecord) error) error {
+		return base(ctx, span, func(rec experiment.CellRecord) error {
+			if err := emit(rec); err != nil {
+				return err
+			}
+			if rec.Cell == 3 {
+				evil := rec
+				evil.Seed++ // same cell, different bytes
+				return emit(evil)
+			}
+			return nil
+		})
+	}
+	_, err := Execute(context.Background(), opt, Options{
+		Shards:  1,
+		Runner:  runner,
+		Retries: 5,
+	})
+	if err == nil || !strings.Contains(err.Error(), "delivered twice with different content") {
+		t.Fatalf("mismatched duplicate error = %v", err)
 	}
 }

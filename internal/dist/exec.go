@@ -32,6 +32,8 @@ func NewExecRunner(argv []string, meta *experiment.CellMeta, stderr io.Writer) (
 		args := append(append([]string(nil), argv[1:]...),
 			"-cells", span.String(), "-emit", "cells")
 		cmd := exec.CommandContext(ctx, argv[0], args...)
+		isolateWorker(cmd)
+		cmd.Cancel = func() error { return killWorker(cmd) }
 		cmd.Stderr = stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
@@ -40,18 +42,32 @@ func NewExecRunner(argv []string, meta *experiment.CellMeta, stderr io.Writer) (
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("starting worker %q: %w", argv[0], err)
 		}
-		// Decode the stream as it arrives; on any decode/emit error,
-		// drain and reap the worker before reporting, so no process
-		// leaks past the coordinator.
+		// Decode the stream as it arrives. On any decode/emit error,
+		// kill the worker before draining — a wedged-but-alive worker
+		// would hold the pipe open and block the drain forever — then
+		// reap it, so no process leaks past the coordinator.
 		streamErr := decodeStream(stdout, span, meta, emit)
 		if streamErr != nil {
+			killWorker(cmd)
 			io.Copy(io.Discard, stdout)
 		}
 		waitErr := cmd.Wait()
+		if ctx.Err() != nil {
+			// A cancelled shard dies with "signal: killed" from Wait;
+			// report the cancellation itself so the scheduler never
+			// charges a cancelled span against a retry budget.
+			return ctx.Err()
+		}
+		if streamErr != nil {
+			// The stream error outranks the exit status: after a
+			// decode or emit failure the kill above makes Wait report
+			// our own signal, not the worker's fault.
+			return streamErr
+		}
 		if waitErr != nil {
 			return fmt.Errorf("worker %q: %w", argv[0], waitErr)
 		}
-		return streamErr
+		return nil
 	}, nil
 }
 

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// shimRunner writes script as an executable worker shim and returns an
+// exec Runner over it.
+func shimRunner(t *testing.T, script string) Runner {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("worker shims are shell scripts")
+	}
+	shim := filepath.Join(t.TempDir(), "worker.sh")
+	if err := os.WriteFile(shim, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewExecRunner([]string{shim}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runner
+}
+
+func discardEmit(experiment.CellRecord) error { return nil }
+
+// TestExecRunnerReportsCancellation: a shard killed by context
+// cancellation must surface ctx.Err(), not the "signal: killed" exit
+// status — a cancelled span is nobody's failure and must never be
+// charged against a retry budget.
+func TestExecRunnerReportsCancellation(t *testing.T) {
+	runner := shimRunner(t, "#!/bin/sh\nsleep 60\n")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runner(ctx, Span{Lo: 0, Hi: 4}, discardEmit) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled worker error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled worker never reaped")
+	}
+}
+
+// TestExecRunnerKillsWedgedWorker: a worker that writes a garbage
+// stream but stays alive used to hang the coordinator in the
+// post-error drain (io.Copy on an open pipe). The runner must kill it
+// and return the decode error promptly.
+func TestExecRunnerKillsWedgedWorker(t *testing.T) {
+	runner := shimRunner(t, "#!/bin/sh\necho not-a-cell-stream\nsleep 300\n")
+	done := make(chan error, 1)
+	go func() { done <- runner(context.Background(), Span{Lo: 0, Hi: 4}, discardEmit) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("garbage stream from a wedged worker accepted")
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("wedged worker misattributed to cancellation: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wedged worker hung the runner: the drain was not preceded by a kill")
+	}
+}
+
+// TestExecRunnerWorkerExitError: a worker that dies without streaming
+// is still a worker failure — reported as such, never as cancellation.
+func TestExecRunnerWorkerExitError(t *testing.T) {
+	runner := shimRunner(t, "#!/bin/sh\nexit 7\n")
+	err := runner(context.Background(), Span{Lo: 0, Hi: 4}, discardEmit)
+	if err == nil {
+		t.Fatal("dead worker reported success")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("worker exit misattributed to cancellation: %v", err)
+	}
+}

@@ -56,6 +56,14 @@ func MissingSpans(cells int, have func(cell int) bool) []Span {
 	return experiment.MissingCellSpans(cells, have)
 }
 
+// missingWithin collects the undelivered sub-spans of s — the salvage
+// set of a failed dispatch attempt. Cells outside s are never
+// reported, so a retry can only shrink toward the cells the dying
+// worker actually owed.
+func missingWithin(s Span, have func(cell int) bool) []Span {
+	return MissingSpans(s.Hi, func(c int) bool { return c < s.Lo || have(c) })
+}
+
 // planUnits subdivides the missing spans into dispatch units so that
 // roughly shards workers get balanced work: each span is split
 // proportionally to its share of the missing cells. A fresh run (one

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package dist
+
+import "os/exec"
+
+// isolateWorker is a no-op where process groups are unavailable; only
+// the immediate child can be killed.
+func isolateWorker(cmd *exec.Cmd) {}
+
+// killWorker kills the immediate worker process.
+func killWorker(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package dist
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// isolateWorker puts the worker in its own process group, so
+// killWorker can take down the whole worker tree — a shell wrapper's
+// children, an ssh prefix's local helpers — and not just the immediate
+// child. Killing only the child would leave grandchildren holding the
+// stdout pipe open, wedging the coordinator's stream drain.
+func isolateWorker(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killWorker kills the worker's whole process group, falling back to
+// the immediate child if the group is already gone.
+func killWorker(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		return cmd.Process.Kill()
+	}
+	return nil
+}

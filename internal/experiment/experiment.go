@@ -265,11 +265,3 @@ func Run(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
 	}
 	return r, nil
 }
-
-// RunContext is the former name of the context-first Run.
-//
-// Deprecated: Run is context-first now; call Run directly. This thin
-// wrapper remains for one release and will be removed.
-func RunContext(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
-	return Run(ctx, net, opt)
-}

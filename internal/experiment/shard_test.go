@@ -233,7 +233,7 @@ func TestSweepCancellation(t *testing.T) {
 			return 0, nil
 		},
 	})
-	_, err := SweepContext(ctx, opt)
+	_, err := Sweep(ctx, opt)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled sweep error = %v, want context.Canceled", err)
 	}
@@ -247,7 +247,7 @@ func TestRunCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	net := testNet(t)
 	ran := 0
-	_, err := RunContext(ctx, net, Options{
+	_, err := Run(ctx, net, Options{
 		Reps: 16, Workers: 1, BaseSeed: 5,
 		Sim: sim.Options{Horizon: 500},
 		Metrics: []Metric{{Name: "tripwire", Eval: func(*stats.Stats) (float64, error) {

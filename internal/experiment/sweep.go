@@ -429,14 +429,6 @@ func Sweep(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
 	return r, nil
 }
 
-// SweepContext is the former name of the context-first Sweep.
-//
-// Deprecated: Sweep is context-first now; call Sweep directly. This
-// thin wrapper remains for one release and will be removed.
-func SweepContext(ctx context.Context, opt SweepOptions) (*SweepResult, error) {
-	return Sweep(ctx, opt)
-}
-
 func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WriteTable renders the sweep as an aligned text table: one row per

@@ -171,3 +171,82 @@ func TestGridRejectsDriftedJournal(t *testing.T) {
 		t.Errorf("drifted journal: err=%v stderr=%s", err, stderr.String())
 	}
 }
+
+// TestGridRetrySurvivesWorkerDeath is the process-level retry
+// contract: with a retry budget, the same mid-shard worker death that
+// TestGridKillWorkerResume needs two runs to absorb completes in a
+// single pnut-grid invocation — the salvaged cells are re-dispatched
+// in-run and the output still matches the golden file byte for byte.
+func TestGridRetrySurvivesWorkerDeath(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("flaky-worker shim is a shell script")
+	}
+	bins := buildTools(t, "pnut-sweep", "pnut-grid")
+	dir := t.TempDir()
+
+	// Same sabotage as the resume test: shard 6:12 silently runs only
+	// 6:9 and dies. The salvaged retry span 9:12 passes through intact.
+	shim := filepath.Join(dir, "flaky-worker.sh")
+	script := fmt.Sprintf(`#!/bin/sh
+args=""
+die=0
+for a in "$@"; do
+  if [ "$a" = "6:12" ]; then a="6:9"; die=7; fi
+  args="$args $a"
+done
+%q $args
+exit $die
+`, bins["pnut-sweep"])
+	if err := os.WriteFile(shim, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bins["pnut-grid"], append(gridArgs("csv"),
+		"-worker-cmd", shim, "-procs", "2", "-retries", "1", "-backoff", "10ms", "-v")...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run with retry budget failed: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "retrying") {
+		t.Errorf("retry never happened (shim did not die?):\n%s", stderr.String())
+	}
+	goldenCompare(t, "pnut-sweep.csv", stdout.Bytes())
+}
+
+// TestAdaptiveGridRetryMatchesSweep extends the retry contract to
+// adaptive sweeps: a worker whose first exec dies outright is absorbed
+// by the round's retry budget, and the single-invocation output is
+// byte-identical to the in-process pnut-sweep.
+func TestAdaptiveGridRetryMatchesSweep(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("flaky-worker shim is a shell script")
+	}
+	bins := buildTools(t, "pnut-sweep", "pnut-grid")
+	want := mustOutput(t, bins["pnut-sweep"], append(adaptiveArgs(), "-parallel", "1")...)
+
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "died-once")
+	shim := filepath.Join(dir, "flaky-worker.sh")
+	script := fmt.Sprintf(`#!/bin/sh
+if [ ! -f %q ]; then : > %q; exit 3; fi
+exec %q "$@"
+`, marker, marker, bins["pnut-sweep"])
+	if err := os.WriteFile(shim, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bins["pnut-grid"], append(adaptiveArgs(),
+		"-worker-cmd", shim, "-procs", "2", "-retries", "2", "-backoff", "10ms", "-v")...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("adaptive run with retry budget failed: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "retrying") {
+		t.Errorf("retry never happened (shim did not die?):\n%s", stderr.String())
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("retried adaptive pnut-grid differs from pnut-sweep:\n%s", stdout.String())
+	}
+}

@@ -16,7 +16,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiment"
 	"repro/internal/petri"
 	"repro/internal/pipeline"
@@ -168,6 +170,34 @@ func (f *MetricFlags) Args() []string {
 		args = append(args, "-utilization", u)
 	}
 	return args
+}
+
+// FaultFlags is the coordinator's fault-tolerance group: how hard a
+// round fights for its spans before the run fails. Coordinator-only —
+// these flags shape dispatch, never the grid, so WorkerArgs does not
+// ship them and they cannot change an output byte.
+type FaultFlags struct {
+	Retries   int
+	Backoff   time.Duration
+	Speculate bool
+}
+
+// Register installs -retries, -backoff and -speculate on fs.
+func (f *FaultFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.Retries, "retries", 0, "re-dispatches per failed shard span: only the undelivered cells are\n"+
+		"re-planned and retried, this many times, before the run fails\n"+
+		"(0 = fail on the first worker death)")
+	fs.DurationVar(&f.Backoff, "backoff", 250*time.Millisecond,
+		"base delay before retrying a failed span; doubles per attempt")
+	fs.BoolVar(&f.Speculate, "speculate", false, "re-dispatch the longest-running span on idle workers (straggler\n"+
+		"mitigation); duplicate deliveries are byte-identical and deduplicated")
+}
+
+// Apply copies the group into the coordinator options.
+func (f *FaultFlags) Apply(o *dist.Options) {
+	o.Retries = f.Retries
+	o.Backoff = f.Backoff
+	o.Speculate = f.Speculate
 }
 
 // TraceFormat installs the shared -trace-format flag on fs with the

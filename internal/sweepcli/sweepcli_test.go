@@ -4,6 +4,9 @@ import (
 	"flag"
 	"reflect"
 	"testing"
+	"time"
+
+	"repro/internal/dist"
 )
 
 // TestWorkerArgsRoundTrip pins the lockstep contract: parsing
@@ -69,5 +72,35 @@ func TestOptionsValidation(t *testing.T) {
 	c.Axes = Repeated{"bad axis"}
 	if _, _, err := c.Options(); err == nil {
 		t.Error("bad axis accepted")
+	}
+}
+
+// TestFaultFlags: the coordinator's fault-tolerance group parses and
+// applies onto dist.Options without touching the grid shape.
+func TestFaultFlags(t *testing.T) {
+	var f FaultFlags
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-retries", "3", "-backoff", "1500ms", "-speculate"}); err != nil {
+		t.Fatal(err)
+	}
+	var o dist.Options
+	f.Apply(&o)
+	if o.Retries != 3 || o.Backoff != 1500*time.Millisecond || !o.Speculate {
+		t.Errorf("applied options = %+v", o)
+	}
+
+	// Defaults: fail-fast, no speculation — the coordinator behaves
+	// exactly as before the fault-tolerance layer existed.
+	var def FaultFlags
+	fs = flag.NewFlagSet("grid", flag.ContinueOnError)
+	def.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var od dist.Options
+	def.Apply(&od)
+	if od.Retries != 0 || od.Speculate {
+		t.Errorf("default fault options = %+v", od)
 	}
 }
