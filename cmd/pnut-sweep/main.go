@@ -67,6 +67,7 @@ func main() {
 	var cfg sweepcli.Config
 	cfg.Register(flag.CommandLine)
 	format := flag.String("format", "table", "output format: table or csv")
+	progress := flag.Bool("progress", false, "log per-cell progress lines to stderr (deterministic cell order)")
 	shard := flag.String("shard", "", "with -emit cells: run shard i/n (1-based) of the cell grid")
 	cells := flag.String("cells", "", "with -emit cells: run only cells lo:hi (0-based, half-open)")
 	emit := flag.String("emit", "", `set to "cells" to stream per-cell JSONL records instead of a merged table`)
@@ -88,6 +89,17 @@ func main() {
 	}
 	if *shard != "" || *cells != "" {
 		fatal(fmt.Errorf("-shard/-cells select a partial grid and require -emit cells"))
+	}
+
+	if *progress {
+		// The same OnCell hook the simulation server's SSE feed uses:
+		// cells are reported serialized and in deterministic grid order,
+		// and the hook cannot change a result byte.
+		total, done := opt.NumCells(), 0
+		opt.OnCell = func(pt experiment.Point, rep int) {
+			done++
+			fmt.Fprintf(os.Stderr, "pnut-sweep: cell %d/%d  %s  rep %d\n", done, total, pt.String(), rep)
+		}
 	}
 
 	r, err := experiment.Sweep(context.Background(), opt)

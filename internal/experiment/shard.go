@@ -171,13 +171,14 @@ func RunCellSpansContext(ctx context.Context, opt SweepOptions, spans []CellSpan
 	}
 
 	// In-order streaming: when cell k lands, flush every consecutive
-	// finished record from the emit cursor.
+	// finished record from the emit cursor. The OnCell progress hook
+	// rides the same cursor, so it too observes cells in grid order.
 	var (
 		emitMu   sync.Mutex
 		emitNext int
 		done     []bool
 	)
-	if emit != nil {
+	if emit != nil || opt.OnCell != nil {
 		done = make([]bool, total)
 	}
 
@@ -211,15 +212,21 @@ func RunCellSpansContext(ctx context.Context, opt SweepOptions, spans []CellSpan
 			rec.Values[m] = v
 		}
 		recs[idx] = rec
-		if emit == nil {
+		if emit == nil && opt.OnCell == nil {
 			return nil
 		}
 		emitMu.Lock()
 		defer emitMu.Unlock()
 		done[idx] = true
 		for emitNext < total && done[emitNext] {
-			if err := emit(recs[emitNext]); err != nil {
-				return fmt.Errorf("emitting cell %d: %w", cellOf[emitNext], err)
+			r := &recs[emitNext]
+			if emit != nil {
+				if err := emit(*r); err != nil {
+					return fmt.Errorf("emitting cell %d: %w", cellOf[emitNext], err)
+				}
+			}
+			if opt.OnCell != nil {
+				opt.OnCell(pts[slot[r.Point]], r.Rep)
 			}
 			emitNext++
 		}

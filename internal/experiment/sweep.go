@@ -144,6 +144,16 @@ type SweepOptions struct {
 	// starts; the returned net must be immutable for the sweep's
 	// lifetime (workers share it).
 	Build func(Point) (*petri.Net, error)
+	// OnCell, if non-nil, is called once per completed cell with the
+	// cell's grid point and replication index. Calls are serialized and
+	// in cell order within each pool invocation — the same in-order
+	// streaming discipline the distributed cell emit uses — so progress
+	// reporting (pnut-sweep -progress, the server's SSE feed) observes
+	// cells in the deterministic grid order. The hook must not retain
+	// the Point's slices past the call and runs on the emit path:
+	// blocking in it stalls result streaming, never correctness. It
+	// cannot change a result byte.
+	OnCell func(pt Point, rep int)
 }
 
 // NumPoints returns the number of grid points (the product of the axis

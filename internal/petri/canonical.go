@@ -1,0 +1,137 @@
+// Canonical hashing gives a net a content address: two nets that are
+// the same model — regardless of declaration order, formatting of the
+// source they were parsed from, or the name they carry — hash to the
+// same SHA-256, and any semantic edit (a weight, a delay, an initial
+// marking, a var value) changes it. The simulation service keys its
+// result cache on this digest, so a million submissions of the same
+// design cost one simulation.
+package petri
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// canonicalVersion tags the encoding; bump it if the canonical form
+// ever changes meaning, so old cache keys cannot alias new ones.
+const canonicalVersion = "pnut-net-canonical-v1"
+
+// CanonicalHash returns a deterministic SHA-256 over a canonical
+// encoding of the net's structure and data:
+//
+//   - places sorted by name, with initial markings;
+//   - transitions sorted by name, each with its input/output/inhibitor
+//     arcs sorted by place name, delay distributions, frequency,
+//     server cap, predicate and action (rendered in source form);
+//   - vars and tables sorted by name, with their resolved values
+//     (a net produced by WithVars hashes by the overridden values).
+//
+// The net's Name is informational and excluded, exactly as the
+// cell-stream grid comparison (experiment.CellMeta.SameGrid) treats
+// it. Builder and parser normalizations apply before hashing: an
+// unset frequency is stored as 1, so "freq 1" and no freq line hash
+// equal — they are the same model.
+func (n *Net) CanonicalHash() [32]byte {
+	h := sha256.New()
+	n.writeCanonical(h)
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// CanonicalHashString returns CanonicalHash hex-encoded.
+func (n *Net) CanonicalHashString() string {
+	sum := n.CanonicalHash()
+	return hex.EncodeToString(sum[:])
+}
+
+// writeCanonical streams the canonical encoding. Every field is
+// length-delimited by construction (newline-terminated records with
+// fixed tags), so distinct structures cannot collide by concatenation.
+func (n *Net) writeCanonical(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", canonicalVersion)
+
+	places := make([]int, len(n.Places))
+	for i := range places {
+		places[i] = i
+	}
+	sort.Slice(places, func(a, b int) bool { return n.Places[places[a]].Name < n.Places[places[b]].Name })
+	for _, i := range places {
+		p := &n.Places[i]
+		fmt.Fprintf(w, "place %q %d\n", p.Name, p.Initial)
+	}
+
+	trans := make([]int, len(n.Trans))
+	for i := range trans {
+		trans[i] = i
+	}
+	sort.Slice(trans, func(a, b int) bool { return n.Trans[trans[a]].Name < n.Trans[trans[b]].Name })
+	for _, i := range trans {
+		t := &n.Trans[i]
+		fmt.Fprintf(w, "trans %q\n", t.Name)
+		n.writeArcs(w, "in", t.In)
+		n.writeArcs(w, "out", t.Out)
+		n.writeArcs(w, "inhib", t.Inhib)
+		if t.Firing != nil {
+			fmt.Fprintf(w, " firing %s\n", t.Firing)
+		}
+		if t.Enabling != nil {
+			fmt.Fprintf(w, " enabling %s\n", t.Enabling)
+		}
+		// The Builder stores unset frequencies as 1; encode the stored
+		// value so an explicit freq 1 and the default are one model.
+		fmt.Fprintf(w, " freq %s\n", strconv.FormatFloat(t.Freq, 'g', -1, 64))
+		fmt.Fprintf(w, " servers %d\n", t.Servers)
+		if t.Predicate != nil {
+			fmt.Fprintf(w, " pred %s\n", t.Predicate)
+		}
+		if t.Action != nil {
+			fmt.Fprintf(w, " action %s\n", t.Action)
+		}
+	}
+
+	vars := make([]string, 0, len(n.Vars))
+	for k := range n.Vars {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	for _, k := range vars {
+		fmt.Fprintf(w, "var %q %d\n", k, n.Vars[k])
+	}
+
+	tables := make([]string, 0, len(n.Tables))
+	for k := range n.Tables {
+		tables = append(tables, k)
+	}
+	sort.Strings(tables)
+	for _, k := range tables {
+		fmt.Fprintf(w, "table %q", k)
+		for _, v := range n.Tables[k] {
+			fmt.Fprintf(w, " %d", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// writeArcs encodes one arc list sorted by place name. Arc order in
+// the source is presentation, not semantics: firing consumes and
+// produces atomically, so [a, b] and [b, a] are the same transition.
+func (n *Net) writeArcs(w io.Writer, tag string, arcs []Arc) {
+	if len(arcs) == 0 {
+		return
+	}
+	sorted := make([]Arc, len(arcs))
+	copy(sorted, arcs)
+	sort.Slice(sorted, func(a, b int) bool {
+		return n.Places[sorted[a].Place].Name < n.Places[sorted[b].Place].Name
+	})
+	fmt.Fprintf(w, " %s", tag)
+	for _, a := range sorted {
+		fmt.Fprintf(w, " %q*%d", n.Places[a.Place].Name, a.Weight)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,200 @@
+package petri_test
+
+// Canonical-hash property tests: perturbations of the same .pn source
+// that do not change the model (formatting, declaration order, arc
+// order, explicit defaults, net name) must hash equal, and every
+// semantic edit must hash different. The external test package lets us
+// drive the hash through the real parser.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/ptl"
+)
+
+const canonicalBase = `
+net demo
+var latency 5
+table exec 1 2 5
+place A init 2
+place B
+place C init 1
+trans t1
+  in A*2, C
+  out B
+  inhib B
+  firing uniform(1, 3)
+  freq 2
+trans t2
+  in B
+  out A*2
+  enabling expr{ latency }
+  servers 1
+  pred { latency > 0 }
+  action { latency = latency - 1; }
+`
+
+func mustParse(t *testing.T, src string) *petri.Net {
+	t.Helper()
+	n, err := ptl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return n
+}
+
+func TestCanonicalHashFormattingInvariance(t *testing.T) {
+	base := mustParse(t, canonicalBase).CanonicalHashString()
+
+	equivalents := map[string]string{
+		"comments and blank lines": `
+# a comment
+net demo
+
+var latency 5
+table exec 1 2 5
+place A init 2
+# another comment
+place B
+place C init 1
+trans t1
+  in A*2, C
+  out B
+  inhib B
+  firing uniform(1, 3)
+  freq 2
+
+trans t2
+  in B
+  out A*2
+  enabling expr{ latency }
+  servers 1
+  pred { latency > 0 }
+  action { latency = latency - 1; }
+`,
+		"reordered declarations": `
+net demo
+place C init 1
+place B
+place A init 2
+table exec 1 2 5
+var latency 5
+trans t2
+  in B
+  out A*2
+  enabling expr{ latency }
+  servers 1
+  pred { latency > 0 }
+  action { latency = latency - 1; }
+trans t1
+  in C, A*2
+  inhib B
+  out B
+  firing uniform(1, 3)
+  freq 2
+`,
+		"renamed net, explicit default freq": `
+net renamed
+var latency 5
+table exec 1 2 5
+place A init 2
+place B
+place C init 1
+trans t1
+  in A*2, C
+  out B
+  inhib B
+  firing uniform(1, 3)
+  freq 2
+trans t2
+  in B
+  out A*2
+  enabling expr{ latency }
+  freq 1
+  servers 1
+  pred { latency > 0 }
+  action { latency = latency - 1; }
+`,
+	}
+	for name, src := range equivalents {
+		if got := mustParse(t, src).CanonicalHashString(); got != base {
+			t.Errorf("%s: hash %s != base %s (same model must hash equal)", name, got, base)
+		}
+	}
+}
+
+func TestCanonicalHashSemanticSensitivity(t *testing.T) {
+	base := mustParse(t, canonicalBase).CanonicalHashString()
+
+	edits := map[string][2]string{
+		"initial marking":   {"place A init 2", "place A init 3"},
+		"arc weight":        {"in A*2, C", "in A*3, C"},
+		"dropped inhibitor": {"  inhib B\n", ""},
+		"firing delay":      {"firing uniform(1, 3)", "firing uniform(1, 4)"},
+		"enabling delay":    {"enabling expr{ latency }", "enabling expr{ latency + 1 }"},
+		"frequency":         {"freq 2", "freq 3"},
+		"server cap":        {"servers 1", "servers 2"},
+		"predicate":         {"pred { latency > 0 }", "pred { latency > 1 }"},
+		"action":            {"action { latency = latency - 1; }", "action { latency = latency - 2; }"},
+		"var value":         {"var latency 5", "var latency 6"},
+		"table value":       {"table exec 1 2 5", "table exec 1 2 6"},
+		// Names are semantic (metrics and observers select by them), so a
+		// consistent rename — declaration and every arc reference — is an
+		// edit, not alpha-equivalence. "B" appears only as the place name.
+		"place rename":      {"B", "BX"},
+		"transition rename": {"trans t2", "trans t9"},
+	}
+	seen := map[string]string{base: "base"}
+	for name, ed := range edits {
+		src := strings.Replace(canonicalBase, ed[0], ed[1], -1)
+		if src == canonicalBase {
+			t.Fatalf("%s: edit %q not found in source", name, ed[0])
+		}
+		got := mustParse(t, src).CanonicalHashString()
+		if got == base {
+			t.Errorf("%s: semantic edit did not change the hash", name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s: hash collides with %s", name, prev)
+		}
+		seen[got] = name
+	}
+}
+
+func TestCanonicalHashWithVars(t *testing.T) {
+	n := mustParse(t, canonicalBase)
+	over, err := n.WithVars(map[string]int64{"latency": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.CanonicalHashString() == n.CanonicalHashString() {
+		t.Fatal("WithVars override must change the hash (vars are resolved values)")
+	}
+	same, err := n.WithVars(map[string]int64{"latency": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.CanonicalHashString() != n.CanonicalHashString() {
+		t.Fatal("WithVars to the same value must not change the hash")
+	}
+}
+
+func TestCanonicalHashFixtureStability(t *testing.T) {
+	// The fixture nets must keep hashing without error and stay
+	// distinct from one another.
+	srcs := map[string]string{"pipeline": canonicalBase}
+	hashes := map[string]string{}
+	for name, src := range srcs {
+		hashes[name] = mustParse(t, src).CanonicalHashString()
+	}
+	if len(hashes) != len(srcs) {
+		t.Fatalf("hash count %d != source count %d", len(hashes), len(srcs))
+	}
+	for name, h := range hashes {
+		if len(h) != 64 {
+			t.Errorf("%s: hash %q is not 64 hex chars", name, h)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/sweepcli"
+)
+
+// Job states. A job moves queued -> running -> done|failed|canceled;
+// cache hits are born done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one admitted sweep. The immutable identity fields are set at
+// creation; everything else is guarded by mu. The done channel closes
+// exactly once, when the job reaches a terminal state — result waiters
+// and the drain path block on it.
+type Job struct {
+	ID     string
+	Key    string
+	Spec   sweepcli.Spec
+	Format string
+	Model  sweepcli.ModelInfo
+
+	// opt is the resolved sweep (shared by the runner and the dist
+	// path); meta pins the expanded grid for worker dispatch.
+	opt  experiment.SweepOptions
+	meta experiment.CellMeta
+
+	mu          sync.Mutex
+	state       string
+	err         string
+	body        []byte
+	contentType string
+	cacheHit    bool
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	cellsDone   int
+	cellsTotal  int
+	events      int64
+	cancel      context.CancelFunc
+
+	done chan struct{}
+	sse  *broker
+}
+
+// JobView is the JSON shape of a job in API responses.
+type JobView struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Model      string `json:"model,omitempty"`
+	Format     string `json:"format"`
+	Cache      string `json:"cache"`
+	CellsDone  int    `json:"cellsDone"`
+	CellsTotal int    `json:"cellsTotal"`
+	Events     int64  `json:"events,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Created    string `json:"created,omitempty"`
+	Started    string `json:"started,omitempty"`
+	Finished   string `json:"finished,omitempty"`
+}
+
+// View snapshots the job for JSON rendering.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.ID,
+		State:      j.state,
+		Model:      j.Model.Name,
+		Format:     j.Format,
+		Cache:      "miss",
+		CellsDone:  j.cellsDone,
+		CellsTotal: j.cellsTotal,
+		Events:     j.events,
+		Error:      j.err,
+	}
+	if j.cacheHit {
+		v.Cache = "hit"
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	v.Created, v.Started, v.Finished = stamp(j.created), stamp(j.started), stamp(j.finished)
+	return v
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done exposes the terminal-state channel.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// claimRunning transitions queued -> running; false if the job was
+// canceled while waiting in the queue (its slot is simply skipped).
+func (j *Job) claimRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.sse.publish(sseEvent{name: "state", data: mustJSON(j.viewLocked())})
+	return true
+}
+
+// progress records one completed cell and feeds the SSE stream.
+func (j *Job) progress(done, total int) {
+	j.mu.Lock()
+	j.cellsDone, j.cellsTotal = done, total
+	j.mu.Unlock()
+	j.sse.publish(sseEvent{name: "progress", data: fmt.Sprintf(`{"cellsDone":%d,"cellsTotal":%d}`, done, total)})
+}
+
+// terminalLocked reports whether the job has reached a final state.
+func (j *Job) terminalLocked() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// completeLocked records the terminal transition (j.mu held, state not
+// yet terminal) and returns the SSE event to publish after unlocking.
+func (j *Job) completeLocked(state string, body []byte, contentType, errMsg string, events int64) sseEvent {
+	j.state = state
+	j.body, j.contentType = body, contentType
+	j.err = errMsg
+	j.events += events
+	j.finished = time.Now()
+	return sseEvent{name: "state", data: mustJSON(j.viewLocked())}
+}
+
+// seal publishes the terminal event and wakes all waiters. Must be
+// called exactly once, after completeLocked, outside j.mu.
+func (j *Job) seal(ev sseEvent) {
+	j.sse.publish(ev)
+	j.sse.close()
+	close(j.done)
+}
+
+// finish moves the job to a terminal state exactly once and wakes all
+// waiters. body/contentType are only meaningful for StateDone.
+func (j *Job) finish(state string, body []byte, contentType, errMsg string, events int64) bool {
+	j.mu.Lock()
+	if j.terminalLocked() {
+		j.mu.Unlock()
+		return false
+	}
+	ev := j.completeLocked(state, body, contentType, errMsg, events)
+	j.mu.Unlock()
+	j.seal(ev)
+	return true
+}
+
+// requestCancel cancels the job. A still-queued job goes terminal here
+// — its queue slot is skipped when the runner reaches it — while a
+// running job has its context canceled and the runner finalizes the
+// state asynchronously. The two branches and claimRunning all race
+// under j.mu, so a job can never be marked canceled after a runner
+// claimed it without its context being canceled too.
+func (j *Job) requestCancel() (terminal, signaled bool) {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		ev := j.completeLocked(StateCanceled, nil, "", "canceled before start", 0)
+		j.mu.Unlock()
+		j.seal(ev)
+		return true, true
+	}
+	cancel, running := j.cancel, j.state == StateRunning
+	j.mu.Unlock()
+	if running && cancel != nil {
+		cancel()
+		return false, true
+	}
+	return false, false
+}
+
+// fulfillFromCache completes a freshly-created job with a cached body.
+func (j *Job) fulfillFromCache(contentType string, body []byte) {
+	j.mu.Lock()
+	j.cacheHit = true
+	ev := j.completeLocked(StateDone, body, contentType, "", 0)
+	j.mu.Unlock()
+	j.seal(ev)
+}
+
+// viewLocked is View with j.mu already held.
+func (j *Job) viewLocked() JobView {
+	v := JobView{
+		ID: j.ID, State: j.state, Model: j.Model.Name, Format: j.Format,
+		Cache: "miss", CellsDone: j.cellsDone, CellsTotal: j.cellsTotal,
+		Events: j.events, Error: j.err,
+	}
+	if j.cacheHit {
+		v.Cache = "hit"
+	}
+	return v
+}
+
+// Result returns the terminal body; ok is false until the job is done.
+func (j *Job) Result() (body []byte, contentType string, cacheHit bool, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, "", false, false
+	}
+	return j.body, j.contentType, j.cacheHit, true
+}
+
+// jobStore tracks jobs by ID in admission order.
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+	ids  []string
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*Job)}
+}
+
+// add creates and registers a job in the given initial state.
+func (st *jobStore) add(spec sweepcli.Spec, format string, opt experiment.SweepOptions, meta experiment.CellMeta, info sweepcli.ModelInfo, key string) *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	j := &Job{
+		ID:         fmt.Sprintf("j%06d", st.seq),
+		Key:        key,
+		Spec:       spec,
+		Format:     format,
+		Model:      info,
+		opt:        opt,
+		meta:       meta,
+		state:      StateQueued,
+		created:    time.Now(),
+		cellsTotal: opt.NumCells(),
+		done:       make(chan struct{}),
+		sse:        newBroker(),
+	}
+	st.jobs[j.ID] = j
+	st.ids = append(st.ids, j.ID)
+	return j
+}
+
+// remove forgets a job that was never admitted (queue rejection after
+// creation), so rejected submissions don't appear in listings.
+func (st *jobStore) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, id)
+	for i, x := range st.ids {
+		if x == id {
+			st.ids = append(st.ids[:i], st.ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks a job up by ID.
+func (st *jobStore) get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// list snapshots all jobs in admission order.
+func (st *jobStore) list() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.ids))
+	for _, id := range st.ids {
+		out = append(out, st.jobs[id])
+	}
+	return out
+}
+
+// countByState tallies job states for /metrics.
+func (st *jobStore) countByState() map[string]int {
+	counts := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCanceled: 0,
+	}
+	for _, j := range st.list() {
+		counts[j.State()]++
+	}
+	return counts
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the per-client state so an attacker rotating client
+// identities cannot grow memory without bound; full (idle) buckets are
+// pruned first since dropping one restores exactly the state a fresh
+// client would get anyway.
+const maxBuckets = 4096
+
+// rateLimiter is a per-client token bucket: each client identity gets
+// `burst` tokens refilled at `rate` tokens/second, and one admission
+// costs one token. rate <= 0 disables limiting. The clock is injectable
+// so tests drive refill deterministically.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for client if available. When denied it
+// returns how long until the next token accrues — the Retry-After the
+// admission path sends with the 429.
+func (l *rateLimiter) allow(client string) (bool, time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		l.pruneLocked()
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// pruneLocked evicts idle (full) buckets when the map is at its bound;
+// if every bucket is active it clears the oldest-touched half.
+func (l *rateLimiter) pruneLocked() {
+	if len(l.buckets) < maxBuckets {
+		return
+	}
+	for k, b := range l.buckets {
+		if b.tokens >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+	for k := range l.buckets {
+		if len(l.buckets) < maxBuckets/2 {
+			break
+		}
+		delete(l.buckets, k)
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+var (
+	errQueueFull   = errors.New("job queue full")
+	errQueueClosed = errors.New("server draining")
+)
+
+// jobQueue is the bounded FIFO between admission and the runner pool.
+// Closing it (drain) makes further enqueues fail while the runners
+// keep draining what was already admitted.
+type jobQueue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &jobQueue{ch: make(chan *Job, depth)}
+}
+
+// enqueue admits a job or reports why it cannot: errQueueFull when the
+// bound is hit (admission control surfaces this as 429), errQueueClosed
+// once draining has begun (503).
+func (q *jobQueue) enqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// close stops admission; already-queued jobs still drain.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// jobs is the runner-side receive channel; it ends after close once
+// the backlog is drained.
+func (q *jobQueue) jobs() <-chan *Job { return q.ch }
+
+// depth reports how many jobs are waiting (not yet claimed by a runner).
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// capacity reports the queue bound.
+func (q *jobQueue) capacity() int { return cap(q.ch) }

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// Result formats the server can render. "" means FormatCSV.
+const (
+	FormatCSV   = "csv"
+	FormatTable = "table"
+	FormatJSON  = "json"
+)
+
+// normalizeFormat validates a spec's format field and applies the
+// default. The format is part of the cache key, so "" and "csv" must
+// normalize to the same string before keying.
+func normalizeFormat(f string) (string, error) {
+	switch f {
+	case "", FormatCSV:
+		return FormatCSV, nil
+	case FormatTable, FormatJSON:
+		return f, nil
+	default:
+		return "", fmt.Errorf("unknown format %q (csv, table or json)", f)
+	}
+}
+
+// jsonSummary is one metric's cross-replication summary in the JSON
+// rendering, mirroring the CSV's mean/ci95/sd columns.
+type jsonSummary struct {
+	Metric string  `json:"metric"`
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"`
+	StdDev float64 `json:"sd"`
+}
+
+type jsonPoint struct {
+	Values  []float64     `json:"values"`
+	Reps    int           `json:"reps"`
+	Metrics []jsonSummary `json:"metrics"`
+}
+
+type jsonResult struct {
+	Axes      []experiment.Axis `json:"axes"`
+	Metrics   []string          `json:"metrics"`
+	Adaptive  bool              `json:"adaptive,omitempty"`
+	TotalReps int               `json:"totalReps"`
+	Events    int64             `json:"events"`
+	Points    []jsonPoint       `json:"points"`
+}
+
+// renderResult serializes a finished sweep in the requested format.
+// CSV and table reuse the SweepResult writers byte-for-byte, so a body
+// fetched over HTTP diffs clean against pnut-sweep's file output; the
+// JSON form adds the machine-readable shape the CLIs don't have.
+//
+// Note Events/Elapsed are run facts, not result values: Events is
+// deterministic and included in JSON, Elapsed is wall-clock and is
+// deliberately left out of every rendering the cache stores.
+func renderResult(r *experiment.SweepResult, format string) (body []byte, contentType string, err error) {
+	var buf bytes.Buffer
+	switch format {
+	case FormatCSV:
+		if err := r.WriteCSV(&buf); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), "text/csv; charset=utf-8", nil
+	case FormatTable:
+		if err := r.WriteTable(&buf); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), "text/plain; charset=utf-8", nil
+	case FormatJSON:
+		out := jsonResult{
+			Axes:      r.Axes,
+			Metrics:   r.MetricNames(),
+			Adaptive:  r.Adaptive != nil,
+			TotalReps: r.TotalReps,
+			Events:    r.Events,
+			Points:    make([]jsonPoint, 0, len(r.Points)),
+		}
+		names := r.MetricNames()
+		for _, pt := range r.Points {
+			jp := jsonPoint{Values: pt.Point.Values, Reps: pt.Reps}
+			for i, s := range pt.Summaries {
+				jp.Metrics = append(jp.Metrics, jsonSummary{
+					Metric: names[i], Mean: s.Mean, CI95: s.CI95, StdDev: s.StdDev,
+				})
+			}
+			out.Points = append(out.Points, jp)
+		}
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), "application/json", nil
+	default:
+		return nil, "", fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseEvent is one Server-Sent Event: `event: name` + `data: ...`.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// broker fans a job's event stream out to its SSE subscribers. Publish
+// never blocks the simulation: a subscriber that cannot keep up has
+// events dropped (each event carries full cumulative progress, so a
+// drop only lowers the reporting resolution). Closing the broker closes
+// every subscriber channel, which the handlers read as "job reached a
+// terminal state".
+type broker struct {
+	mu     sync.Mutex
+	subs   map[chan sseEvent]struct{}
+	closed bool
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan sseEvent]struct{})}
+}
+
+// subscribe registers a new listener; closed is true when the stream
+// already ended (the caller emits the terminal snapshot itself).
+func (b *broker) subscribe() (ch chan sseEvent, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, true
+	}
+	ch = make(chan sseEvent, 64)
+	b.subs[ch] = struct{}{}
+	return ch, false
+}
+
+// unsubscribe detaches a listener (client went away mid-stream).
+func (b *broker) unsubscribe(ch chan sseEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}
+
+// publish delivers ev to every subscriber that has buffer room.
+func (b *broker) publish(ev sseEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// close ends the stream for all subscribers.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+// mustJSON marshals API-owned structs, which cannot fail.
+func mustJSON(v any) string {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		panic("server: marshalling event: " + err.Error())
+	}
+	return string(blob)
+}

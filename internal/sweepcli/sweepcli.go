@@ -240,25 +240,34 @@ func (c *Config) Register(fs *flag.FlagSet) {
 // Options expands the config into sweep options plus the model name.
 // At least one metric is required.
 func (c *Config) Options() (experiment.SweepOptions, string, error) {
+	build, name, err := buildHook(c.Net, c.Model)
+	if err != nil {
+		return experiment.SweepOptions{}, "", err
+	}
+	opt, err := c.optionsWith(build)
+	return opt, name, err
+}
+
+// optionsWith expands the grid/replication/metric shape around an
+// already-resolved build hook — the shared tail of Config.Options and
+// Spec.Resolve, so the CLI and HTTP surfaces assemble sweeps through
+// one code path.
+func (c *Config) optionsWith(build func(experiment.Point) (*petri.Net, error)) (experiment.SweepOptions, error) {
 	var parsed []experiment.Axis
 	for _, a := range c.Axes {
 		ax, err := experiment.ParseAxis(a)
 		if err != nil {
-			return experiment.SweepOptions{}, "", err
+			return experiment.SweepOptions{}, err
 		}
 		parsed = append(parsed, ax)
 	}
 	metrics := c.Metrics()
 	if len(metrics) == 0 {
-		return experiment.SweepOptions{}, "", fmt.Errorf("at least one -throughput or -utilization metric is required")
+		return experiment.SweepOptions{}, fmt.Errorf("at least one -throughput or -utilization metric is required")
 	}
 	adaptive, err := c.AdaptiveFlags.Options()
 	if err != nil {
-		return experiment.SweepOptions{}, "", err
-	}
-	build, name, err := buildHook(c.Net, c.Model)
-	if err != nil {
-		return experiment.SweepOptions{}, "", err
+		return experiment.SweepOptions{}, err
 	}
 	so := c.SimOptions()
 	so.Seed = 0 // the sweep seeds each cell from BaseSeed
@@ -271,7 +280,7 @@ func (c *Config) Options() (experiment.SweepOptions, string, error) {
 		Sim:      so,
 		Metrics:  metrics,
 		Build:    build,
-	}, name, nil
+	}, nil
 }
 
 // WorkerArgs reconstructs the flag list that reproduces this sweep
@@ -307,21 +316,11 @@ func buildHook(netPath, model string) (func(experiment.Point) (*petri.Net, error
 		if err != nil {
 			return nil, "", err
 		}
-		base, err := ptl.Parse(string(src))
+		build, base, err := netBuildHook(string(src))
 		if err != nil {
 			return nil, "", err
 		}
-		return func(pt experiment.Point) (*petri.Net, error) {
-			over := make(map[string]int64, len(pt.Names))
-			for i, n := range pt.Names {
-				v := pt.Values[i]
-				if v != float64(int64(v)) {
-					return nil, fmt.Errorf("net var %s wants an integer, got %g", n, v)
-				}
-				over[n] = int64(v)
-			}
-			return base.WithVars(over)
-		}, base.Name, nil
+		return build, base.Name, nil
 	}
 	switch model {
 	case "pipeline", "cache":
@@ -335,4 +334,25 @@ func buildHook(netPath, model string) (func(experiment.Point) (*petri.Net, error
 		}, name, nil
 	}
 	return nil, "", fmt.Errorf("unknown -model %q (want pipeline or cache)", model)
+}
+
+// netBuildHook parses .pn source and returns the per-point builder
+// (axis names override the net's vars) plus the parsed base net —
+// which the simulation server hashes for its content-addressed cache.
+func netBuildHook(src string) (func(experiment.Point) (*petri.Net, error), *petri.Net, error) {
+	base, err := ptl.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(pt experiment.Point) (*petri.Net, error) {
+		over := make(map[string]int64, len(pt.Names))
+		for i, n := range pt.Names {
+			v := pt.Values[i]
+			if v != float64(int64(v)) {
+				return nil, fmt.Errorf("net var %s wants an integer, got %g", n, v)
+			}
+			over[n] = int64(v)
+		}
+		return base.WithVars(over)
+	}, base, nil
 }
