@@ -1,7 +1,9 @@
 // pnut-bench is the engine's checked-in perf trajectory: it times the
 // indexed event scheduler on fixed members of the modelgen families and
 // emits a JSON report (events/sec, ns/event, allocs/event per net
-// size). The repository commits one such report as BENCH_sim.json;
+// size), plus a reach_build scenario timing the sharded state-space
+// exploration in states/sec. The repository commits one such report as
+// BENCH_sim.json;
 // CI regenerates it and gates with -baseline, so a change that slows
 // the hot loop or puts an allocation back on the firing path fails the
 // build instead of landing silently.
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/modelgen"
 	"repro/internal/petri"
+	"repro/internal/reach"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -64,6 +67,13 @@ var cases = []benchCase{
 	{Name: "fork_join_32x8", Family: "fork_join", Width: 32, Depth: 8, Horizon: 60_000},
 }
 
+// reachCases are the exhaustive-exploration workloads: a full untimed
+// reach.Build per case, measured in states/sec. Shapes are frozen like
+// the engine cases; Horizon is unused (the build is exhaustive).
+var reachCases = []benchCase{
+	{Name: "reach_fork_join_7x4", Family: "fork_join", Width: 7, Depth: 4},
+}
+
 // measurement is one case's results.
 type measurement struct {
 	benchCase
@@ -77,6 +87,20 @@ type measurement struct {
 	// gate compares. Calibration is the pairing run's score.
 	Normalized  float64 `json:"normalized"`
 	Calibration float64 `json:"calibration_score"`
+}
+
+// reachMeasurement is one reach_build result: how fast the sharded
+// frontier search enumerates a fixed state space. The state count is
+// part of the record — it is exact and must never move between runs.
+type reachMeasurement struct {
+	Name         string  `json:"name"`
+	Family       string  `json:"family"`
+	Width        int     `json:"width,omitempty"`
+	Depth        int     `json:"depth,omitempty"`
+	States       int     `json:"states"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	Normalized   float64 `json:"normalized"`
+	Calibration  float64 `json:"calibration_score"`
 }
 
 // serverMeasurement is one simulation-service scenario: jobs/sec
@@ -99,6 +123,9 @@ type report struct {
 	GoArch string        `json:"goarch"`
 	NumCPU int           `json:"num_cpu"`
 	Cases  []measurement `json:"cases"`
+	// Reach holds the state-space exploration scenarios; gated on the
+	// normalized states/sec figure like the engine cases.
+	Reach []reachMeasurement `json:"reach,omitempty"`
 	// Server holds the service scenarios; compared informationally (the
 	// HTTP path is scheduler-noisy, so it records trajectory rather than
 	// gating the build).
@@ -179,6 +206,40 @@ func measure(c benchCase, repeat int) (measurement, error) {
 		Normalized:    bestNorm,
 		Calibration:   bestCal,
 	}, nil
+}
+
+// measureReach runs one exhaustive build repeat times and keeps the
+// fastest run. Shards stays 0 (GOMAXPROCS) — the production default —
+// and never changes the graph, so States doubles as a sanity pin.
+func measureReach(c benchCase, repeat int) (reachMeasurement, error) {
+	net := c.build()
+	opt := reach.Options{MaxStates: 1_000_000}
+	g, err := reach.Build(net, opt) // warm-up
+	if err != nil {
+		return reachMeasurement{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	if g.Truncated {
+		return reachMeasurement{}, fmt.Errorf("%s: truncated at %d states", c.Name, len(g.Nodes))
+	}
+	var best reachMeasurement
+	for r := 0; r < repeat; r++ {
+		cal := calibrate()
+		start := time.Now()
+		g, err = reach.Build(net, opt)
+		el := time.Since(start).Seconds()
+		if err != nil {
+			return reachMeasurement{}, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		sps := float64(len(g.Nodes)) / el
+		if norm := sps / cal; norm > best.Normalized {
+			best = reachMeasurement{
+				Name: c.Name, Family: c.Family, Width: c.Width, Depth: c.Depth,
+				States: len(g.Nodes), StatesPerSec: sps,
+				Normalized: norm, Calibration: cal,
+			}
+		}
+	}
+	return best, nil
 }
 
 // measureServer drives the simulation service in-process: a real
@@ -283,6 +344,32 @@ func compare(rep, base *report, tol float64) int {
 			failures++
 		}
 	}
+	// Exploration cases gate like the engine cases, on the normalized
+	// states/sec ratio; the state count is exact and must not move.
+	byReach := make(map[string]reachMeasurement, len(base.Reach))
+	for _, m := range base.Reach {
+		byReach[m.Name] = m
+	}
+	for _, m := range rep.Reach {
+		b, ok := byReach[m.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pnut-bench: %-20s not in baseline (informational)\n", m.Name)
+			continue
+		}
+		floor := b.Normalized * (1 - tol)
+		status := "ok"
+		if m.Normalized < floor {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(os.Stderr, "pnut-bench: %-20s %10.0f states/s (normalized %.3g, baseline %.3g, floor %.3g) %s\n",
+			m.Name, m.StatesPerSec, m.Normalized, b.Normalized, floor, status)
+		if m.States != b.States {
+			fmt.Fprintf(os.Stderr, "pnut-bench: %-20s explored %d states, baseline %d — the graph itself changed\n",
+				m.Name, m.States, b.States)
+			failures++
+		}
+	}
 	// Server scenarios are trajectory, not a gate: the HTTP path's
 	// latency is dominated by the network stack and scheduler, too noisy
 	// for a build-failing floor.
@@ -323,6 +410,15 @@ func main() {
 		rep.Cases = append(rep.Cases, m)
 		fmt.Fprintf(os.Stderr, "pnut-bench: %-20s %8d events  %7.1f ns/event  %10.0f events/s  %.4f allocs/event\n",
 			m.Name, m.Events, m.NsPerEvent, m.EventsPerSec, m.AllocsPerEvnt)
+	}
+	for _, c := range reachCases {
+		m, err := measureReach(c, *repeat)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Reach = append(rep.Reach, m)
+		fmt.Fprintf(os.Stderr, "pnut-bench: %-20s %8d states  %10.0f states/s\n",
+			m.Name, m.States, m.StatesPerSec)
 	}
 	if !*noServer {
 		sm, err := measureServer(*repeat)

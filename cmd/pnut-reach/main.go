@@ -33,6 +33,7 @@ func main() {
 	timed := flag.Bool("timed", false, "build the timed reachability graph (constant delays only)")
 	coverability := flag.Bool("coverability", false, "run Karp-Miller coverability (no inhibitor arcs)")
 	maxStates := flag.Int("max-states", 100_000, "state-space cap")
+	shards := flag.Int("shards", 0, "exploration goroutines for the untimed build (0 = GOMAXPROCS;\nnever affects results)")
 	var checks, invariants repeated
 	flag.Var(&checks, "check", "temporal-logic formula, e.g. 'AG({p + q == 1})' (repeatable)")
 	flag.Var(&invariants, "invariant", "P-invariant 'place=weight,place=weight' (repeatable)")
@@ -51,7 +52,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := reach.Options{MaxStates: *maxStates}
+	opt := reach.Options{MaxStates: *maxStates, Shards: *shards}
 
 	if *coverability {
 		unbounded, err := reach.Coverability(net, opt)

@@ -23,6 +23,16 @@
 //   - A textual net (-net model.pn), where axis names are the net's
 //     var declarations, overridden per point.
 //
+// Beyond simulation, -engine selects the grid engine: -engine reach
+// runs exhaustive state-space analysis per grid point (graph size,
+// deadlocks, dead transitions, truncation, plus -bound and -ctl
+// selections), -engine analytic solves each point's timed reachability
+// graph exactly as a semi-Markov process, and -engine sim+analytic
+// runs both and cross-validates the simulated means against the exact
+// values within -xtol, failing the run on disagreement. The
+// deterministic engines collapse to one replication per point; axes,
+// shard partitions, journals and the server cache work unchanged.
+//
 // Instead of a fixed -reps, -adaptive metric:relci switches each grid
 // point to CI-targeted sequential stopping: -min-reps replications
 // first, then batches of -batch more until the metric's 95% CI
@@ -71,7 +81,18 @@ func main() {
 	shard := flag.String("shard", "", "with -emit cells: run shard i/n (1-based) of the cell grid")
 	cells := flag.String("cells", "", "with -emit cells: run only cells lo:hi (0-based, half-open)")
 	emit := flag.String("emit", "", `set to "cells" to stream per-cell JSONL records instead of a merged table`)
+	xtol := flag.Float64("xtol", 0.05, "with -engine sim+analytic: relative tolerance per metric; any grid\npoint whose simulated mean strays further from the exact value fails\nthe run")
 	flag.Parse()
+
+	if cfg.Engine == "sim+analytic" {
+		if *emit != "" || *shard != "" || *cells != "" {
+			fatal(fmt.Errorf("-engine sim+analytic drives two full sweeps and cannot shard or emit cells"))
+		}
+		if err := crossValidate(&cfg, *format, *xtol); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	opt, name, err := cfg.Options()
 	if err != nil {
@@ -114,6 +135,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points, adaptive %s:%g reps %d..%d (%d total), base seed %d, %d workers\n",
 				name, len(r.Points), r.Adaptive.Metric, r.Adaptive.RelCI,
 				r.Adaptive.MinReps, r.Adaptive.MaxReps, r.TotalReps, cfg.Seed, r.Workers)
+		} else if cfg.Engine != "" && cfg.Engine != "sim" {
+			fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points, engine %s (deterministic), %d workers\n",
+				name, len(r.Points), cfg.Engine, r.Workers)
 		} else {
 			fmt.Fprintf(os.Stderr, "pnut-sweep: sweep %s: %d points x %d replications, base seed %d, %d workers\n",
 				name, len(r.Points), r.Reps, cfg.Seed, r.Workers)
@@ -133,6 +157,49 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pnut-sweep: %s: points=%d total_reps=%d workers=%d elapsed=%s (%.0f events/s)\n",
 		name, len(r.Points), r.TotalReps, r.Workers, r.Elapsed.Round(time.Microsecond),
 		float64(r.Events)/r.Elapsed.Seconds())
+}
+
+// crossValidate is the -engine sim+analytic mode: run the stochastic
+// sweep and the exact sweep over the same grid, diff them point by
+// point, and fail (exit 1) when any metric strays past the tolerance.
+func crossValidate(cfg *sweepcli.Config, format string, tol float64) error {
+	simOpt, anaOpt, name, err := cfg.CrossOptions()
+	if err != nil {
+		return err
+	}
+	simRes, err := experiment.Sweep(context.Background(), simOpt)
+	if err != nil {
+		return fmt.Errorf("sim half: %w", err)
+	}
+	anaRes, err := experiment.Sweep(context.Background(), anaOpt)
+	if err != nil {
+		return fmt.Errorf("analytic half: %w", err)
+	}
+	rep, err := sweepcli.CrossValidate(simRes, anaRes, tol)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	switch format {
+	case "table":
+		err = rep.WriteTable(out)
+	case "csv":
+		err = rep.WriteCSV(out)
+	default:
+		err = fmt.Errorf("unknown -format %q (want table or csv)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pnut-sweep: cross-validation %s: %d points, %d metrics, tol %g, %d total sim reps\n",
+		name, len(rep.Rows), len(rep.Rows[0].Cols), tol, simRes.TotalReps)
+	if rep.Disagreements > 0 {
+		return fmt.Errorf("cross-validation: %d metric values disagree beyond tol %g (see the relerr columns)", rep.Disagreements, tol)
+	}
+	return nil
 }
 
 // emitCells is worker mode: run one span of the grid, stream cell

@@ -125,13 +125,21 @@ func (d *dispatcher) run(units []Span) error {
 	return d.ctx.Err()
 }
 
-// fail records the round's fatal error (first one wins) and cancels
-// every other in-flight attempt. Callers hold d.mu.
+// drainGrace bounds how long a failing round waits for its surviving
+// in-flight attempts: long enough that healthy workers finish streaming
+// (their cells are journaled and make the resume cheaper), short enough
+// that a wedged sibling cannot hold a doomed round hostage.
+const drainGrace = 30 * time.Second
+
+// fail records the round's fatal error (first one wins). New work stops
+// immediately, but in-flight attempts keep streaming: every cell they
+// deliver is one the resume will not re-run. Attempts that outlive the
+// drain grace are cancelled. Callers hold d.mu.
 func (d *dispatcher) fail(err error) {
 	if d.err == nil {
 		d.err = err
+		time.AfterFunc(drainGrace, d.cancel)
 	}
-	d.cancel()
 	d.cond.Broadcast()
 }
 
@@ -204,10 +212,10 @@ func (d *dispatcher) emitInto(span Span) func(rec experiment.CellRecord) error {
 // the span's budget (unless the slot was just quarantined), and
 // requeue the salvageable remainder. Callers hold d.mu.
 func (d *dispatcher) onFailure(slot int, fl *flight, err error) {
-	if d.ctx.Err() != nil {
+	if d.ctx.Err() != nil || d.err != nil {
 		// The round is already being torn down; a shard cancelled (or
-		// failing during cancellation) is nobody's fault and charges
-		// no budget.
+		// failing during the drain) is nobody's fault and charges no
+		// budget.
 		return
 	}
 	err = fmt.Errorf("dist: shard %s: %w", fl.span, err)

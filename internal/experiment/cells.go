@@ -21,12 +21,14 @@ import (
 
 // CellFormat and CellVersion identify the cell-record stream format.
 // Readers reject other formats and newer versions. Version 2 added the
-// meta's adaptive stopping-rule fields; cell lines are unchanged (cells
-// are self-identifying, so the format tolerates a dynamically growing
-// grid), and v1 streams still decode.
+// meta's adaptive stopping-rule fields; version 3 added the engine tag
+// and state-space pins for the exhaustive backends. Cell lines are
+// unchanged (cells are self-identifying, so the format tolerates a
+// dynamically growing grid), and v1/v2 streams still decode — an
+// absent engine means "sim".
 const (
 	CellFormat  = "pnut-cells"
-	CellVersion = 2
+	CellVersion = 3
 )
 
 // CellMeta is the stream's first line: it pins the grid the records
@@ -56,6 +58,16 @@ type CellMeta struct {
 	// journal under a changed stopping rule would silently reshape the
 	// grid, so SameGrid compares it.
 	Adaptive *AdaptiveOptions `json:"adaptive,omitempty"`
+	// Engine names the backend that computed the cells (cell-record
+	// v3); empty means "sim". Cells from different engines are never
+	// interchangeable, so SameGrid compares it — which also keys the
+	// server's content-addressed cache per engine.
+	Engine string `json:"engine,omitempty"`
+	// MaxStates and BoundCap pin the state-space controls of the
+	// exhaustive engines (zero for sim): a reach cell's values depend
+	// on where exploration truncates.
+	MaxStates int `json:"maxStates,omitempty"`
+	BoundCap  int `json:"boundCap,omitempty"`
 }
 
 // MetaOf derives the stream meta for a sweep. netName may be empty.
@@ -76,6 +88,12 @@ func MetaOf(opt SweepOptions, netName string) CellMeta {
 	for i := range opt.Metrics {
 		m.Metrics[i] = opt.Metrics[i].Name
 	}
+	if b := opt.backend(); b.Engine() != "sim" {
+		m.Engine = b.Engine()
+		if sp, ok := b.(interface{ StatePins() (int, int) }); ok {
+			m.MaxStates, m.BoundCap = sp.StatePins()
+		}
+	}
 	return m
 }
 
@@ -91,10 +109,21 @@ func (m *CellMeta) Check() error {
 }
 
 // SameGrid reports whether two metas describe the same sweep: equal
-// axes, replication count, seed schedule, simulation length, metric set
-// and adaptive stopping rule. Net names are informational and not
-// compared.
+// engine, axes, replication count, seed schedule, simulation length or
+// state-space pins, metric set and adaptive stopping rule. Net names
+// are informational and not compared; an empty engine equals "sim", so
+// pre-v3 streams compare correctly.
 func (m *CellMeta) SameGrid(o *CellMeta) bool {
+	eng, oeng := m.Engine, o.Engine
+	if eng == "" {
+		eng = "sim"
+	}
+	if oeng == "" {
+		oeng = "sim"
+	}
+	if eng != oeng || m.MaxStates != o.MaxStates || m.BoundCap != o.BoundCap {
+		return false
+	}
 	if m.Reps != o.Reps || m.BaseSeed != o.BaseSeed || m.Cells != o.Cells ||
 		m.Horizon != o.Horizon || m.MaxStarts != o.MaxStarts ||
 		len(m.Axes) != len(o.Axes) || len(m.Metrics) != len(o.Metrics) {

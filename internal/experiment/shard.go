@@ -159,16 +159,12 @@ func RunCellSpansContext(ctx context.Context, opt SweepOptions, spans []CellSpan
 	workers := opt.workers(total)
 	recs := make([]CellRecord, total)
 
-	// Worker-confined engine state: engines are rebuilt only on point
-	// boundaries, so consecutive cells of one point reuse the engine.
-	type workerState struct {
-		point int
-		eng   *sim.Engine
-	}
-	ws := make([]workerState, workers)
-	for i := range ws {
-		ws[i].point = -1
-	}
+	// Worker-confined backend state: each pool worker lazily mints its
+	// own BackendWorker (for the sim backend that keeps the old
+	// engine-reuse-per-point behaviour; exhaustive backends keep their
+	// resolved metric evaluators).
+	backend := opt.backend()
+	ws := make([]BackendWorker, workers)
 
 	// In-order streaming: when cell k lands, flush every consecutive
 	// finished record from the emit cursor. The OnCell progress hook
@@ -185,33 +181,29 @@ func RunCellSpansContext(ctx context.Context, opt SweepOptions, spans []CellSpan
 	if idx, err := runPool(ctx, workers, total, func(worker, idx int) error {
 		cell := cellOf[idx]
 		p, rep := cell/stride, cell%stride
-		w := &ws[worker]
-		if w.point != p {
-			w.eng = sim.NewEngine(nets[slot[p]])
-			w.point = p
-		}
-		so := opt.Sim
-		so.Seed = opt.BaseSeed + int64(cell)
-		acc := stats.New(headers[slot[p]])
-		res, err := w.eng.Run(ctx, acc, so)
-		if err != nil {
-			return err
-		}
-		rec := CellRecord{
-			Cell: cell, Point: p, Rep: rep,
-			Seed:   so.Seed,
-			Values: make([]float64, len(opt.Metrics)),
-			Stats:  acc,
-			Run:    res,
-		}
-		for m := range opt.Metrics {
-			v, err := opt.Metrics[m].Eval(acc)
+		if ws[worker] == nil {
+			w, err := backend.NewWorker(&opt)
 			if err != nil {
 				return err
 			}
-			rec.Values[m] = v
+			ws[worker] = w
 		}
-		recs[idx] = rec
+		out, err := ws[worker].RunCell(ctx, CellInput{
+			Point:  p,
+			Net:    nets[slot[p]],
+			Header: headers[slot[p]],
+			Seed:   opt.BaseSeed + int64(cell),
+		})
+		if err != nil {
+			return err
+		}
+		recs[idx] = CellRecord{
+			Cell: cell, Point: p, Rep: rep,
+			Seed:   opt.BaseSeed + int64(cell),
+			Values: out.Values,
+			Stats:  out.Stats,
+			Run:    out.Run,
+		}
 		if emit == nil && opt.OnCell == nil {
 			return nil
 		}

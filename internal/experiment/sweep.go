@@ -137,8 +137,14 @@ type SweepOptions struct {
 	// must be set, exactly as for sim.Run).
 	Sim sim.Options
 	// Metrics are evaluated against each cell's statistics and
-	// summarized per point across its replications.
+	// summarized per point across its replications. For non-simulation
+	// backends the Eval hooks are ignored: the backend resolves each
+	// metric by Name (see NamedMetric).
 	Metrics []Metric
+	// Backend selects the per-cell engine; nil means SimBackend (the
+	// stochastic simulator, byte-identical to the pre-backend driver).
+	// Deterministic backends require Reps == 1 and no Adaptive.
+	Backend Backend
 	// Build constructs the net for one grid point. It is called once
 	// per point, serially and in point order, before any simulation
 	// starts; the returned net must be immutable for the sweep's
@@ -242,6 +248,21 @@ func (o *SweepOptions) Validate() error {
 	}
 	if o.Build == nil {
 		return fmt.Errorf("experiment: sweep needs a Build hook")
+	}
+	if b := o.backend(); b.Deterministic() {
+		if o.Adaptive != nil {
+			return fmt.Errorf("experiment: the %s engine is deterministic; adaptive replication needs a stochastic engine", b.Engine())
+		}
+		if o.Reps != 1 {
+			return fmt.Errorf("experiment: the %s engine is deterministic; Reps must be 1, got %d", b.Engine(), o.Reps)
+		}
+	}
+	// Minting a worker validates the metric set against the backend
+	// eagerly (name resolution, CTL parsing, Eval presence), so a bad
+	// metric fails here — before planners spawn processes or pools
+	// schedule cells.
+	if _, err := o.backend().NewWorker(o); err != nil {
+		return err
 	}
 	seen := make(map[string]bool, len(o.Axes))
 	for i, ax := range o.Axes {

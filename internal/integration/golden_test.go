@@ -93,6 +93,42 @@ func TestGoldenSweep(t *testing.T) {
 	}
 }
 
+// TestGoldenSweepEngines pins the exhaustive engines at the CLI
+// boundary: the reach and analytic grid tables on the mutex net, plus
+// the sim-vs-analytic cross-validation report. The reach CSV is also
+// re-run across exploration shard counts, holding the parallel-build
+// bit-identity guarantee end to end.
+func TestGoldenSweepEngines(t *testing.T) {
+	bins := buildTools(t, "pnut-sweep")
+	net := testdataPath(t, "mutex.pn")
+
+	reachArgs := func(shards string) []string {
+		return []string{
+			"-net", net, "-engine", "reach",
+			"-bound", "lock", "-ctl", "AG(EF({crit_a == 1}))",
+			"-explore-shards", shards, "-format", "csv",
+		}
+	}
+	reach := mustOutput(t, bins["pnut-sweep"], reachArgs("1")...)
+	goldenCompare(t, "pnut-sweep-reach.csv", reach)
+	for _, shards := range []string{"2", "8"} {
+		if rerun := mustOutput(t, bins["pnut-sweep"], reachArgs(shards)...); !bytes.Equal(rerun, reach) {
+			t.Errorf("-explore-shards %s changed the reach CSV", shards)
+		}
+	}
+
+	analytic := mustOutput(t, bins["pnut-sweep"],
+		"-net", net, "-engine", "analytic",
+		"-throughput", "enter_a", "-utilization", "crit_a", "-format", "csv")
+	goldenCompare(t, "pnut-sweep-analytic.csv", analytic)
+
+	cross := mustOutput(t, bins["pnut-sweep"],
+		"-net", net, "-engine", "sim+analytic",
+		"-throughput", "enter_a", "-utilization", "crit_a",
+		"-reps", "3", "-horizon", "5000", "-seed", "11", "-parallel", "2", "-format", "csv")
+	goldenCompare(t, "pnut-sweep-cross.csv", cross)
+}
+
 // TestGoldenSweepNetVars pins the .pn var-override mode.
 func TestGoldenSweepNetVars(t *testing.T) {
 	bins := buildTools(t, "pnut-sweep")

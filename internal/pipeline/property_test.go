@@ -132,7 +132,7 @@ func TestDeadlockFreedomSmallConfigs(t *testing.T) {
 		}
 		if dl := g.Deadlocks(); len(dl) != 0 {
 			t.Errorf("buf=%d pre=%d: %d deadlock states, e.g. %s",
-				cfg.buf, cfg.pre, len(dl), g.Nodes[dl[0]].Marking.Format(net))
+				cfg.buf, cfg.pre, len(dl), g.MarkingOf(dl[0]).Format(net))
 		}
 		if dead := g.DeadTransitions(); len(dead) != 0 {
 			t.Errorf("buf=%d pre=%d: dead transitions %v", cfg.buf, cfg.pre, dead)

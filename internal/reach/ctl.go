@@ -17,6 +17,14 @@ type StateGraph interface {
 	PlaceByName(name string) (petri.PlaceID, bool)
 }
 
+// markingRanger is the optional bulk face of StateGraph: a sequential
+// whole-graph marking scan with a reused buffer. Atom evaluation
+// prefers it over per-node MarkingAt, which for the compact-store
+// Graph would decode (and allocate) one marking per call.
+type markingRanger interface {
+	EachMarking(fn func(id int, m petri.Marking) bool)
+}
+
 // NumNodes implements StateGraph.
 func (g *Graph) NumNodes() int { return len(g.Nodes) }
 
@@ -29,8 +37,9 @@ func (g *Graph) Succ(id int) []int {
 	return out
 }
 
-// MarkingAt implements StateGraph.
-func (g *Graph) MarkingAt(id int) petri.Marking { return g.Nodes[id].Marking }
+// MarkingAt implements StateGraph by decoding from the compact store;
+// it allocates per call, so bulk scans go through EachMarking.
+func (g *Graph) MarkingAt(id int) petri.Marking { return g.MarkingOf(id) }
 
 // PlaceByName implements StateGraph.
 func (g *Graph) PlaceByName(name string) (petri.PlaceID, bool) { return g.Net.PlaceID(name) }
@@ -52,6 +61,16 @@ func (g *TimedGraph) MarkingAt(id int) petri.Marking { return g.Nodes[id].Markin
 
 // PlaceByName implements StateGraph.
 func (g *TimedGraph) PlaceByName(name string) (petri.PlaceID, bool) { return g.Net.PlaceID(name) }
+
+// EachMarking implements markingRanger over the timed graph's boxed
+// nodes, so the CTL atom scan takes the same bulk path on both graphs.
+func (g *TimedGraph) EachMarking(fn func(id int, m petri.Marking) bool) {
+	for i := range g.Nodes {
+		if !fn(i, g.Nodes[i].Marking) {
+			return
+		}
+	}
+}
 
 // Formula is a branching-time temporal-logic formula in the style of
 // the [MR87] analyzer. Atoms are integer expressions over place names
@@ -125,24 +144,35 @@ func (a *atomExpr) String() string { return "{" + a.src + "}" }
 func (a *atomExpr) check(g StateGraph, c *checker) []bool {
 	out := make([]bool, g.NumNodes())
 	env := expr.NewEnv(nil)
-	for i := range out {
-		m := g.MarkingAt(i)
-		env.External = func(name string) (int64, bool) {
-			id, ok := g.PlaceByName(name)
-			if !ok {
-				return 0, false
-			}
-			return int64(m[id]), true
+	var cur petri.Marking
+	env.External = func(name string) (int64, bool) {
+		id, ok := g.PlaceByName(name)
+		if !ok {
+			return 0, false
 		}
+		return int64(cur[id]), true
+	}
+	evalAt := func(i int, m petri.Marking) {
+		cur = m
 		v, err := a.e.Eval(env)
 		if err != nil {
 			// Unknown names or arithmetic faults make the atom false
 			// everywhere rather than panicking mid-fixpoint; Validate
 			// formulas with Atom() for eager errors.
 			out[i] = false
-			continue
+			return
 		}
 		out[i] = v != 0
+	}
+	if mr, ok := g.(markingRanger); ok {
+		mr.EachMarking(func(i int, m petri.Marking) bool {
+			evalAt(i, m)
+			return true
+		})
+		return out
+	}
+	for i := range out {
+		evalAt(i, g.MarkingAt(i))
 	}
 	return out
 }

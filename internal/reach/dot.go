@@ -3,6 +3,8 @@ package reach
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/petri"
 )
 
 // DOT renders the reachability graph in Graphviz dot syntax, with node
@@ -11,17 +13,19 @@ import (
 func (g *Graph) DOT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", g.Net.Name+"_reach")
-	for _, n := range g.Nodes {
+	g.EachMarking(func(id int, m petri.Marking) bool {
+		n := &g.Nodes[id]
 		shape := "ellipse"
 		if len(n.Out) == 0 {
 			shape = "doublecircle"
 		}
 		fmt.Fprintf(&b, "  n%d [shape=%s label=\"#%d\\n%s\"];\n",
-			n.ID, shape, n.ID, strings.ReplaceAll(n.Marking.Format(g.Net), " ", "\\n"))
+			n.ID, shape, n.ID, strings.ReplaceAll(m.Format(g.Net), " ", "\\n"))
 		for _, e := range n.Out {
 			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", n.ID, e.To, g.Net.Trans[e.Trans].Name)
 		}
-	}
+		return true
+	})
 	b.WriteString("}\n")
 	return b.String()
 }

@@ -1,0 +1,47 @@
+package reach
+
+import "testing"
+
+// FuzzParseFormula hardens the CTL formula parser the same way the
+// expr/ptl/marking fuzz targets harden theirs: arbitrary input must
+// either error or produce a formula whose String form re-parses to the
+// same String. Malformed formulas must never panic — the parser sits
+// on the pnut-reach command line and, via the reach sweep engine, on
+// the simulation server's HTTP surface.
+func FuzzParseFormula(f *testing.F) {
+	for _, seed := range []string{
+		"AG({a == 1})",
+		"EF({a + b == 2}) && !deadlock",
+		"AU({a}, {b})",
+		"EU({a}, AG({b}))",
+		"inev({a})",
+		"( {a} || {b} )",
+		"AG(EF({a}))",
+		"EX(AX({p}))",
+		"!( deadlock )",
+		"AG({Bus_free + Bus_busy == 1})",
+		"EG({x} )",
+		"AF({a} && {b})",
+		"AG({a)",
+		"EU({a})",
+		"XX({a})",
+		"{a +}",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fm, err := ParseFormula(src)
+		if err != nil {
+			return
+		}
+		s := fm.String()
+		fm2, err := ParseFormula(s)
+		if err != nil {
+			t.Fatalf("String output does not re-parse: %v\ninput: %q\nprinted: %q", err, src, s)
+		}
+		if s2 := fm2.String(); s2 != s {
+			t.Fatalf("String is not stable:\nfirst:  %q\nsecond: %q", s, s2)
+		}
+	})
+}

@@ -8,12 +8,21 @@
 // Where Tracertool (package tracer) tests a property on one simulation
 // trace, the reachability analyzer proves it over all possible
 // behaviours — the paper contrasts exactly these two modes.
+//
+// The untimed construction is a sharded-frontier parallel BFS with a
+// canonical numbering contract: node ids, edge order, markings and
+// truncation flags are bit-identical to the serial FIFO build
+// (BuildSerial, kept as the test oracle) for every shard count.
+// Markings live in a compact delta-encoded store (see store.go)
+// instead of one []int plus an interning string per node.
 package reach
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/petri"
 )
@@ -26,6 +35,11 @@ type Options struct {
 	// count exceeds this value (default 4096). Use Coverability for a
 	// definite answer on nets without inhibitor arcs.
 	BoundCap int
+	// Shards is the number of exploration goroutines Build fans each
+	// frontier level across (0 or less = GOMAXPROCS). The graph —
+	// node numbering, edge order, flags — is bit-identical for every
+	// value; shards only change wall-clock time.
+	Shards int
 }
 
 func (o *Options) defaults() {
@@ -43,60 +57,294 @@ type Edge struct {
 	To    int
 }
 
-// Node is one reachable marking.
+// Node is one reachable marking: its id and outgoing edges. The
+// marking itself lives in the graph's compact store — see MarkingOf
+// and EachMarking.
 type Node struct {
-	ID      int
-	Marking petri.Marking
-	Out     []Edge
+	ID  int
+	Out []Edge
 }
 
 // Graph is a reachability graph. Node 0 is the initial marking.
 type Graph struct {
 	Net   *petri.Net
-	Nodes []*Node
-	// Truncated is true if MaxStates was hit; analyses are then lower
-	// bounds only.
+	Nodes []Node
+	store *markingStore
+	// Truncated is true if MaxStates was hit; construction stops at
+	// that point, so analyses are lower bounds only.
 	Truncated bool
 	// CapExceeded names a place whose token count exceeded BoundCap
 	// (empty if none): a strong hint of unboundedness.
 	CapExceeded string
 }
 
+// MarkingOf decodes and returns the marking of one node. Each call
+// allocates; prefer EachMarking for whole-graph scans.
+func (g *Graph) MarkingOf(id int) petri.Marking { return g.store.at(id, nil) }
+
+// EachMarking calls fn for every node in id order with a decode buffer
+// that is reused between calls — fn must not retain m. Returning false
+// stops the scan. A full scan decodes the store once, sequentially,
+// which is how Bound, CheckInvariant and the CTL atom evaluation walk
+// million-state graphs without per-node allocation.
+func (g *Graph) EachMarking(fn func(id int, m petri.Marking) bool) {
+	g.store.span(0, g.store.len(), fn)
+}
+
+// StoreBytes returns the encoded size of the marking store — the
+// memory the state space itself occupies, excluding adjacency.
+func (g *Graph) StoreBytes() int { return g.store.size() }
+
 // Build constructs the untimed reachability graph: firing times and
 // enabling times are ignored and every enabled transition can fire
 // atomically. Interpreted nets (predicates or actions) are rejected —
 // their state includes program variables, which the graph cannot
 // enumerate faithfully.
+//
+// The search is a level-synchronized parallel BFS: each frontier level
+// is expanded by opt.Shards goroutines, successor markings are
+// deduplicated in per-shard hash maps, and new nodes are then
+// committed sequentially in the exact (node, transition) order the
+// serial FIFO build visits them — so the result is bit-identical to
+// BuildSerial for any shard count. Construction stops the moment a
+// new state would exceed MaxStates (Truncated is set and the graph
+// holds exactly MaxStates nodes).
 func Build(net *petri.Net, opt Options) (*Graph, error) {
 	opt.defaults()
 	if net.Interpreted() {
 		return nil, fmt.Errorf("reach: net %q is interpreted (predicates/actions); reachability requires a plain net", net.Name)
 	}
-	g := &Graph{Net: net}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	g := &Graph{Net: net, store: newMarkingStore(net.NumPlaces())}
+	m0 := net.InitialMarking()
+	g.Nodes = append(g.Nodes, Node{ID: 0})
+	g.store.add(m0)
+
+	// Per-shard dedup: a marking is owned by shard hash%shards; the
+	// map holds the committed node ids carrying that hash (collisions
+	// resolved by comparing against the store).
+	seen := make([]map[uint64][]int32, shards)
+	for i := range seen {
+		seen[i] = make(map[uint64][]int32)
+	}
+	h0 := hashMarking(m0)
+	seen[h0%uint64(shards)][h0] = append(seen[h0%uint64(shards)][h0], 0)
+
+	// cand is one successor produced during frontier expansion. Its
+	// resolution is filled in by the dedup phase: node >= 0 is a
+	// committed node id; dup >= 0 says "same new marking as the
+	// earlier candidate with that global sequence number"; both -1
+	// means a genuinely new marking.
+	type cand struct {
+		m    petri.Marking
+		hash uint64
+		t    petri.TransID
+		node int32
+		dup  int32
+	}
+
+	var (
+		scratch = make([]petri.Marking, shards) // per-shard store decode buffers
+		errs    = make([]error, shards)
+	)
+	// Frontier levels are contiguous id ranges: [lo, hi) was assigned
+	// last round, in order, exactly like the serial FIFO queue.
+	lo, hi := 0, 1
+	for lo < hi && !g.Truncated {
+		// Phase A — expand: decode each frontier marking and fire every
+		// enabled transition, in parallel over contiguous chunks. Only
+		// reads the store (no adds are in flight).
+		perNode := make([][]cand, hi-lo)
+		chunk := (hi - lo + shards - 1) / shards
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			a, b := lo+w*chunk, lo+(w+1)*chunk
+			if a >= hi {
+				break
+			}
+			if b > hi {
+				b = hi
+			}
+			wg.Add(1)
+			go func(w, a, b int) {
+				defer wg.Done()
+				g.store.span(a, b, func(id int, m petri.Marking) bool {
+					var out []cand
+					for ti := range net.Trans {
+						t := petri.TransID(ti)
+						ok, err := net.Enabled(t, m, nil)
+						if err != nil {
+							errs[w] = err
+							return false
+						}
+						if !ok {
+							continue
+						}
+						next := m.Clone()
+						net.Consume(t, next)
+						net.Produce(t, next)
+						out = append(out, cand{m: next, hash: hashMarking(next), t: t})
+					}
+					perNode[id-lo] = out
+					return true
+				})
+			}(w, a, b)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Flatten to the global candidate order — (node asc, transition
+		// asc), the order the serial build visits successors — and
+		// bucket each candidate's sequence number to its owning shard.
+		var flat []cand
+		for _, out := range perNode {
+			flat = append(flat, out...)
+		}
+		byShard := make([][]int32, shards)
+		for seq := range flat {
+			s := flat[seq].hash % uint64(shards)
+			byShard[s] = append(byShard[s], int32(seq))
+		}
+
+		// Phase B — dedup: each shard resolves its candidates against
+		// its committed ids and against earlier candidates of this
+		// round, in global order. Shards touch disjoint maps and
+		// disjoint candidates; the store is again read-only.
+		for w := 0; w < shards; w++ {
+			if len(byShard[w]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var pend map[uint64][]int32 // hash -> seqs of new markings this round
+				for _, seq := range byShard[w] {
+					c := &flat[seq]
+					c.node, c.dup = -1, -1
+					match := false
+					for _, id := range seen[w][c.hash] {
+						var eq bool
+						eq, scratch[w] = g.store.equal(int(id), c.m, scratch[w])
+						if eq {
+							c.node = id
+							match = true
+							break
+						}
+					}
+					if match {
+						continue
+					}
+					for _, ps := range pend[c.hash] {
+						if flat[ps].m.Equal(c.m) {
+							c.dup = ps
+							match = true
+							break
+						}
+					}
+					if match {
+						continue
+					}
+					if pend == nil {
+						pend = make(map[uint64][]int32)
+					}
+					pend[c.hash] = append(pend[c.hash], int32(seq))
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Phase C — commit, sequentially in global candidate order:
+		// bound-cap detection, id assignment, store appends, edges and
+		// truncation all happen exactly as in the serial build.
+		assigned := make([]int32, len(flat))
+		lvlLo := len(g.Nodes)
+		seq := 0
+	commit:
+		for i, out := range perNode {
+			src := lo + i
+			for range out {
+				c := &flat[seq]
+				if g.CapExceeded == "" {
+					for pi, cnt := range c.m {
+						if cnt > opt.BoundCap {
+							g.CapExceeded = net.Places[pi].Name
+							break
+						}
+					}
+				}
+				var nid int32
+				switch {
+				case c.node >= 0:
+					nid = c.node
+				case c.dup >= 0:
+					nid = assigned[c.dup]
+				default:
+					if len(g.Nodes) >= opt.MaxStates {
+						g.Truncated = true
+						break commit
+					}
+					nid = int32(len(g.Nodes))
+					g.Nodes = append(g.Nodes, Node{ID: int(nid)})
+					g.store.add(c.m)
+					seen[c.hash%uint64(shards)][c.hash] = append(seen[c.hash%uint64(shards)][c.hash], nid)
+				}
+				assigned[seq] = nid
+				g.Nodes[src].Out = append(g.Nodes[src].Out, Edge{Trans: c.t, To: int(nid)})
+				seq++
+			}
+		}
+		lo, hi = lvlLo, len(g.Nodes)
+	}
+	return g, nil
+}
+
+// BuildSerial is the plain serial BFS construction — the algorithm
+// Build had before the sharded search, kept as the bit-identity oracle
+// the parallel build is tested against. Markings are interned through
+// Marking.Key() strings; nodes are processed with an index cursor (no
+// queue-head reslicing, so the visited prefix can be collected) and
+// construction stops the moment MaxStates is hit, exactly like Build.
+func BuildSerial(net *petri.Net, opt Options) (*Graph, error) {
+	opt.defaults()
+	if net.Interpreted() {
+		return nil, fmt.Errorf("reach: net %q is interpreted (predicates/actions); reachability requires a plain net", net.Name)
+	}
+	g := &Graph{Net: net, store: newMarkingStore(net.NumPlaces())}
 	index := make(map[string]int)
 	m0 := net.InitialMarking()
-	g.Nodes = append(g.Nodes, &Node{ID: 0, Marking: m0})
+	g.Nodes = append(g.Nodes, Node{ID: 0})
+	g.store.add(m0)
 	index[m0.Key()] = 0
-	work := []int{0}
-	for len(work) > 0 {
-		id := work[0]
-		work = work[1:]
-		node := g.Nodes[id]
+	var cur petri.Marking
+	for id := 0; id < len(g.Nodes) && !g.Truncated; id++ {
+		cur = g.store.at(id, cur)
+		m := cur
 		for ti := range net.Trans {
 			t := petri.TransID(ti)
-			ok, err := net.Enabled(t, node.Marking, nil)
+			ok, err := net.Enabled(t, m, nil)
 			if err != nil {
 				return nil, err
 			}
 			if !ok {
 				continue
 			}
-			next := node.Marking.Clone()
+			next := m.Clone()
 			net.Consume(t, next)
 			net.Produce(t, next)
-			for pi, c := range next {
-				if c > opt.BoundCap && g.CapExceeded == "" {
-					g.CapExceeded = net.Places[pi].Name
+			if g.CapExceeded == "" {
+				for pi, c := range next {
+					if c > opt.BoundCap {
+						g.CapExceeded = net.Places[pi].Name
+						break
+					}
 				}
 			}
 			key := next.Key()
@@ -104,14 +352,14 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 			if !seen {
 				if len(g.Nodes) >= opt.MaxStates {
 					g.Truncated = true
-					continue
+					break
 				}
 				nid = len(g.Nodes)
-				g.Nodes = append(g.Nodes, &Node{ID: nid, Marking: next})
+				g.Nodes = append(g.Nodes, Node{ID: nid})
+				g.store.add(next)
 				index[key] = nid
-				work = append(work, nid)
 			}
-			node.Out = append(node.Out, Edge{Trans: t, To: nid})
+			g.Nodes[id].Out = append(g.Nodes[id].Out, Edge{Trans: t, To: nid})
 		}
 	}
 	return g, nil
@@ -120,9 +368,9 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 // Deadlocks returns the IDs of nodes with no outgoing edges.
 func (g *Graph) Deadlocks() []int {
 	var out []int
-	for _, n := range g.Nodes {
-		if len(n.Out) == 0 {
-			out = append(out, n.ID)
+	for i := range g.Nodes {
+		if len(g.Nodes[i].Out) == 0 {
+			out = append(out, g.Nodes[i].ID)
 		}
 	}
 	return out
@@ -135,11 +383,12 @@ func (g *Graph) Bound(place string) (int, error) {
 		return 0, fmt.Errorf("reach: unknown place %q", place)
 	}
 	max := 0
-	for _, n := range g.Nodes {
-		if n.Marking[id] > max {
-			max = n.Marking[id]
+	g.EachMarking(func(_ int, m petri.Marking) bool {
+		if m[id] > max {
+			max = m[id]
 		}
-	}
+		return true
+	})
 	return max, nil
 }
 
@@ -147,8 +396,8 @@ func (g *Graph) Bound(place string) (int, error) {
 // graph (L0-dead in the classical liveness hierarchy).
 func (g *Graph) DeadTransitions() []string {
 	fired := make([]bool, g.Net.NumTrans())
-	for _, n := range g.Nodes {
-		for _, e := range n.Out {
+	for i := range g.Nodes {
+		for _, e := range g.Nodes[i].Out {
 			fired[e.Trans] = true
 		}
 	}
@@ -181,12 +430,23 @@ func (g *Graph) CheckInvariant(weights map[string]int) (int, error) {
 		}
 		return s
 	}
-	want := sum(g.Nodes[0].Marking)
-	for _, n := range g.Nodes[1:] {
-		if got := sum(n.Marking); got != want {
-			return 0, fmt.Errorf("reach: invariant violated at node %d (%s): %d != %d",
-				n.ID, n.Marking.Format(g.Net), got, want)
+	want, violated := 0, -1
+	g.EachMarking(func(id int, m petri.Marking) bool {
+		got := sum(m)
+		if id == 0 {
+			want = got
+			return true
 		}
+		if got != want {
+			violated = id
+			return false
+		}
+		return true
+	})
+	if violated >= 0 {
+		m := g.MarkingOf(violated)
+		return 0, fmt.Errorf("reach: invariant violated at node %d (%s): %d != %d",
+			violated, m.Format(g.Net), sum(m), want)
 	}
 	return want, nil
 }
@@ -209,7 +469,7 @@ func (g *Graph) Summary() string {
 			fmt.Fprintf(&b, "    ...\n")
 			break
 		}
-		fmt.Fprintf(&b, "    #%d %s\n", id, g.Nodes[id].Marking.Format(g.Net))
+		fmt.Fprintf(&b, "    #%d %s\n", id, g.MarkingOf(id).Format(g.Net))
 	}
 	if dead := g.DeadTransitions(); len(dead) > 0 {
 		fmt.Fprintf(&b, "  dead transitions: %s\n", strings.Join(dead, ", "))

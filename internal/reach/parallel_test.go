@@ -1,0 +1,161 @@
+package reach
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/modelgen"
+	"repro/internal/petri"
+)
+
+// graphsIdentical asserts bit-identity between two graphs: same nodes,
+// same edges in the same order, same marking store bytes (which pins
+// both the markings and their id order) and same flags.
+func graphsIdentical(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if len(want.Nodes) != len(got.Nodes) {
+		t.Fatalf("nodes: %d != %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i := range want.Nodes {
+		w, g := &want.Nodes[i], &got.Nodes[i]
+		if w.ID != g.ID || len(w.Out) != len(g.Out) {
+			t.Fatalf("node %d: id/out mismatch (%d edges vs %d)", i, len(g.Out), len(w.Out))
+		}
+		for j := range w.Out {
+			if w.Out[j] != g.Out[j] {
+				t.Fatalf("node %d edge %d: %+v != %+v", i, j, g.Out[j], w.Out[j])
+			}
+		}
+	}
+	if !bytes.Equal(want.store.buf, got.store.buf) {
+		t.Fatalf("marking stores differ (%d vs %d bytes)", len(got.store.buf), len(want.store.buf))
+	}
+	if want.Truncated != got.Truncated || want.CapExceeded != got.CapExceeded {
+		t.Fatalf("flags: truncated %v/%v capExceeded %q/%q",
+			got.Truncated, want.Truncated, got.CapExceeded, want.CapExceeded)
+	}
+}
+
+// unboundedBranchNet grows without bound in two competing directions —
+// exercises truncation and bound-cap detection under sharding.
+func unboundedBranchNet() *petri.Net {
+	b := petri.NewBuilder("unbounded_branch")
+	b.Place("src", 1)
+	b.Place("a", 0)
+	b.Place("b", 0)
+	b.Trans("grow_a").In("src").Out("src").Out("a")
+	b.Trans("grow_b").In("src").Out("src").Out("b")
+	return b.MustBuild()
+}
+
+// TestParallelBuildMatchesSerial is the canonical-numbering property
+// test: for every shard count the parallel Build must reproduce the
+// serial oracle bit for bit — node ids, edge order, store bytes and
+// flags — across the modelgen families and the hand-written nets.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *petri.Net
+		opt  Options
+	}{
+		{"mutex", mutexNet(t), Options{}},
+		{"pipeline_8x3", modelgen.DeepPipeline(8, 3, 1), Options{}},
+		{"pipeline_12x4", modelgen.DeepPipeline(12, 4, 2), Options{}},
+		{"forkjoin_3x2", modelgen.ForkJoin(3, 2, 1), Options{}},
+		{"forkjoin_4x3", modelgen.ForkJoin(4, 3, 3), Options{}},
+		{"truncated", unboundedBranchNet(), Options{MaxStates: 500}},
+		{"capped", unboundedBranchNet(), Options{MaxStates: 2000, BoundCap: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := BuildSerial(tc.net, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d states, %d store bytes", tc.name, len(want.Nodes), want.StoreBytes())
+			for _, shards := range []int{1, 2, 8} {
+				opt := tc.opt
+				opt.Shards = shards
+				got, err := Build(tc.net, opt)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				graphsIdentical(t, want, got)
+			}
+		})
+	}
+}
+
+// TestTruncationNeverExceedsMaxStates is the regression test for the
+// truncation short-circuit: construction stops the moment MaxStates is
+// hit, so the node count can never exceed the cap — for either builder
+// and any shard count.
+func TestTruncationNeverExceedsMaxStates(t *testing.T) {
+	net := unboundedBranchNet()
+	for _, max := range []int{1, 2, 7, 50, 333} {
+		opt := Options{MaxStates: max}
+		for _, build := range []struct {
+			name string
+			fn   func(*petri.Net, Options) (*Graph, error)
+		}{
+			{"serial", BuildSerial},
+			{"parallel", func(n *petri.Net, o Options) (*Graph, error) { o.Shards = 4; return Build(n, o) }},
+		} {
+			g, err := build.fn(net, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Truncated {
+				t.Errorf("%s max=%d: not truncated", build.name, max)
+			}
+			if len(g.Nodes) > max {
+				t.Errorf("%s max=%d: %d nodes exceed the cap", build.name, max, len(g.Nodes))
+			}
+		}
+	}
+}
+
+// TestBuildMatchesSerialWithHashCollisions forces every marking into
+// one dedup bucket (and one shard) by stubbing nothing — instead it
+// runs a net large enough that 64-bit FNV buckets see real chains, and
+// double-checks MarkingOf round-trips through the store.
+func TestStoreRoundTripThroughGraph(t *testing.T) {
+	net := modelgen.DeepPipeline(9, 3, 7)
+	g, err := Build(net, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int, len(g.Nodes))
+	g.EachMarking(func(id int, m petri.Marking) bool {
+		key := m.Key()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("marking of node %d duplicates node %d: %s", id, prev, key)
+		}
+		seen[key] = id
+		if one := g.MarkingOf(id); !one.Equal(m) {
+			t.Fatalf("node %d: MarkingOf %v != EachMarking %v", id, one, m)
+		}
+		return true
+	})
+	if len(seen) != len(g.Nodes) {
+		t.Fatalf("scanned %d markings for %d nodes", len(seen), len(g.Nodes))
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	net := modelgen.DeepPipeline(12, 5, 1)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				g, err := Build(net, Options{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = len(g.Nodes)
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}

@@ -1,0 +1,161 @@
+// The marking store is the compact state backbone of the reachability
+// graph: an append-only, delta-encoded log of markings indexed by node
+// id. A million-state graph used to hold one boxed []int per node plus
+// a map keyed by Marking.Key() strings; the store keeps the same
+// information as varint bytes, borrowing the keyframe+delta block
+// layout of the columnar trace codec (internal/trace/col.go): BFS
+// neighbours differ in a handful of places, so consecutive markings
+// delta-encode to a few bytes each.
+//
+// Layout: markings are appended in id order. Every storeBlock-th entry
+// is a keyframe (each place count as a uvarint); the entries after it
+// encode zigzag-varint deltas against the previous entry. blocks[]
+// records each keyframe's byte offset, so random access decodes at
+// most one block.
+//
+// Concurrency: add must be single-threaded and must not overlap any
+// read; reads (at, equal, span) are safe concurrently with each other.
+// The parallel builder respects this by construction — markings are
+// only appended in the sequential commit phase of a round, and only
+// read during the parallel expand/dedup phases.
+package reach
+
+import (
+	"encoding/binary"
+
+	"repro/internal/petri"
+)
+
+// storeBlock is the keyframe interval: worst-case random access decodes
+// storeBlock entries.
+const storeBlock = 32
+
+type markingStore struct {
+	places int
+	buf    []byte
+	blocks []int // byte offset of each block's keyframe
+	n      int
+	prev   petri.Marking // last appended marking (delta base for add)
+}
+
+func newMarkingStore(places int) *markingStore {
+	return &markingStore{places: places}
+}
+
+// len returns the number of stored markings.
+func (s *markingStore) len() int { return s.n }
+
+// size returns the encoded size in bytes.
+func (s *markingStore) size() int { return len(s.buf) }
+
+// add appends m (which is not retained) and returns its id.
+func (s *markingStore) add(m petri.Marking) int {
+	id := s.n
+	if id%storeBlock == 0 {
+		s.blocks = append(s.blocks, len(s.buf))
+		for _, c := range m {
+			s.buf = binary.AppendUvarint(s.buf, uint64(c))
+		}
+	} else {
+		for i, c := range m {
+			s.buf = binary.AppendVarint(s.buf, int64(c-s.prev[i]))
+		}
+	}
+	s.prev = append(s.prev[:0], m...)
+	s.n = id + 1
+	return id
+}
+
+// decodeInto decodes the entry at byte offset off into dst: a keyframe
+// if key, otherwise deltas applied to dst's current contents. It
+// returns the offset past the entry.
+func (s *markingStore) decodeInto(off int, dst petri.Marking, key bool) int {
+	if key {
+		for i := 0; i < s.places; i++ {
+			v, n := binary.Uvarint(s.buf[off:])
+			dst[i] = int(v)
+			off += n
+		}
+		return off
+	}
+	for i := 0; i < s.places; i++ {
+		d, n := binary.Varint(s.buf[off:])
+		dst[i] += int(d)
+		off += n
+	}
+	return off
+}
+
+// at decodes the marking with the given id into dst (grown if needed)
+// and returns it.
+func (s *markingStore) at(id int, dst petri.Marking) petri.Marking {
+	if cap(dst) < s.places {
+		dst = make(petri.Marking, s.places)
+	}
+	dst = dst[:s.places]
+	off := s.blocks[id/storeBlock]
+	off = s.decodeInto(off, dst, true)
+	for k := (id/storeBlock)*storeBlock + 1; k <= id; k++ {
+		off = s.decodeInto(off, dst, false)
+	}
+	return dst
+}
+
+// equal reports whether the stored marking id equals m, using scratch
+// as the decode buffer; it returns the (possibly grown) scratch for
+// reuse.
+func (s *markingStore) equal(id int, m petri.Marking, scratch petri.Marking) (bool, petri.Marking) {
+	scratch = s.at(id, scratch)
+	return scratch.Equal(m), scratch
+}
+
+// span calls fn for each id in [lo, hi) in order, with a decode buffer
+// that is reused between calls — fn must not retain m. Returning false
+// stops the iteration.
+func (s *markingStore) span(lo, hi int, fn func(id int, m petri.Marking) bool) {
+	if lo >= hi {
+		return
+	}
+	cur := make(petri.Marking, s.places)
+	block := lo / storeBlock
+	off := s.decodeInto(s.blocks[block], cur, true)
+	for k := block*storeBlock + 1; k <= lo; k++ {
+		off = s.decodeInto(off, cur, false)
+	}
+	for id := lo; ; {
+		if !fn(id, cur) {
+			return
+		}
+		if id++; id >= hi {
+			return
+		}
+		if id%storeBlock == 0 {
+			off = s.decodeInto(s.blocks[id/storeBlock], cur, true)
+		} else {
+			off = s.decodeInto(off, cur, false)
+		}
+	}
+}
+
+// hashMarking is the binary marking hash the sharded dedup is keyed by:
+// FNV-1a over the varint encoding of the counts. It replaces the
+// Marking.Key() strings of the serial build — no allocation, and the
+// low bits pick the owning shard.
+func hashMarking(m petri.Marking) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range m {
+		v := uint64(c)
+		for v >= 0x80 {
+			h ^= v&0x7f | 0x80
+			h *= prime64
+			v >>= 7
+		}
+		h ^= v
+		h *= prime64
+	}
+	return h
+}

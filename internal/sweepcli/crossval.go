@@ -1,0 +1,172 @@
+// Sim-vs-analytic cross-validation: the diff of a stochastic sweep
+// against the exact steady-state solution of the same grid. The paper's
+// workflow runs both kinds of analysis on the same net; putting the
+// diff in the toolkit turns "the simulator looks right" into a checked
+// property — every grid point's simulated mean must land within a
+// relative tolerance of the exact value, or the run fails.
+package sweepcli
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"text/tabwriter"
+
+	"repro/internal/experiment"
+)
+
+// CrossCol is one metric's comparison at one grid point.
+type CrossCol struct {
+	// Metric is the shared metric name, e.g. "throughput(Issue)".
+	Metric string
+	// Sim and CI95 summarize the stochastic sweep: the replication mean
+	// and its 95% confidence half-width.
+	Sim  float64
+	CI95 float64
+	// Analytic is the exact steady-state value.
+	Analytic float64
+	// RelErr is |Sim-Analytic| / |Analytic| (0 when both are 0, +Inf
+	// when only the exact value is).
+	RelErr float64
+	// OK reports agreement: |Sim-Analytic| <= tol*|Analytic| + 1e-9.
+	OK bool
+}
+
+// CrossRow is one grid point's comparison.
+type CrossRow struct {
+	Point experiment.Point
+	// Reps is the simulation replication count behind the means.
+	Reps int
+	Cols []CrossCol
+}
+
+// CrossReport is the full sim-vs-analytic diff of one grid.
+type CrossReport struct {
+	Axes []experiment.Axis
+	Tol  float64
+	Rows []CrossRow
+	// Disagreements counts the (point, metric) cells outside tolerance.
+	Disagreements int
+}
+
+// CrossValidate diffs a simulation sweep against the analytic sweep of
+// the same grid. The two results must align: same points in the same
+// order, same metric names column for column — which CrossOptions
+// guarantees by deriving both halves from one config.
+func CrossValidate(simRes, anaRes *experiment.SweepResult, tol float64) (*CrossReport, error) {
+	if len(simRes.Points) != len(anaRes.Points) {
+		return nil, fmt.Errorf("cross-validation: sim has %d points, analytic %d", len(simRes.Points), len(anaRes.Points))
+	}
+	names, anaNames := simRes.MetricNames(), anaRes.MetricNames()
+	if len(names) != len(anaNames) {
+		return nil, fmt.Errorf("cross-validation: sim has %d metrics, analytic %d", len(names), len(anaNames))
+	}
+	for i := range names {
+		if names[i] != anaNames[i] {
+			return nil, fmt.Errorf("cross-validation: metric %d is %q in sim, %q in analytic", i, names[i], anaNames[i])
+		}
+	}
+	rep := &CrossReport{Axes: simRes.Axes, Tol: tol, Rows: make([]CrossRow, len(simRes.Points))}
+	for p := range simRes.Points {
+		sp, ap := &simRes.Points[p], &anaRes.Points[p]
+		for i, v := range sp.Point.Values {
+			if ap.Point.Values[i] != v {
+				return nil, fmt.Errorf("cross-validation: point %d is %s in sim, %s in analytic", p, sp.Point.String(), ap.Point.String())
+			}
+		}
+		row := CrossRow{Point: sp.Point, Reps: sp.Reps, Cols: make([]CrossCol, len(names))}
+		for m := range names {
+			s := sp.Summaries[m]
+			exact := ap.Values[m][0]
+			diff := math.Abs(s.Mean - exact)
+			col := CrossCol{
+				Metric:   names[m],
+				Sim:      s.Mean,
+				CI95:     s.CI95,
+				Analytic: exact,
+				OK:       diff <= tol*math.Abs(exact)+1e-9,
+			}
+			switch {
+			case exact != 0:
+				col.RelErr = diff / math.Abs(exact)
+			case diff != 0:
+				col.RelErr = math.Inf(1)
+			}
+			if !col.OK {
+				rep.Disagreements++
+			}
+			row.Cols[m] = col
+		}
+		rep.Rows[p] = row
+	}
+	return rep, nil
+}
+
+// WriteTable renders the report as an aligned text table: one row per
+// grid point, one column per axis, then "sim ±ci95 / exact (relerr)"
+// per metric, with disagreeing cells marked "!".
+func (r *CrossReport) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, ax := range r.Axes {
+		fmt.Fprintf(tw, "%s\t", ax.Name)
+	}
+	for _, c := range r.Rows[0].Cols {
+		fmt.Fprintf(tw, "%s\t", c.Metric)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		for _, v := range row.Point.Values {
+			fmt.Fprintf(tw, "%s\t", formatG(v))
+		}
+		for _, c := range row.Cols {
+			mark := ""
+			if !c.OK {
+				mark = " !"
+			}
+			fmt.Fprintf(tw, "%.4f ±%.4f / %.4f (%.2f%%)%s\t", c.Sim, c.CI95, c.Analytic, 100*c.RelErr, mark)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders the report as CSV: one row per grid point, one
+// column per axis, then sim/ci95/exact/relerr/ok columns per metric.
+// Floats print with full precision, so equal reports encode to equal
+// bytes.
+func (r *CrossReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := make([]string, 0, len(r.Axes)+5*len(r.Rows[0].Cols))
+	for _, ax := range r.Axes {
+		head = append(head, ax.Name)
+	}
+	for _, c := range r.Rows[0].Cols {
+		head = append(head, c.Metric+" sim", c.Metric+" ci95", c.Metric+" exact", c.Metric+" relerr", c.Metric+" ok")
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	row := make([]string, 0, cap(head))
+	for _, cr := range r.Rows {
+		row = row[:0]
+		for _, v := range cr.Point.Values {
+			row = append(row, formatG(v))
+		}
+		for _, c := range cr.Cols {
+			ok := "0"
+			if c.OK {
+				ok = "1"
+			}
+			row = append(row, formatG(c.Sim), formatG(c.CI95), formatG(c.Analytic), formatG(c.RelErr), ok)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -48,6 +48,20 @@ type Spec struct {
 	Throughput  []string `json:"throughput,omitempty"`
 	Utilization []string `json:"utilization,omitempty"`
 
+	// Engine selects the grid engine: sim (the default), reach or
+	// analytic. The cross-validation mode sim+analytic is CLI-only and
+	// rejected here, exactly as pnut-grid rejects it.
+	Engine string `json:"engine,omitempty"`
+	// MaxStates/BoundCap bound the exhaustive engines' state space per
+	// grid point (0 = the reach defaults); ExploreShards is the reach
+	// engine's per-cell parallelism (never affects results). Bound and
+	// Ctl are the reach engine's metric selectors.
+	MaxStates     int      `json:"maxStates,omitempty"`
+	BoundCap      int      `json:"boundCap,omitempty"`
+	ExploreShards int      `json:"exploreShards,omitempty"`
+	Bound         []string `json:"bound,omitempty"`
+	Ctl           []string `json:"ctl,omitempty"`
+
 	// Parallel caps the job's worker goroutines (0 = server default;
 	// never affects results). Format selects the result rendering:
 	// csv (default), table or json. Neither enters the sweep grid.
@@ -105,6 +119,24 @@ func (s *Spec) Flags() []string {
 	}
 	for _, u := range s.Utilization {
 		args = append(args, "-utilization", u)
+	}
+	if s.Engine != "" {
+		args = append(args, "-engine", s.Engine)
+	}
+	if s.MaxStates != 0 {
+		args = append(args, "-max-states", strconv.Itoa(s.MaxStates))
+	}
+	if s.BoundCap != 0 {
+		args = append(args, "-bound-cap", strconv.Itoa(s.BoundCap))
+	}
+	if s.ExploreShards != 0 {
+		args = append(args, "-explore-shards", strconv.Itoa(s.ExploreShards))
+	}
+	for _, p := range s.Bound {
+		args = append(args, "-bound", p)
+	}
+	for _, f := range s.Ctl {
+		args = append(args, "-ctl", f)
 	}
 	if s.Parallel != 0 {
 		args = append(args, "-parallel", strconv.Itoa(s.Parallel))
@@ -177,6 +209,14 @@ func SpecFromConfig(c *Config) Spec {
 	}
 	if c.Adaptive != "" {
 		s.MinReps, s.MaxReps, s.Batch = c.MinReps, c.MaxReps, c.Batch
+	}
+	if c.Engine != "" && c.Engine != "sim" {
+		s.Engine = c.Engine
+		s.MaxStates = c.EngineFlags.MaxStates
+		s.BoundCap = c.BoundCap
+		s.ExploreShards = c.Explore
+		s.Bound = append([]string(nil), c.Bounds...)
+		s.Ctl = append([]string(nil), c.Checks...)
 	}
 	return s
 }

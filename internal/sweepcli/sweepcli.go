@@ -220,6 +220,7 @@ type Config struct {
 	RunFlags
 	AdaptiveFlags
 	MetricFlags
+	EngineFlags
 
 	Axes Repeated
 }
@@ -235,10 +236,13 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	c.AdaptiveFlags.Register(fs)
 	fs.Var(&c.Axes, "axis", "swept parameter as Name=v1,v2,... or Name=lo:hi:step (repeatable; product of axes is the grid)")
 	c.MetricFlags.Register(fs)
+	c.EngineFlags.Register(fs)
 }
 
 // Options expands the config into sweep options plus the model name.
-// At least one metric is required.
+// The sim and analytic engines require at least one metric; the reach
+// engine derives its metric set from -bound/-ctl on top of a fixed
+// structural core.
 func (c *Config) Options() (experiment.SweepOptions, string, error) {
 	build, name, err := buildHook(c.Net, c.Model)
 	if err != nil {
@@ -261,26 +265,27 @@ func (c *Config) optionsWith(build func(experiment.Point) (*petri.Net, error)) (
 		}
 		parsed = append(parsed, ax)
 	}
-	metrics := c.Metrics()
-	if len(metrics) == 0 {
-		return experiment.SweepOptions{}, fmt.Errorf("at least one -throughput or -utilization metric is required")
-	}
 	adaptive, err := c.AdaptiveFlags.Options()
 	if err != nil {
 		return experiment.SweepOptions{}, err
 	}
 	so := c.SimOptions()
 	so.Seed = 0 // the sweep seeds each cell from BaseSeed
-	return experiment.SweepOptions{
+	opt := experiment.SweepOptions{
 		Axes:     parsed,
 		Reps:     c.Reps,
 		Adaptive: adaptive,
 		Workers:  c.Parallel,
 		BaseSeed: c.Seed,
 		Sim:      so,
-		Metrics:  metrics,
 		Build:    build,
-	}, nil
+	}
+	// The engine choice supplies the metrics, the backend and — for the
+	// deterministic engines — the collapsed replication shape.
+	if err := c.applyEngine(&opt); err != nil {
+		return experiment.SweepOptions{}, err
+	}
+	return opt, nil
 }
 
 // WorkerArgs reconstructs the flag list that reproduces this sweep
@@ -304,6 +309,7 @@ func (c *Config) WorkerArgs(parallel int) []string {
 		args = append(args, "-axis", a)
 	}
 	args = append(args, c.MetricFlags.Args()...)
+	args = append(args, c.EngineFlags.Args()...)
 	return args
 }
 

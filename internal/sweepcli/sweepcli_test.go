@@ -33,6 +33,14 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 			Axes:          Repeated{"DHitRatio=0:1:0.25"},
 			MetricFlags:   MetricFlags{Throughputs: Repeated{"Issue"}},
 		},
+		{
+			Net: "testdata/pipeline.pn", Model: "pipeline", RunFlags: RunFlags{Horizon: 10_000, Seed: 1}, Reps: 1,
+			Axes: Repeated{"max_type=4,6"},
+			EngineFlags: EngineFlags{
+				Engine: "reach", MaxStates: 5000, BoundCap: 64, Explore: 2,
+				Bounds: Repeated{"p1", "p2"}, Checks: Repeated{"AG !deadlock"},
+			},
+		},
 	}
 	for _, want := range cfgs {
 		var got Config
@@ -47,6 +55,11 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 			// meaningful) with -adaptive; a fixed-rep worker parses their
 			// defaults.
 			want.MinReps, want.MaxReps = 4, 64
+		}
+		if want.Engine == "" {
+			// -engine is only shipped when it differs from the default;
+			// a sim worker parses the registered default back.
+			want.Engine = "sim"
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, want)
