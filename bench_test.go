@@ -541,7 +541,7 @@ func BenchmarkReachability(b *testing.B) {
 	net := mustProcessor(b, pipeline.DefaultParams())
 	var states int
 	for i := 0; i < b.N; i++ {
-		g, err := reach.Build(net, reach.Options{MaxStates: 200_000})
+		g, err := reach.Build(context.Background(), net, reach.Options{MaxStates: 200_000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -563,7 +563,7 @@ func BenchmarkAnalytic(b *testing.B) {
 	var bus, issue float64
 	var states int
 	for i := 0; i < b.N; i++ {
-		r, err := analytic.Evaluate(net, reach.Options{MaxStates: 500_000})
+		r, err := analytic.Evaluate(context.Background(), net, reach.Options{MaxStates: 500_000})
 		if err != nil {
 			b.Fatal(err)
 		}

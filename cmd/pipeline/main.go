@@ -107,7 +107,7 @@ func main() {
 	}
 
 	if *doAnalytic {
-		r, err := analytic.Evaluate(net, reach.Options{MaxStates: 500_000})
+		r, err := analytic.Evaluate(context.Background(), net, reach.Options{MaxStates: 500_000})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pipeline: analytic solve skipped: %v\n", err)
 		} else {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,7 +51,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r, err := analytic.Evaluate(net, reach.Options{MaxStates: *maxStates})
+	r, err := analytic.Evaluate(context.Background(), net, reach.Options{MaxStates: *maxStates})
 	if err != nil {
 		fatal(err)
 	}

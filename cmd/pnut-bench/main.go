@@ -48,6 +48,12 @@ type benchCase struct {
 	Depth   int    `json:"depth,omitempty"`  // fork_join
 	Tokens  int    `json:"tokens,omitempty"`
 	Horizon int64  `json:"horizon"`
+	// Store/SpillBudget select the reach cases' marking store (empty =
+	// in-memory). The spill case times the same exploration with the
+	// store forced to disk, so the trajectory tracks the cost of
+	// exceeding the memory budget.
+	Store       string `json:"store,omitempty"`
+	SpillBudget int64  `json:"spill_budget,omitempty"`
 }
 
 func (c benchCase) build() *petri.Net {
@@ -72,6 +78,10 @@ var cases = []benchCase{
 // the engine cases; Horizon is unused (the build is exhaustive).
 var reachCases = []benchCase{
 	{Name: "reach_fork_join_7x4", Family: "fork_join", Width: 7, Depth: 4},
+	// The same state space with a tiny in-memory budget: nearly every
+	// sealed marking block round-trips through the spill file, pricing
+	// the disk path relative to reach_fork_join_7x4 above.
+	{Name: "reach_build_spill", Family: "fork_join", Width: 7, Depth: 4, Store: "spill", SpillBudget: 64 << 10},
 }
 
 // measurement is one case's results.
@@ -210,22 +220,31 @@ func measure(c benchCase, repeat int) (measurement, error) {
 
 // measureReach runs one exhaustive build repeat times and keeps the
 // fastest run. Shards stays 0 (GOMAXPROCS) — the production default —
-// and never changes the graph, so States doubles as a sanity pin.
+// and never changes the graph, so States doubles as a sanity pin. A
+// spill case must actually spill, or the measurement is vacuous.
 func measureReach(c benchCase, repeat int) (reachMeasurement, error) {
+	ctx := context.Background()
 	net := c.build()
-	opt := reach.Options{MaxStates: 1_000_000}
-	g, err := reach.Build(net, opt) // warm-up
+	opt := reach.Options{MaxStates: 1_000_000, Store: c.Store, SpillBudget: c.SpillBudget}
+	g, err := reach.Build(ctx, net, opt) // warm-up
 	if err != nil {
 		return reachMeasurement{}, fmt.Errorf("%s: %w", c.Name, err)
 	}
 	if g.Truncated {
+		g.Close()
 		return reachMeasurement{}, fmt.Errorf("%s: truncated at %d states", c.Name, len(g.Nodes))
 	}
+	if c.Store == reach.StoreSpill && g.SpilledBytes() == 0 {
+		g.Close()
+		return reachMeasurement{}, fmt.Errorf("%s: spill store never spilled (budget %d, %d store bytes)",
+			c.Name, c.SpillBudget, g.StoreBytes())
+	}
+	g.Close()
 	var best reachMeasurement
 	for r := 0; r < repeat; r++ {
 		cal := calibrate()
 		start := time.Now()
-		g, err = reach.Build(net, opt)
+		g, err = reach.Build(ctx, net, opt)
 		el := time.Since(start).Seconds()
 		if err != nil {
 			return reachMeasurement{}, fmt.Errorf("%s: %w", c.Name, err)
@@ -238,6 +257,7 @@ func measureReach(c benchCase, repeat int) (reachMeasurement, error) {
 				Normalized: norm, Calibration: cal,
 			}
 		}
+		g.Close()
 	}
 	return best, nil
 }

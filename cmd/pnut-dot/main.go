@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,13 +42,13 @@ func main() {
 	case !*doReach:
 		fmt.Print(petri.DOT(net))
 	case *timed:
-		g, err := reach.BuildTimed(net, reach.Options{MaxStates: *maxStates})
+		g, err := reach.BuildTimed(context.Background(), net, reach.Options{MaxStates: *maxStates})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(g.DOT())
 	default:
-		g, err := reach.Build(net, reach.Options{MaxStates: *maxStates})
+		g, err := reach.Build(context.Background(), net, reach.Options{MaxStates: *maxStates})
 		if err != nil {
 			fatal(err)
 		}

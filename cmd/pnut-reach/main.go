@@ -4,19 +4,29 @@
 // [MR87]. Coverability (-coverability) gives a definite unboundedness
 // answer for nets without inhibitor arcs.
 //
+// The state-space flags are the shared sweepcli group: -max-states,
+// -bound-cap, -explore-shards, and the spill-store knobs -store,
+// -spill-budget, -spill-dir, which let an exploration larger than RAM
+// complete by spilling marking blocks to a temp file. Ctrl-C cancels a
+// running build cleanly at the next level barrier.
+//
 //	pnut-reach -net mutex.pn -check 'AG({crit_a + crit_b <= 1})' \
 //	           -invariant 'lock=1,crit_a=1,crit_b=1'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/ptl"
 	"repro/internal/reach"
+	"repro/internal/sweepcli"
 )
 
 type repeated []string
@@ -32,8 +42,8 @@ func main() {
 	netPath := flag.String("net", "", "path to the .pn net description (required)")
 	timed := flag.Bool("timed", false, "build the timed reachability graph (constant delays only)")
 	coverability := flag.Bool("coverability", false, "run Karp-Miller coverability (no inhibitor arcs)")
-	maxStates := flag.Int("max-states", 100_000, "state-space cap")
-	shards := flag.Int("shards", 0, "exploration goroutines for the untimed build (0 = GOMAXPROCS;\nnever affects results)")
+	var ef sweepcli.EngineFlags
+	ef.RegisterState(flag.CommandLine)
 	var checks, invariants repeated
 	flag.Var(&checks, "check", "temporal-logic formula, e.g. 'AG({p + q == 1})' (repeatable)")
 	flag.Var(&invariants, "invariant", "P-invariant 'place=weight,place=weight' (repeatable)")
@@ -52,10 +62,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := reach.Options{MaxStates: *maxStates, Shards: *shards}
+	opt := ef.ReachOptions()
+	if err := opt.CheckStore(); err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *coverability {
-		unbounded, err := reach.Coverability(net, opt)
+		unbounded, err := reach.Coverability(ctx, net, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,9 +82,10 @@ func main() {
 		}
 	}
 
+	cleanup := func() {}
 	var sg reach.StateGraph
 	if *timed {
-		g, err := reach.BuildTimed(net, opt)
+		g, err := reach.BuildTimed(ctx, net, opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,9 +96,14 @@ func main() {
 		}
 		sg = g
 	} else {
-		g, err := reach.Build(net, opt)
+		g, err := reach.Build(ctx, net, opt)
 		if err != nil {
 			fatal(err)
+		}
+		cleanup = func() { g.Close() }
+		if opt.StoreName() == reach.StoreSpill {
+			fmt.Fprintf(os.Stderr, "pnut-reach: store spill: %d bytes encoded, %d spilled to disk\n",
+				g.StoreBytes(), g.SpilledBytes())
 		}
 		fmt.Print(g.Summary())
 		for _, inv := range invariants {
@@ -112,6 +134,7 @@ func main() {
 			failed = true
 		}
 	}
+	cleanup()
 	if failed {
 		os.Exit(1)
 	}

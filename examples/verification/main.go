@@ -90,7 +90,7 @@ func main() {
 		// timed graph the buggy model has a state where the token is
 		// absent from both places AND time can pass (a time-advance
 		// edge) — the correct model's in-limbo states pass in zero time.
-		tg, err := reach.BuildTimed(net, reach.Options{})
+		tg, err := reach.BuildTimed(context.Background(), net, reach.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

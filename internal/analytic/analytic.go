@@ -16,6 +16,7 @@
 package analytic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,9 +42,10 @@ type Result struct {
 type Options = reach.Options
 
 // Evaluate builds the timed reachability graph of net and solves the
-// embedded Markov chain.
-func Evaluate(net *petri.Net, opt Options) (*Result, error) {
-	g, err := reach.BuildTimed(net, opt)
+// embedded Markov chain. ctx cancels the graph construction (the
+// parallel reach.BuildTimed checks it at every level barrier).
+func Evaluate(ctx context.Context, net *petri.Net, opt Options) (*Result, error) {
+	g, err := reach.BuildTimed(ctx, net, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -28,7 +28,7 @@ func stationNet(t *testing.T) *petri.Net {
 }
 
 func TestStationExact(t *testing.T) {
-	r, err := Evaluate(stationNet(t), Options{})
+	r, err := Evaluate(context.Background(), stationNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestProbabilisticBranching(t *testing.T) {
 	b.Trans("finish_slow").In("busy_slow").Out("idle").EnablingConst(3)
 	net := b.MustBuild()
 
-	r, err := Evaluate(net, Options{})
+	r, err := Evaluate(context.Background(), net, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestDeadlockRejected(t *testing.T) {
 	b.Place("a", 1)
 	b.Place("b", 0)
 	b.Trans("t").In("a").Out("b").EnablingConst(1)
-	if _, err := Evaluate(b.MustBuild(), Options{}); err == nil {
+	if _, err := Evaluate(context.Background(), b.MustBuild(), Options{}); err == nil {
 		t.Error("deadlocking net accepted")
 	}
 }
@@ -116,7 +116,7 @@ func TestUntimedRejected(t *testing.T) {
 	b.Place("b", 0)
 	b.Trans("ab").In("a").Out("b")
 	b.Trans("ba").In("b").Out("a")
-	if _, err := Evaluate(b.MustBuild(), Options{}); err == nil {
+	if _, err := Evaluate(context.Background(), b.MustBuild(), Options{}); err == nil {
 		t.Error("untimed net accepted (zero sojourn)")
 	}
 }
@@ -125,13 +125,13 @@ func TestRandomDelaysRejected(t *testing.T) {
 	b := petri.NewBuilder("rand")
 	b.Place("a", 1)
 	b.Trans("t").In("a").Out("a").Enabling(petri.Uniform{Lo: 1, Hi: 2})
-	if _, err := Evaluate(b.MustBuild(), Options{}); err == nil {
+	if _, err := Evaluate(context.Background(), b.MustBuild(), Options{}); err == nil {
 		t.Error("random-delay net accepted")
 	}
 }
 
 func TestUnknownNames(t *testing.T) {
-	r, err := Evaluate(stationNet(t), Options{})
+	r, err := Evaluate(context.Background(), stationNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPipelineAnalyticMatchesSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Evaluate(net, Options{MaxStates: 500_000})
+	r, err := Evaluate(context.Background(), net, Options{MaxStates: 500_000})
 	if err != nil {
 		t.Skipf("pipeline timed state space not solvable: %v", err)
 	}

@@ -21,12 +21,11 @@ import (
 // AnalyticBackend is the exact analytic engine. The zero value uses
 // the reach package's state-space defaults.
 type AnalyticBackend struct {
-	// MaxStates bounds each cell's timed state space; it pins the grid
-	// and enters the cell-stream meta. (A truncated timed graph is an
-	// error, not a lower bound, so there is no BoundCap here — the
-	// field exists to satisfy the shared meta shape.)
-	MaxStates int
-	BoundCap  int
+	// Opt carries the state-space controls. MaxStates pins the grid and
+	// enters the cell-stream meta (a truncated timed graph is an error,
+	// not a lower bound); Shards is the timed build's exploration
+	// parallelism and never affects results.
+	Opt reach.Options
 }
 
 // Engine implements Backend.
@@ -36,7 +35,9 @@ func (AnalyticBackend) Engine() string { return "analytic" }
 func (AnalyticBackend) Deterministic() bool { return true }
 
 // StatePins reports the state-space controls that pin the grid meta.
-func (b AnalyticBackend) StatePins() (maxStates, boundCap int) { return b.MaxStates, b.BoundCap }
+func (b AnalyticBackend) StatePins() (maxStates, boundCap int) {
+	return b.Opt.MaxStates, b.Opt.BoundCap
+}
 
 // NewWorker implements Backend, resolving metric names eagerly.
 func (b AnalyticBackend) NewWorker(opt *SweepOptions) (BackendWorker, error) {
@@ -66,12 +67,14 @@ type analyticWorker struct {
 	evals []func(*analytic.Result) (float64, error)
 }
 
-// RunCell implements BackendWorker.
+// RunCell implements BackendWorker. ctx threads through to the timed
+// graph construction, so cancelling a sweep interrupts a cell
+// mid-build at the next level barrier.
 func (w *analyticWorker) RunCell(ctx context.Context, in CellInput) (CellOutcome, error) {
 	if err := ctx.Err(); err != nil {
 		return CellOutcome{}, err
 	}
-	r, err := analytic.Evaluate(in.Net, reach.Options{MaxStates: w.b.MaxStates, BoundCap: w.b.BoundCap})
+	r, err := analytic.Evaluate(ctx, in.Net, w.b.Opt)
 	if err != nil {
 		return CellOutcome{}, err
 	}

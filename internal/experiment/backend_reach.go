@@ -18,16 +18,13 @@ import (
 
 // ReachBackend is the exhaustive reachability engine. The zero value
 // uses the reach package defaults (100k states, bound cap 4096,
-// single-shard exploration).
+// in-memory store, GOMAXPROCS exploration).
 type ReachBackend struct {
-	// MaxStates and BoundCap bound each cell's exploration; they pin
-	// the grid (a truncated graph reports different facts), so they
-	// enter the cell-stream meta.
-	MaxStates int
-	BoundCap  int
-	// Shards is the per-cell exploration parallelism (reach.Options.
-	// Shards). It never affects results and does not pin the grid.
-	Shards int
+	// Opt carries the full state-space controls. MaxStates, BoundCap
+	// and the store selection pin the grid and enter the cell-stream
+	// meta; Shards/SpillBudget/SpillDir only shape execution (graphs
+	// are bit-identical for any value).
+	Opt reach.Options
 }
 
 // Engine implements Backend.
@@ -37,12 +34,24 @@ func (ReachBackend) Engine() string { return "reach" }
 func (ReachBackend) Deterministic() bool { return true }
 
 // StatePins reports the state-space controls that pin the grid meta.
-func (b ReachBackend) StatePins() (maxStates, boundCap int) { return b.MaxStates, b.BoundCap }
+func (b ReachBackend) StatePins() (maxStates, boundCap int) { return b.Opt.MaxStates, b.Opt.BoundCap }
+
+// StorePin reports the marking-store selection for the grid meta ("" =
+// the default in-memory store).
+func (b ReachBackend) StorePin() string {
+	if n := b.Opt.StoreName(); n != reach.StoreMem {
+		return n
+	}
+	return ""
+}
 
 // NewWorker implements Backend, resolving every metric name eagerly —
 // a misspelled metric or malformed CTL formula fails validation, not a
 // worker mid-sweep.
 func (b ReachBackend) NewWorker(opt *SweepOptions) (BackendWorker, error) {
+	if err := b.Opt.CheckStore(); err != nil {
+		return nil, err
+	}
 	evals := make([]func(*reach.Graph) (float64, error), len(opt.Metrics))
 	for i := range opt.Metrics {
 		eval, err := reachEval(opt.Metrics[i].Name)
@@ -99,21 +108,18 @@ type reachWorker struct {
 	evals []func(*reach.Graph) (float64, error)
 }
 
-// RunCell implements BackendWorker. The exploration itself honours the
-// backend's shard count; ctx is not threaded into reach.Build — cells
-// are bounded by MaxStates, so cancellation waits at most one cell.
+// RunCell implements BackendWorker. ctx threads into reach.Build, so
+// cancelling a sweep interrupts a cell mid-exploration at the next
+// level barrier.
 func (w *reachWorker) RunCell(ctx context.Context, in CellInput) (CellOutcome, error) {
 	if err := ctx.Err(); err != nil {
 		return CellOutcome{}, err
 	}
-	g, err := reach.Build(in.Net, reach.Options{
-		MaxStates: w.b.MaxStates,
-		BoundCap:  w.b.BoundCap,
-		Shards:    w.b.Shards,
-	})
+	g, err := reach.Build(ctx, in.Net, w.b.Opt)
 	if err != nil {
 		return CellOutcome{}, err
 	}
+	defer g.Close()
 	out := CellOutcome{
 		Values: make([]float64, len(w.evals)),
 		// Deterministic cells carry an empty accumulator: records then

@@ -87,7 +87,7 @@ func TestReachBackendDeterministicAndCorrect(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			g, err := reach.Build(net, reach.Options{})
+			g, err := reach.Build(context.Background(), net, reach.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +157,7 @@ func TestAnalyticBackendMatchesEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := analytic.Evaluate(ring(), reach.Options{})
+	res, err := analytic.Evaluate(context.Background(), ring(), reach.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +197,13 @@ func TestCellMetaEngine(t *testing.T) {
 	}
 
 	opt := reachOptions(1)
-	opt.Backend = ReachBackend{MaxStates: 777, BoundCap: 33, Shards: 4}
+	opt.Backend = ReachBackend{Opt: reach.Options{MaxStates: 777, BoundCap: 33, Shards: 4}}
 	m := MetaOf(opt, "m")
 	if m.Engine != "reach" || m.MaxStates != 777 || m.BoundCap != 33 {
 		t.Errorf("reach meta pins wrong: %+v", m)
+	}
+	if m.Store != "" {
+		t.Errorf("default store pinned as %q, want absent", m.Store)
 	}
 	other := m
 	other.MaxStates = 778
@@ -209,6 +212,22 @@ func TestCellMetaEngine(t *testing.T) {
 	}
 	if m.SameGrid(&simMeta) {
 		t.Error("reach grid compared equal to sim grid")
+	}
+
+	// The store selection pins the grid too: an absent store equals an
+	// explicit "mem" (pre-spill streams), but "spill" differs.
+	opt.Backend = ReachBackend{Opt: reach.Options{MaxStates: 777, BoundCap: 33, Store: reach.StoreSpill}}
+	spillMeta := MetaOf(opt, "m")
+	if spillMeta.Store != "spill" {
+		t.Errorf("spill store pinned as %q", spillMeta.Store)
+	}
+	if m.SameGrid(&spillMeta) {
+		t.Error("mem and spill store metas compared equal")
+	}
+	explicitMem := m
+	explicitMem.Store = "mem"
+	if !m.SameGrid(&explicitMem) {
+		t.Error("absent store != explicit mem")
 	}
 }
 

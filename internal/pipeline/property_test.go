@@ -123,7 +123,7 @@ func TestDeadlockFreedomSmallConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := reach.Build(net, reach.Options{MaxStates: 500_000})
+		g, err := reach.Build(context.Background(), net, reach.Options{MaxStates: 500_000})
 		if err != nil {
 			t.Fatal(err)
 		}

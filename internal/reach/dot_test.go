@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestGraphDOT(t *testing.T) {
-	g, err := Build(mutexNet(t), Options{})
+	g, err := Build(context.Background(), mutexNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestGraphDOT(t *testing.T) {
 	b.Place("a", 1)
 	b.Place("bb", 0)
 	b.Trans("t").In("a").Out("bb")
-	dg, err := Build(b.MustBuild(), Options{})
+	dg, err := Build(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestTimedGraphDOT(t *testing.T) {
 	b.Place("a", 1)
 	b.Place("bb", 0)
 	b.Trans("t").In("a").Out("bb").FiringConst(4)
-	g, err := BuildTimed(b.MustBuild(), Options{})
+	g, err := BuildTimed(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

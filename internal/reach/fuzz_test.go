@@ -1,6 +1,11 @@
 package reach
 
-import "testing"
+import (
+	"os"
+	"testing"
+
+	"repro/internal/petri"
+)
 
 // FuzzParseFormula hardens the CTL formula parser the same way the
 // expr/ptl/marking fuzz targets harden theirs: arbitrary input must
@@ -42,6 +47,80 @@ func FuzzParseFormula(f *testing.F) {
 		}
 		if s2 := fm2.String(); s2 != s {
 			t.Fatalf("String is not stable:\nfirst:  %q\nsecond: %q", s, s2)
+		}
+	})
+}
+
+// FuzzSpillBlock hardens the spill store's block decoders the same way
+// FuzzColReader hardens the columnar trace codec: a corrupt or
+// truncated spill frame (bit rot in the temp file) must error, never
+// panic, never loop forever, and every decoded entry must carry
+// in-range indices and non-negative counts. The seed corpus holds a
+// frame written by the real encoder plus truncations and byte flips.
+func FuzzSpillBlock(f *testing.F) {
+	const places = 5
+	// A genuine frame: fill one block through the production encoder
+	// with budget 0 so it seals and spills, then read the file back.
+	s := NewSpillStore(places, 0, f.TempDir())
+	m := make(petri.Marking, places)
+	for i := 0; i < spillBlockEntries; i++ {
+		m[i%places] = i * 3 % 17
+		s.Add(m)
+	}
+	if s.SpilledBytes() == 0 {
+		f.Fatal("seed store never spilled")
+	}
+	valid, err := os.ReadFile(s.f.Name())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid = valid[:s.SpilledBytes()]
+	if err := s.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	for _, cut := range []int{0, 1, 2, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	for _, pos := range []int{0, 1, 2, len(valid) / 2, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte{0x00})                                // zero-length body
+	f.Add([]byte{0x01, 0x00})                          // body with count 0
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})        // implausible body length
+	f.Add(append([]byte(nil), append(valid, 0x00)...)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		body, err := decodeSpillFrame(frame)
+		if err != nil {
+			return
+		}
+		last := -1
+		n, err := decodeSpillBody(body, places, func(i int, m petri.Marking) bool {
+			if i != last+1 {
+				t.Fatalf("entry index %d after %d", i, last)
+			}
+			last = i
+			if len(m) != places {
+				t.Fatalf("entry %d has %d places, want %d", i, len(m), places)
+			}
+			for p, c := range m {
+				if c < 0 {
+					t.Fatalf("entry %d place %d decoded negative count %d", i, p, c)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return
+		}
+		if n != last+1 {
+			t.Fatalf("count %d but %d entries decoded", n, last+1)
+		}
+		if n < 1 || n > spillBlockEntries {
+			t.Fatalf("entry count %d out of range", n)
 		}
 	})
 }

@@ -18,6 +18,7 @@
 package reach
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,6 +26,12 @@ import (
 	"sync"
 
 	"repro/internal/petri"
+)
+
+// State store names for Options.Store.
+const (
+	StoreMem   = "mem"
+	StoreSpill = "spill"
 )
 
 // Options control graph construction.
@@ -35,11 +42,25 @@ type Options struct {
 	// count exceeds this value (default 4096). Use Coverability for a
 	// definite answer on nets without inhibitor arcs.
 	BoundCap int
-	// Shards is the number of exploration goroutines Build fans each
-	// frontier level across (0 or less = GOMAXPROCS). The graph —
-	// node numbering, edge order, flags — is bit-identical for every
-	// value; shards only change wall-clock time.
+	// Shards is the number of exploration goroutines Build and
+	// BuildTimed fan each frontier level across (0 or less =
+	// GOMAXPROCS). The graph — node numbering, edge order, flags — is
+	// bit-identical for every value; shards only change wall-clock
+	// time.
 	Shards int
+	// Store selects the marking store: StoreMem (the in-memory delta
+	// store) or StoreSpill (framed blocks spilling to a temp file past
+	// SpillBudget bytes). Empty resolves to StoreSpill when SpillBudget
+	// or SpillDir is set, else StoreMem. Graphs are bit-identical
+	// across stores; the store only changes where the bytes live.
+	Store string
+	// SpillBudget is the spill store's in-memory byte allowance for
+	// sealed marking blocks (0 with the spill store = spill every
+	// sealed block to disk).
+	SpillBudget int64
+	// SpillDir is the directory for spill temp files ("" = the system
+	// temp dir).
+	SpillDir string
 }
 
 func (o *Options) defaults() {
@@ -49,6 +70,41 @@ func (o *Options) defaults() {
 	if o.BoundCap <= 0 {
 		o.BoundCap = 4096
 	}
+}
+
+// StoreName resolves the effective store selection: an explicit Store
+// wins; otherwise setting SpillBudget or SpillDir implies the spill
+// store, and the default is the in-memory store.
+func (o Options) StoreName() string {
+	if o.Store != "" {
+		return o.Store
+	}
+	if o.SpillBudget > 0 || o.SpillDir != "" {
+		return StoreSpill
+	}
+	return StoreMem
+}
+
+// CheckStore validates the store selection without building anything —
+// the flag/spec layers call it so a typo fails at parse time, not
+// mid-job.
+func (o Options) CheckStore() error {
+	switch o.StoreName() {
+	case StoreMem, StoreSpill:
+		return nil
+	}
+	return fmt.Errorf("reach: unknown state store %q (want %q or %q)", o.Store, StoreMem, StoreSpill)
+}
+
+// newStateStore builds the store Options select.
+func newStateStore(opt Options, places int) (StateStore, error) {
+	switch opt.StoreName() {
+	case StoreMem:
+		return NewMemStore(places), nil
+	case StoreSpill:
+		return NewSpillStore(places, opt.SpillBudget, opt.SpillDir), nil
+	}
+	return nil, opt.CheckStore()
 }
 
 // Edge is one graph transition.
@@ -65,11 +121,12 @@ type Node struct {
 	Out []Edge
 }
 
-// Graph is a reachability graph. Node 0 is the initial marking.
+// Graph is a reachability graph. Node 0 is the initial marking. Close
+// the graph when done: the spill store holds a temp file.
 type Graph struct {
 	Net   *petri.Net
 	Nodes []Node
-	store *markingStore
+	store StateStore
 	// Truncated is true if MaxStates was hit; construction stops at
 	// that point, so analyses are lower bounds only.
 	Truncated bool
@@ -80,7 +137,7 @@ type Graph struct {
 
 // MarkingOf decodes and returns the marking of one node. Each call
 // allocates; prefer EachMarking for whole-graph scans.
-func (g *Graph) MarkingOf(id int) petri.Marking { return g.store.at(id, nil) }
+func (g *Graph) MarkingOf(id int) petri.Marking { return g.store.At(id, nil) }
 
 // EachMarking calls fn for every node in id order with a decode buffer
 // that is reused between calls — fn must not retain m. Returning false
@@ -88,12 +145,32 @@ func (g *Graph) MarkingOf(id int) petri.Marking { return g.store.at(id, nil) }
 // which is how Bound, CheckInvariant and the CTL atom evaluation walk
 // million-state graphs without per-node allocation.
 func (g *Graph) EachMarking(fn func(id int, m petri.Marking) bool) {
-	g.store.span(0, g.store.len(), fn)
+	g.store.Span(0, g.store.Len(), fn)
 }
 
 // StoreBytes returns the encoded size of the marking store — the
-// memory the state space itself occupies, excluding adjacency.
-func (g *Graph) StoreBytes() int { return g.store.size() }
+// space the state space itself occupies (memory plus spill file),
+// excluding adjacency.
+func (g *Graph) StoreBytes() int { return g.store.Bytes() }
+
+// SpilledBytes returns how many encoded marking bytes currently live
+// on disk rather than in memory (0 for the in-memory store).
+func (g *Graph) SpilledBytes() int64 {
+	if s, ok := g.store.(*SpillStore); ok {
+		return s.SpilledBytes()
+	}
+	return 0
+}
+
+// Close releases the marking store's resources (the spill store's temp
+// file). The graph must not be used afterwards. Safe on a nil-store
+// graph and idempotent.
+func (g *Graph) Close() error {
+	if g == nil || g.store == nil {
+		return nil
+	}
+	return g.store.Close()
+}
 
 // Build constructs the untimed reachability graph: firing times and
 // enabling times are ignored and every enabled transition can fire
@@ -109,7 +186,11 @@ func (g *Graph) StoreBytes() int { return g.store.size() }
 // BuildSerial for any shard count. Construction stops the moment a
 // new state would exceed MaxStates (Truncated is set and the graph
 // holds exactly MaxStates nodes).
-func Build(net *petri.Net, opt Options) (*Graph, error) {
+//
+// ctx is checked at every level barrier (and the spill store's I/O
+// errors surface there too); on cancellation the partial graph is
+// discarded, its store closed, and ctx.Err() returned.
+func Build(ctx context.Context, net *petri.Net, opt Options) (*Graph, error) {
 	opt.defaults()
 	if net.Interpreted() {
 		return nil, fmt.Errorf("reach: net %q is interpreted (predicates/actions); reachability requires a plain net", net.Name)
@@ -119,10 +200,20 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 		shards = runtime.GOMAXPROCS(0)
 	}
 
-	g := &Graph{Net: net, store: newMarkingStore(net.NumPlaces())}
+	store, err := newStateStore(opt, net.NumPlaces())
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Net: net, store: store}
+	done := false
+	defer func() {
+		if !done {
+			g.Close()
+		}
+	}()
 	m0 := net.InitialMarking()
 	g.Nodes = append(g.Nodes, Node{ID: 0})
-	g.store.add(m0)
+	g.store.Add(m0)
 
 	// Per-shard dedup: a marking is owned by shard hash%shards; the
 	// map holds the committed node ids carrying that hash (collisions
@@ -155,6 +246,14 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 	// last round, in order, exactly like the serial FIFO queue.
 	lo, hi := 0, 1
 	for lo < hi && !g.Truncated {
+		// Level barrier: cancellation and store errors (spill I/O) are
+		// checked here, between rounds, where no goroutine is in flight.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := g.store.Err(); err != nil {
+			return nil, err
+		}
 		// Phase A — expand: decode each frontier marking and fire every
 		// enabled transition, in parallel over contiguous chunks. Only
 		// reads the store (no adds are in flight).
@@ -172,7 +271,7 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 			wg.Add(1)
 			go func(w, a, b int) {
 				defer wg.Done()
-				g.store.span(a, b, func(id int, m petri.Marking) bool {
+				g.store.Span(a, b, func(id int, m petri.Marking) bool {
 					var out []cand
 					for ti := range net.Trans {
 						t := petri.TransID(ti)
@@ -232,7 +331,7 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 					match := false
 					for _, id := range seen[w][c.hash] {
 						var eq bool
-						eq, scratch[w] = g.store.equal(int(id), c.m, scratch[w])
+						eq, scratch[w] = g.store.Equal(int(id), c.m, scratch[w])
 						if eq {
 							c.node = id
 							match = true
@@ -293,7 +392,7 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 					}
 					nid = int32(len(g.Nodes))
 					g.Nodes = append(g.Nodes, Node{ID: int(nid)})
-					g.store.add(c.m)
+					g.store.Add(c.m)
 					seen[c.hash%uint64(shards)][c.hash] = append(seen[c.hash%uint64(shards)][c.hash], nid)
 				}
 				assigned[seq] = nid
@@ -303,6 +402,10 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 		}
 		lo, hi = lvlLo, len(g.Nodes)
 	}
+	if err := g.store.Err(); err != nil {
+		return nil, err
+	}
+	done = true
 	return g, nil
 }
 
@@ -312,20 +415,39 @@ func Build(net *petri.Net, opt Options) (*Graph, error) {
 // Marking.Key() strings; nodes are processed with an index cursor (no
 // queue-head reslicing, so the visited prefix can be collected) and
 // construction stops the moment MaxStates is hit, exactly like Build.
-func BuildSerial(net *petri.Net, opt Options) (*Graph, error) {
+// ctx is checked every serialCheckEvery nodes.
+func BuildSerial(ctx context.Context, net *petri.Net, opt Options) (*Graph, error) {
 	opt.defaults()
 	if net.Interpreted() {
 		return nil, fmt.Errorf("reach: net %q is interpreted (predicates/actions); reachability requires a plain net", net.Name)
 	}
-	g := &Graph{Net: net, store: newMarkingStore(net.NumPlaces())}
+	store, err := newStateStore(opt, net.NumPlaces())
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Net: net, store: store}
+	done := false
+	defer func() {
+		if !done {
+			g.Close()
+		}
+	}()
 	index := make(map[string]int)
 	m0 := net.InitialMarking()
 	g.Nodes = append(g.Nodes, Node{ID: 0})
-	g.store.add(m0)
+	g.store.Add(m0)
 	index[m0.Key()] = 0
 	var cur petri.Marking
 	for id := 0; id < len(g.Nodes) && !g.Truncated; id++ {
-		cur = g.store.at(id, cur)
+		if id%serialCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := g.store.Err(); err != nil {
+				return nil, err
+			}
+		}
+		cur = g.store.At(id, cur)
 		m := cur
 		for ti := range net.Trans {
 			t := petri.TransID(ti)
@@ -356,14 +478,22 @@ func BuildSerial(net *petri.Net, opt Options) (*Graph, error) {
 				}
 				nid = len(g.Nodes)
 				g.Nodes = append(g.Nodes, Node{ID: nid})
-				g.store.add(next)
+				g.store.Add(next)
 				index[key] = nid
 			}
 			g.Nodes[id].Out = append(g.Nodes[id].Out, Edge{Trans: t, To: nid})
 		}
 	}
+	if err := g.store.Err(); err != nil {
+		return nil, err
+	}
+	done = true
 	return g, nil
 }
+
+// serialCheckEvery is how often (in processed nodes) the serial
+// builders poll ctx and the store's sticky error.
+const serialCheckEvery = 1024
 
 // Deadlocks returns the IDs of nodes with no outgoing edges.
 func (g *Graph) Deadlocks() []int {
@@ -491,8 +621,8 @@ type CoverNode struct {
 // Coverability runs the Karp-Miller construction and returns the set of
 // places that are unbounded. Nets with inhibitor arcs are rejected: the
 // construction is not sound for them (and reachability itself is
-// undecidable).
-func Coverability(net *petri.Net, opt Options) (unbounded []string, err error) {
+// undecidable). ctx is checked every serialCheckEvery expanded nodes.
+func Coverability(ctx context.Context, net *petri.Net, opt Options) (unbounded []string, err error) {
 	opt.defaults()
 	if net.Interpreted() {
 		return nil, fmt.Errorf("reach: interpreted nets are not supported by coverability")
@@ -544,6 +674,9 @@ func Coverability(net *petri.Net, opt Options) (unbounded []string, err error) {
 	root := &node{m: net.InitialMarking()}
 	work := []*node{root}
 	seen[root.m.Key()] = true
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	count := 0
 	for len(work) > 0 {
 		n := work[len(work)-1]
@@ -551,6 +684,11 @@ func Coverability(net *petri.Net, opt Options) (unbounded []string, err error) {
 		count++
 		if count > opt.MaxStates {
 			return nil, fmt.Errorf("reach: coverability exceeded %d states", opt.MaxStates)
+		}
+		if count%serialCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		for ti := range net.Trans {
 			t := petri.TransID(ti)

@@ -1,7 +1,7 @@
 package reach
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -10,8 +10,9 @@ import (
 )
 
 // graphsIdentical asserts bit-identity between two graphs: same nodes,
-// same edges in the same order, same marking store bytes (which pins
-// both the markings and their id order) and same flags.
+// same edges in the same order, the same marking at every id (which
+// pins both the markings and their id order, regardless of which
+// StateStore holds them) and same flags.
 func graphsIdentical(t *testing.T, want, got *Graph) {
 	t.Helper()
 	if len(want.Nodes) != len(got.Nodes) {
@@ -28,9 +29,17 @@ func graphsIdentical(t *testing.T, want, got *Graph) {
 			}
 		}
 	}
-	if !bytes.Equal(want.store.buf, got.store.buf) {
-		t.Fatalf("marking stores differ (%d vs %d bytes)", len(got.store.buf), len(want.store.buf))
-	}
+	marks := make([]petri.Marking, len(got.Nodes))
+	got.EachMarking(func(id int, m petri.Marking) bool {
+		marks[id] = append(petri.Marking(nil), m...)
+		return true
+	})
+	want.EachMarking(func(id int, m petri.Marking) bool {
+		if !m.Equal(marks[id]) {
+			t.Fatalf("node %d marking: %v != %v", id, marks[id], m)
+		}
+		return true
+	})
 	if want.Truncated != got.Truncated || want.CapExceeded != got.CapExceeded {
 		t.Fatalf("flags: truncated %v/%v capExceeded %q/%q",
 			got.Truncated, want.Truncated, got.CapExceeded, want.CapExceeded)
@@ -69,7 +78,7 @@ func TestParallelBuildMatchesSerial(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			want, err := BuildSerial(tc.net, tc.opt)
+			want, err := BuildSerial(context.Background(), tc.net, tc.opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,7 +86,7 @@ func TestParallelBuildMatchesSerial(t *testing.T) {
 			for _, shards := range []int{1, 2, 8} {
 				opt := tc.opt
 				opt.Shards = shards
-				got, err := Build(tc.net, opt)
+				got, err := Build(context.Background(), tc.net, opt)
 				if err != nil {
 					t.Fatalf("shards=%d: %v", shards, err)
 				}
@@ -97,12 +106,15 @@ func TestTruncationNeverExceedsMaxStates(t *testing.T) {
 		opt := Options{MaxStates: max}
 		for _, build := range []struct {
 			name string
-			fn   func(*petri.Net, Options) (*Graph, error)
+			fn   func(context.Context, *petri.Net, Options) (*Graph, error)
 		}{
 			{"serial", BuildSerial},
-			{"parallel", func(n *petri.Net, o Options) (*Graph, error) { o.Shards = 4; return Build(n, o) }},
+			{"parallel", func(ctx context.Context, n *petri.Net, o Options) (*Graph, error) {
+				o.Shards = 4
+				return Build(ctx, n, o)
+			}},
 		} {
-			g, err := build.fn(net, opt)
+			g, err := build.fn(context.Background(), net, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +134,7 @@ func TestTruncationNeverExceedsMaxStates(t *testing.T) {
 // double-checks MarkingOf round-trips through the store.
 func TestStoreRoundTripThroughGraph(t *testing.T) {
 	net := modelgen.DeepPipeline(9, 3, 7)
-	g, err := Build(net, Options{Shards: 3})
+	g, err := Build(context.Background(), net, Options{Shards: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +161,7 @@ func BenchmarkBuildParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var states int
 			for i := 0; i < b.N; i++ {
-				g, err := Build(net, Options{Shards: shards})
+				g, err := Build(context.Background(), net, Options{Shards: shards})
 				if err != nil {
 					b.Fatal(err)
 				}

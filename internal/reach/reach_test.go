@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func mutexNet(t *testing.T) *petri.Net {
 }
 
 func TestBuildMutexGraph(t *testing.T) {
-	g, err := Build(mutexNet(t), Options{})
+	g, err := Build(context.Background(), mutexNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestBuildMutexGraph(t *testing.T) {
 }
 
 func TestMutualExclusionViaInvariantAndCTL(t *testing.T) {
-	g, err := Build(mutexNet(t), Options{})
+	g, err := Build(context.Background(), mutexNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestMutualExclusionViaInvariantAndCTL(t *testing.T) {
 }
 
 func TestInvariantViolationReported(t *testing.T) {
-	g, err := Build(mutexNet(t), Options{})
+	g, err := Build(context.Background(), mutexNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestDeadlockDetection(t *testing.T) {
 	b.Place("a", 1)
 	b.Place("b", 0)
 	b.Trans("t").In("a").Out("b")
-	g, err := Build(b.MustBuild(), Options{})
+	g, err := Build(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,13 +115,13 @@ func TestInterpretedRejected(t *testing.T) {
 	b.Var("x", 0)
 	b.Trans("t").In("p").Out("p").Pred("x == 0")
 	net := b.MustBuild()
-	if _, err := Build(net, Options{}); err == nil {
+	if _, err := Build(context.Background(), net, Options{}); err == nil {
 		t.Error("interpreted net accepted by Build")
 	}
-	if _, err := BuildTimed(net, Options{}); err == nil {
+	if _, err := BuildTimed(context.Background(), net, Options{}); err == nil {
 		t.Error("interpreted net accepted by BuildTimed")
 	}
-	if _, err := Coverability(net, Options{}); err == nil {
+	if _, err := Coverability(context.Background(), net, Options{}); err == nil {
 		t.Error("interpreted net accepted by Coverability")
 	}
 }
@@ -132,7 +133,7 @@ func TestTruncation(t *testing.T) {
 	b.Place("sink", 0)
 	b.Trans("make").In("src").Out("src").Out("sink")
 	net := b.MustBuild()
-	g, err := Build(net, Options{MaxStates: 50})
+	g, err := Build(context.Background(), net, Options{MaxStates: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestTruncation(t *testing.T) {
 		t.Errorf("nodes = %d", len(g.Nodes))
 	}
 	// With a small BoundCap the growing place is flagged.
-	g2, err := Build(net, Options{MaxStates: 100, BoundCap: 10})
+	g2, err := Build(context.Background(), net, Options{MaxStates: 100, BoundCap: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestCoverabilityFindsUnbounded(t *testing.T) {
 	b.Place("src", 1)
 	b.Place("sink", 0)
 	b.Trans("make").In("src").Out("src").Out("sink")
-	unb, err := Coverability(b.MustBuild(), Options{})
+	unb, err := Coverability(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestCoverabilityFindsUnbounded(t *testing.T) {
 		t.Errorf("unbounded = %v, want [sink]", unb)
 	}
 	// A bounded net reports nothing.
-	unb2, err := Coverability(mutexNet(t), Options{})
+	unb2, err := Coverability(context.Background(), mutexNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,13 +180,13 @@ func TestCoverabilityRejectsInhibitors(t *testing.T) {
 	b.Place("p", 1)
 	b.Place("q", 0)
 	b.Trans("t").In("p").Inhib("q").Out("q")
-	if _, err := Coverability(b.MustBuild(), Options{}); err == nil {
+	if _, err := Coverability(context.Background(), b.MustBuild(), Options{}); err == nil {
 		t.Error("inhibitor net accepted")
 	}
 }
 
 func TestBound(t *testing.T) {
-	g, err := Build(mutexNet(t), Options{})
+	g, err := Build(context.Background(), mutexNet(t), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestCTLOperatorsOnChain(t *testing.T) {
 	b.Place("c", 0)
 	b.Trans("ab").In("a").Out("b")
 	b.Trans("bc").In("b").Out("c")
-	g, err := Build(b.MustBuild(), Options{})
+	g, err := Build(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestTimedGraphBasics(t *testing.T) {
 	b.Place("won_slow", 0)
 	b.Trans("fast").In("p").Out("won_fast").EnablingConst(2)
 	b.Trans("slow").In("p").Out("won_slow").EnablingConst(5)
-	g, err := BuildTimed(b.MustBuild(), Options{})
+	g, err := BuildTimed(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestTimedGraphBasics(t *testing.T) {
 		t.Error("slow should never win in the timed graph")
 	}
 	// The untimed graph, by contrast, allows both.
-	ug, err := Build(g.Net, Options{})
+	ug, err := Build(context.Background(), g.Net, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestTimedGraphBranchesOnTies(t *testing.T) {
 	b.Place("bb", 0)
 	b.Trans("ta").In("p").Out("a").EnablingConst(3)
 	b.Trans("tb").In("p").Out("bb").EnablingConst(3)
-	g, err := BuildTimed(b.MustBuild(), Options{})
+	g, err := BuildTimed(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestTimedGraphFiringTimes(t *testing.T) {
 	b.Place("a", 1)
 	b.Place("bb", 0)
 	b.Trans("t").In("a").Out("bb").FiringConst(4)
-	g, err := BuildTimed(b.MustBuild(), Options{})
+	g, err := BuildTimed(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestTimedRejectsRandomDelays(t *testing.T) {
 	b := petri.NewBuilder("rand")
 	b.Place("p", 1)
 	b.Trans("t").In("p").Out("p").Enabling(petri.Uniform{Lo: 1, Hi: 3})
-	if _, err := BuildTimed(b.MustBuild(), Options{}); err == nil {
+	if _, err := BuildTimed(context.Background(), b.MustBuild(), Options{}); err == nil {
 		t.Error("random delay accepted by BuildTimed")
 	}
 }
@@ -374,7 +375,7 @@ func TestTimedEnablingTimerResetSemantics(t *testing.T) {
 	b.Trans("thief").In("trigger").In("shared").Out("shared_back").EnablingConst(2)
 	b.Trans("return").In("shared_back").Out("shared").EnablingConst(2)
 	b.Trans("slow").In("shared").Out("out").EnablingConst(5)
-	g, err := BuildTimed(b.MustBuild(), Options{})
+	g, err := BuildTimed(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestGraphSummaryMentionsDeadTransitions(t *testing.T) {
 	b.Place("never", 0)
 	b.Trans("ok").In("p").Out("q")
 	b.Trans("starved").In("never").Out("q")
-	g, err := Build(b.MustBuild(), Options{})
+	g, err := Build(context.Background(), b.MustBuild(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,14 +7,13 @@
 // neighbours differ in a handful of places, so consecutive markings
 // delta-encode to a few bytes each.
 //
-// Layout: markings are appended in id order. Every storeBlock-th entry
-// is a keyframe (each place count as a uvarint); the entries after it
-// encode zigzag-varint deltas against the previous entry. blocks[]
-// records each keyframe's byte offset, so random access decodes at
-// most one block.
+// Two implementations exist behind the StateStore interface: MemStore
+// (below) keeps every block in one in-memory buffer; SpillStore
+// (spill.go) seals markings into self-contained framed blocks that
+// spill to a temp file past a byte budget, so MaxStates can exceed RAM.
 //
-// Concurrency: add must be single-threaded and must not overlap any
-// read; reads (at, equal, span) are safe concurrently with each other.
+// Concurrency: Add must be single-threaded and must not overlap any
+// read; reads (At, Equal, Span) are safe concurrently with each other.
 // The parallel builder respects this by construction — markings are
 // only appended in the sequential commit phase of a round, and only
 // read during the parallel expand/dedup phases.
@@ -26,30 +25,75 @@ import (
 	"repro/internal/petri"
 )
 
-// storeBlock is the keyframe interval: worst-case random access decodes
-// storeBlock entries.
+// StateStore is the marking container behind a reachability graph.
+// Markings are appended in node-id order and ids are dense from 0.
+// Implementations must make reads safe concurrently with each other;
+// Add is always called single-threaded with no read in flight.
+type StateStore interface {
+	// Add appends m (which is not retained) and returns its id.
+	Add(m petri.Marking) int
+	// Len returns the number of stored markings.
+	Len() int
+	// Bytes returns the encoded size in bytes, in memory plus on disk.
+	Bytes() int
+	// At decodes the marking with the given id into dst (grown if
+	// needed) and returns it.
+	At(id int, dst petri.Marking) petri.Marking
+	// Equal reports whether the stored marking id equals m, using
+	// scratch as the decode buffer; it returns the (possibly grown)
+	// scratch for reuse.
+	Equal(id int, m petri.Marking, scratch petri.Marking) (bool, petri.Marking)
+	// Span calls fn for each id in [lo, hi) in order, with a decode
+	// buffer that is reused between calls — fn must not retain m.
+	// Returning false stops the iteration.
+	Span(lo, hi int, fn func(id int, m petri.Marking) bool)
+	// Err returns the first I/O or decode error the store hit; once
+	// non-nil the store's contents must not be trusted. The builders
+	// check it at every level barrier.
+	Err() error
+	// Close releases any resources (temp files) the store holds. It is
+	// idempotent; reads after Close are undefined.
+	Close() error
+}
+
+// storeBlock is the keyframe interval of MemStore: worst-case random
+// access decodes storeBlock entries.
 const storeBlock = 32
 
-type markingStore struct {
+// MemStore is the in-memory StateStore: one contiguous buffer of
+// varint-encoded markings. Every storeBlock-th entry is a keyframe
+// (each place count as a uvarint); the entries after it encode
+// zigzag-varint deltas against the previous entry. blocks[] records
+// each keyframe's byte offset, so random access decodes at most one
+// block.
+type MemStore struct {
 	places int
 	buf    []byte
 	blocks []int // byte offset of each block's keyframe
 	n      int
-	prev   petri.Marking // last appended marking (delta base for add)
+	prev   petri.Marking // last appended marking (delta base for Add)
 }
 
-func newMarkingStore(places int) *markingStore {
-	return &markingStore{places: places}
+// NewMemStore returns an empty in-memory store for markings over the
+// given number of places.
+func NewMemStore(places int) *MemStore {
+	return &MemStore{places: places}
 }
 
-// len returns the number of stored markings.
-func (s *markingStore) len() int { return s.n }
+// Len returns the number of stored markings.
+func (s *MemStore) Len() int { return s.n }
 
-// size returns the encoded size in bytes.
-func (s *markingStore) size() int { return len(s.buf) }
+// Bytes returns the encoded size in bytes.
+func (s *MemStore) Bytes() int { return len(s.buf) }
 
-// add appends m (which is not retained) and returns its id.
-func (s *markingStore) add(m petri.Marking) int {
+// Err always returns nil: the in-memory store cannot fail.
+func (s *MemStore) Err() error { return nil }
+
+// Close is a no-op.
+func (s *MemStore) Close() error { return nil }
+
+// Add appends m (which is not retained) and returns its id.
+func (s *MemStore) Add(m petri.Marking) int {
 	id := s.n
 	if id%storeBlock == 0 {
 		s.blocks = append(s.blocks, len(s.buf))
@@ -69,7 +113,7 @@ func (s *markingStore) add(m petri.Marking) int {
 // decodeInto decodes the entry at byte offset off into dst: a keyframe
 // if key, otherwise deltas applied to dst's current contents. It
 // returns the offset past the entry.
-func (s *markingStore) decodeInto(off int, dst petri.Marking, key bool) int {
+func (s *MemStore) decodeInto(off int, dst petri.Marking, key bool) int {
 	if key {
 		for i := 0; i < s.places; i++ {
 			v, n := binary.Uvarint(s.buf[off:])
@@ -86,9 +130,9 @@ func (s *markingStore) decodeInto(off int, dst petri.Marking, key bool) int {
 	return off
 }
 
-// at decodes the marking with the given id into dst (grown if needed)
+// At decodes the marking with the given id into dst (grown if needed)
 // and returns it.
-func (s *markingStore) at(id int, dst petri.Marking) petri.Marking {
+func (s *MemStore) At(id int, dst petri.Marking) petri.Marking {
 	if cap(dst) < s.places {
 		dst = make(petri.Marking, s.places)
 	}
@@ -101,18 +145,18 @@ func (s *markingStore) at(id int, dst petri.Marking) petri.Marking {
 	return dst
 }
 
-// equal reports whether the stored marking id equals m, using scratch
+// Equal reports whether the stored marking id equals m, using scratch
 // as the decode buffer; it returns the (possibly grown) scratch for
 // reuse.
-func (s *markingStore) equal(id int, m petri.Marking, scratch petri.Marking) (bool, petri.Marking) {
-	scratch = s.at(id, scratch)
+func (s *MemStore) Equal(id int, m petri.Marking, scratch petri.Marking) (bool, petri.Marking) {
+	scratch = s.At(id, scratch)
 	return scratch.Equal(m), scratch
 }
 
-// span calls fn for each id in [lo, hi) in order, with a decode buffer
+// Span calls fn for each id in [lo, hi) in order, with a decode buffer
 // that is reused between calls — fn must not retain m. Returning false
 // stops the iteration.
-func (s *markingStore) span(lo, hi int, fn func(id int, m petri.Marking) bool) {
+func (s *MemStore) Span(lo, hi int, fn func(id int, m petri.Marking) bool) {
 	if lo >= hi {
 		return
 	}
@@ -142,20 +186,32 @@ func (s *markingStore) span(lo, hi int, fn func(id int, m petri.Marking) bool) {
 // Marking.Key() strings of the serial build — no allocation, and the
 // low bits pick the owning shard.
 func hashMarking(m petri.Marking) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := uint64(fnvOffset64)
 	for _, c := range m {
 		v := uint64(c)
 		for v >= 0x80 {
 			h ^= v&0x7f | 0x80
-			h *= prime64
+			h *= fnvPrime64
 			v >>= 7
 		}
 		h ^= v
-		h *= prime64
+		h *= fnvPrime64
+	}
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashString is FNV-1a over a string — the shard key of the timed
+// build, whose dedup is keyed by TimedNode.key() strings.
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
 	}
 	return h
 }

@@ -13,7 +13,7 @@ import (
 func TestMarkingStoreRoundTrip(t *testing.T) {
 	const places, n = 7, 5*storeBlock + 11
 	r := rand.New(rand.NewSource(42))
-	s := newMarkingStore(places)
+	s := NewMemStore(places)
 	ref := make([]petri.Marking, 0, n)
 	cur := make(petri.Marking, places)
 	for i := 0; i < n; i++ {
@@ -25,21 +25,21 @@ func TestMarkingStoreRoundTrip(t *testing.T) {
 				cur[p] = 0
 			}
 		}
-		if id := s.add(cur); id != i {
+		if id := s.Add(cur); id != i {
 			t.Fatalf("add returned id %d, want %d", id, i)
 		}
 		ref = append(ref, cur.Clone())
 	}
-	if s.len() != n {
-		t.Fatalf("len = %d, want %d", s.len(), n)
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
 	}
 	// Random access, out of order, with and without a reused buffer.
 	var buf petri.Marking
 	for _, id := range r.Perm(n) {
-		if got := s.at(id, nil); !got.Equal(ref[id]) {
+		if got := s.At(id, nil); !got.Equal(ref[id]) {
 			t.Fatalf("at(%d) = %v, want %v", id, got, ref[id])
 		}
-		buf = s.at(id, buf)
+		buf = s.At(id, buf)
 		if !buf.Equal(ref[id]) {
 			t.Fatalf("at(%d, buf) = %v, want %v", id, buf, ref[id])
 		}
@@ -47,7 +47,7 @@ func TestMarkingStoreRoundTrip(t *testing.T) {
 	// Sequential spans, including ones that start mid-block.
 	for _, span := range [][2]int{{0, n}, {storeBlock - 1, storeBlock + 2}, {17, 17}, {n - 1, n}} {
 		next := span[0]
-		s.span(span[0], span[1], func(id int, m petri.Marking) bool {
+		s.Span(span[0], span[1], func(id int, m petri.Marking) bool {
 			if id != next {
 				t.Fatalf("span %v: got id %d, want %d", span, id, next)
 			}
@@ -66,13 +66,13 @@ func TestMarkingStoreRoundTrip(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		id := r.Intn(n)
 		var eq bool
-		eq, scratch = s.equal(id, ref[id], scratch)
+		eq, scratch = s.Equal(id, ref[id], scratch)
 		if !eq {
 			t.Fatalf("equal(%d, ref[%d]) = false", id, id)
 		}
 		other := ref[id].Clone()
 		other[r.Intn(places)] += 1
-		eq, scratch = s.equal(id, other, scratch)
+		eq, scratch = s.Equal(id, other, scratch)
 		if eq {
 			t.Fatalf("equal(%d, mutated) = true", id)
 		}

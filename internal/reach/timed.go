@@ -1,9 +1,12 @@
 package reach
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/petri"
 )
@@ -87,24 +90,220 @@ func constDelay(d petri.Delay, kind, trans string) (petri.Time, error) {
 	return v, nil
 }
 
+// timedValidate rejects nets the timed construction cannot handle:
+// interpreted nets and non-constant delays.
+func timedValidate(net *petri.Net) error {
+	if net.Interpreted() {
+		return fmt.Errorf("reach: net %q is interpreted; the timed graph requires a plain net", net.Name)
+	}
+	for i := range net.Trans {
+		if _, err := constDelay(net.Trans[i].Firing, "firing", net.Trans[i].Name); err != nil {
+			return err
+		}
+		if _, err := constDelay(net.Trans[i].Enabling, "enabling", net.Trans[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timedRoot builds and interns node 0.
+func timedRoot(net *petri.Net) (*TimedNode, error) {
+	root := &TimedNode{Marking: net.InitialMarking()}
+	if err := refreshEnab(net, root, nil); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
 // BuildTimed constructs the timed reachability graph. The construction
 // follows the simulator's semantics exactly, but branches over every
 // ripe transition where the simulator draws one at random; firing
 // frequencies are therefore irrelevant here (except that frequency-0
 // transitions never fire). Nets with non-constant delays, predicates or
 // actions are rejected.
-func BuildTimed(net *petri.Net, opt Options) (*TimedGraph, error) {
+//
+// Like Build, the search is a level-synchronized parallel BFS over
+// opt.Shards goroutines: successor states are expanded in parallel,
+// deduplicated in per-shard key maps, and committed sequentially in
+// the exact (node, successor) order the serial FIFO construction
+// visits them, so the graph is bit-identical to BuildTimedSerial for
+// any shard count — including after truncation, where both keep
+// draining the frontier to add edges between already-interned states.
+// ctx is checked at every level barrier.
+func BuildTimed(ctx context.Context, net *petri.Net, opt Options) (*TimedGraph, error) {
 	opt.defaults()
-	if net.Interpreted() {
-		return nil, fmt.Errorf("reach: net %q is interpreted; the timed graph requires a plain net", net.Name)
+	if err := timedValidate(net); err != nil {
+		return nil, err
 	}
-	for i := range net.Trans {
-		if _, err := constDelay(net.Trans[i].Firing, "firing", net.Trans[i].Name); err != nil {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	g := &TimedGraph{Net: net}
+	root, err := timedRoot(net)
+	if err != nil {
+		return nil, err
+	}
+	root.ID = 0
+	g.Nodes = append(g.Nodes, root)
+
+	// Per-shard dedup, keyed by the full state key. A state is owned by
+	// shard hash(key)%shards.
+	seen := make([]map[string]int32, shards)
+	for i := range seen {
+		seen[i] = make(map[string]int32)
+	}
+	k0 := root.key()
+	seen[hashString(k0)%uint64(shards)][k0] = 0
+
+	// cand is one successor produced during frontier expansion; id/dup
+	// are the dedup resolution, as in the untimed build.
+	type cand struct {
+		node  *TimedNode
+		key   string
+		hash  uint64
+		label petri.TransID
+		delta petri.Time
+		id    int32
+		dup   int32
+	}
+
+	errs := make([]error, shards)
+	lo, hi := 0, 1
+	for lo < hi {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if _, err := constDelay(net.Trans[i].Enabling, "enabling", net.Trans[i].Name); err != nil {
-			return nil, err
+		// Phase A — expand each frontier node in parallel. The node
+		// slice is read-only here; edges are attached in Phase C.
+		perNode := make([][]cand, hi-lo)
+		chunk := (hi - lo + shards - 1) / shards
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			a, b := lo+w*chunk, lo+(w+1)*chunk
+			if a >= hi {
+				break
+			}
+			if b > hi {
+				b = hi
+			}
+			wg.Add(1)
+			go func(w, a, b int) {
+				defer wg.Done()
+				for id := a; id < b; id++ {
+					succs, err := timedSuccessors(net, g.Nodes[id])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					out := make([]cand, len(succs))
+					for i, s := range succs {
+						k := s.node.key()
+						out[i] = cand{node: s.node, key: k, hash: hashString(k), label: s.label, delta: s.delta}
+					}
+					perNode[id-lo] = out
+				}
+			}(w, a, b)
 		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Flatten to the global candidate order — (node asc, successor
+		// asc), the order the serial construction interns states in.
+		var flat []cand
+		for _, out := range perNode {
+			flat = append(flat, out...)
+		}
+		byShard := make([][]int32, shards)
+		for seq := range flat {
+			s := flat[seq].hash % uint64(shards)
+			byShard[s] = append(byShard[s], int32(seq))
+		}
+
+		// Phase B — dedup against committed states and earlier
+		// candidates of this round, per shard, in global order.
+		for w := 0; w < shards; w++ {
+			if len(byShard[w]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var pend map[string]int32
+				for _, seq := range byShard[w] {
+					c := &flat[seq]
+					c.id, c.dup = -1, -1
+					if id, ok := seen[w][c.key]; ok {
+						c.id = id
+						continue
+					}
+					if ps, ok := pend[c.key]; ok {
+						c.dup = ps
+						continue
+					}
+					if pend == nil {
+						pend = make(map[string]int32)
+					}
+					pend[c.key] = int32(seq)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Phase C — commit sequentially in global candidate order. Past
+		// MaxStates no state is interned (Truncated is set, the
+		// candidate resolves to -1 and adds no edge) but the drain
+		// continues: later levels still attach edges between committed
+		// states, exactly like the serial FIFO queue does.
+		assigned := make([]int32, len(flat))
+		lvlLo := len(g.Nodes)
+		seq := 0
+		for i, out := range perNode {
+			src := lo + i
+			for range out {
+				c := &flat[seq]
+				var nid int32
+				switch {
+				case c.id >= 0:
+					nid = c.id
+				case c.dup >= 0:
+					nid = assigned[c.dup]
+				default:
+					if len(g.Nodes) >= opt.MaxStates {
+						g.Truncated = true
+						nid = -1
+					} else {
+						nid = int32(len(g.Nodes))
+						c.node.ID = int(nid)
+						g.Nodes = append(g.Nodes, c.node)
+						seen[c.hash%uint64(shards)][c.key] = nid
+					}
+				}
+				assigned[seq] = nid
+				if nid >= 0 {
+					g.Nodes[src].Out = append(g.Nodes[src].Out, TimedEdge{Trans: c.label, Delta: c.delta, To: int(nid)})
+				}
+				seq++
+			}
+		}
+		lo, hi = lvlLo, len(g.Nodes)
+	}
+	return g, nil
+}
+
+// BuildTimedSerial is the plain serial FIFO construction — the
+// algorithm BuildTimed had before the sharded search, kept as the
+// bit-identity oracle the parallel build is tested against. ctx is
+// checked every serialCheckEvery processed nodes.
+func BuildTimedSerial(ctx context.Context, net *petri.Net, opt Options) (*TimedGraph, error) {
+	opt.defaults()
+	if err := timedValidate(net); err != nil {
+		return nil, err
 	}
 	g := &TimedGraph{Net: net}
 	index := make(map[string]int)
@@ -124,14 +323,21 @@ func BuildTimed(net *petri.Net, opt Options) (*TimedGraph, error) {
 		return n.ID, true
 	}
 
-	root := &TimedNode{Marking: net.InitialMarking()}
-	if err := refreshEnab(net, root, nil); err != nil {
+	root, err := timedRoot(net)
+	if err != nil {
 		return nil, err
 	}
 	if _, ok := intern(root); !ok && len(g.Nodes) == 0 {
 		return nil, fmt.Errorf("reach: could not intern initial state")
 	}
+	processed := 0
 	for work := []int{0}; len(work) > 0; {
+		if processed%serialCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		processed++
 		id := work[0]
 		work = work[1:]
 		node := g.Nodes[id]

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -477,5 +478,60 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.Queue.Capacity < 1 {
 		t.Fatalf("queue capacity %d", m.Queue.Capacity)
+	}
+}
+
+// TestCancelInterruptsReachBuild: DELETE on a running reach job
+// interrupts the state-space construction mid-build — the job context
+// threads through the engine into reach.Build, which observes it at
+// the next level barrier. The net grows without bound and MaxStates is
+// far beyond what the test could ever explore, so only cancellation
+// can end the job; the spill store's temp file must be gone afterwards.
+func TestCancelInterruptsReachBuild(t *testing.T) {
+	s, ts := newTestServer(t, Config{RunJobs: 1, QueueDepth: 1, Workers: 1})
+	spillDir := t.TempDir()
+	spec := sweepcli.Spec{
+		Net: `net unbounded_branch
+place src init 1
+place a
+place b
+trans grow_a
+  in src
+  out src, a
+trans grow_b
+  in src
+  out src, b
+`,
+		Engine:      "reach",
+		MaxStates:   30_000_000,
+		Store:       "spill",
+		SpillBudget: 1 << 16,
+		SpillDir:    spillDir,
+	}
+	r := decodeJob(t, submit(t, ts, spec, "", nil))
+	j, ok := s.store.get(r.ID)
+	if !ok {
+		t.Fatalf("submitted job %s not in store", r.ID)
+	}
+	waitState(t, j, StateRunning)
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+r.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, j, StateCanceled)
+
+	// The interrupted build closed its store: no spill file survives.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("canceled reach job left %d spill files", len(ents))
 	}
 }

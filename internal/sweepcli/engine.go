@@ -16,6 +16,7 @@ import (
 	"strconv"
 
 	"repro/internal/experiment"
+	"repro/internal/reach"
 )
 
 // EngineFlags selects the grid engine and its knobs. The zero value is
@@ -29,9 +30,16 @@ type EngineFlags struct {
 	// grid: truncating differently changes results.
 	MaxStates int
 	BoundCap  int
-	// Explore is the per-cell exploration parallelism of the reach
-	// engine (0 = GOMAXPROCS). Like -parallel it never affects results.
+	// Explore is the per-cell exploration parallelism of the exhaustive
+	// engines (0 = GOMAXPROCS). Like -parallel it never affects results.
 	Explore int
+	// Store selects the reach engine's marking store ("mem" or
+	// "spill"); SpillBudget/SpillDir shape the spill store. Graphs are
+	// bit-identical across stores, but Store is pinned in cell metadata
+	// so cached results record how they were produced.
+	Store       string
+	SpillBudget int64
+	SpillDir    string
 	// Bounds and Checks are the reach engine's repeatable metric
 	// selectors: observed token bounds and CTL verdicts.
 	Bounds Repeated
@@ -44,11 +52,35 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 		"state-space analysis; deterministic, one rep per point), analytic\n"+
 		"(exact steady-state solution) or sim+analytic (pnut-sweep only:\n"+
 		"run both and cross-validate)")
-	fs.IntVar(&f.MaxStates, "max-states", 0, "with -engine reach/analytic: state-space cap per grid point (0 = 100000)")
-	fs.IntVar(&f.BoundCap, "bound-cap", 0, "with -engine reach: flag a place as potentially unbounded past this\ntoken count (0 = 4096)")
-	fs.IntVar(&f.Explore, "explore-shards", 0, "with -engine reach: exploration goroutines per cell (0 = GOMAXPROCS;\nnever affects results)")
+	f.RegisterState(fs)
 	fs.Var(&f.Bounds, "bound", "with -engine reach: report the observed token bound of this place (repeatable)")
 	fs.Var(&f.Checks, "ctl", "with -engine reach: check this CTL formula per grid point, 1 = holds (repeatable)")
+}
+
+// RegisterState installs just the state-space flags — the subset
+// shared with pnut-reach, which explores one net rather than a grid.
+func (f *EngineFlags) RegisterState(fs *flag.FlagSet) {
+	fs.IntVar(&f.MaxStates, "max-states", 0, "state-space cap per exploration (0 = 100000)")
+	fs.IntVar(&f.BoundCap, "bound-cap", 0, "flag a place as potentially unbounded past this token count (0 = 4096)")
+	fs.IntVar(&f.Explore, "explore-shards", 0, "exploration goroutines per state-space build (0 = GOMAXPROCS;\nnever affects results)")
+	fs.StringVar(&f.Store, "store", "", "marking store: mem (in-memory delta store, the default) or spill\n(columnar blocks spilling to a temp file; implied by -spill-budget\nor -spill-dir). Results are bit-identical either way")
+	fs.Int64Var(&f.SpillBudget, "spill-budget", 0, "with the spill store: in-memory byte budget for sealed marking\nblocks before they spill to disk (0 with -store spill = spill\nevery sealed block)")
+	fs.StringVar(&f.SpillDir, "spill-dir", "", "directory for spill temp files (empty = the system temp dir)")
+}
+
+// ReachOptions is the single constructor of reach.Options from the
+// flag group: CLIs, the engine backends and the server's Spec surface
+// all build their options here, so the mapping cannot drift between
+// surfaces.
+func (f *EngineFlags) ReachOptions() reach.Options {
+	return reach.Options{
+		MaxStates:   f.MaxStates,
+		BoundCap:    f.BoundCap,
+		Shards:      f.Explore,
+		Store:       f.Store,
+		SpillBudget: f.SpillBudget,
+		SpillDir:    f.SpillDir,
+	}
 }
 
 // Args reconstructs the flag list that reproduces the group; empty for
@@ -67,6 +99,15 @@ func (f *EngineFlags) Args() []string {
 	if f.Explore != 0 {
 		args = append(args, "-explore-shards", strconv.Itoa(f.Explore))
 	}
+	if f.Store != "" {
+		args = append(args, "-store", f.Store)
+	}
+	if f.SpillBudget != 0 {
+		args = append(args, "-spill-budget", strconv.FormatInt(f.SpillBudget, 10))
+	}
+	if f.SpillDir != "" {
+		args = append(args, "-spill-dir", f.SpillDir)
+	}
 	for _, p := range f.Bounds {
 		args = append(args, "-bound", p)
 	}
@@ -80,10 +121,16 @@ func (f *EngineFlags) Args() []string {
 // and replication shape. opt arrives with the engine-neutral grid
 // already in place (axes, seed schedule, adaptive rule, build hook).
 func (c *Config) applyEngine(opt *experiment.SweepOptions) error {
+	if err := c.EngineFlags.ReachOptions().CheckStore(); err != nil {
+		return fmt.Errorf("-store: %w", err)
+	}
 	switch c.Engine {
 	case "", "sim":
 		if len(c.Bounds)+len(c.Checks) > 0 {
 			return fmt.Errorf("-bound and -ctl are state-space metrics and need -engine reach")
+		}
+		if c.Store != "" || c.SpillBudget != 0 || c.SpillDir != "" {
+			return fmt.Errorf("-store, -spill-budget and -spill-dir shape the reach marking store and\nneed -engine reach")
 		}
 		metrics := c.Metrics()
 		if len(metrics) == 0 {
@@ -113,10 +160,15 @@ func (c *Config) applyEngine(opt *experiment.SweepOptions) error {
 		// Deterministic cells: replications would be byte-identical
 		// copies, so the grid collapses to one rep per point.
 		opt.Reps = 1
-		opt.Backend = experiment.ReachBackend{MaxStates: c.EngineFlags.MaxStates, BoundCap: c.BoundCap, Shards: c.Explore}
+		opt.Backend = experiment.ReachBackend{Opt: c.EngineFlags.ReachOptions()}
 	case "analytic":
 		if len(c.Bounds)+len(c.Checks) > 0 {
 			return fmt.Errorf("-bound and -ctl are state-space metrics and need -engine reach")
+		}
+		if c.Store != "" || c.SpillBudget != 0 || c.SpillDir != "" {
+			// The timed graph interns whole states, not markings; the
+			// marking store (and so the spill machinery) never runs here.
+			return fmt.Errorf("-store, -spill-budget and -spill-dir shape the reach marking store and\nneed -engine reach")
 		}
 		if opt.Adaptive != nil {
 			return fmt.Errorf("-adaptive needs a stochastic engine; -engine analytic is exact (one rep per point)")
@@ -127,7 +179,7 @@ func (c *Config) applyEngine(opt *experiment.SweepOptions) error {
 		}
 		opt.Metrics = metrics
 		opt.Reps = 1
-		opt.Backend = experiment.AnalyticBackend{MaxStates: c.EngineFlags.MaxStates, BoundCap: c.BoundCap}
+		opt.Backend = experiment.AnalyticBackend{Opt: c.EngineFlags.ReachOptions()}
 	case "sim+analytic":
 		return fmt.Errorf("-engine sim+analytic is pnut-sweep's cross-validation mode and cannot run as a single grid")
 	default:

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/reach"
 )
 
 // TestEngineOptions: the engine switch shapes the sweep — metric set,
@@ -184,5 +185,82 @@ func TestCrossOptionsAndValidate(t *testing.T) {
 	}
 	if anaOpt.Adaptive != nil {
 		t.Error("analytic half kept the adaptive rule")
+	}
+}
+
+// TestEngineStoreFlags: the state-store group flows flags -> options ->
+// backend -> grid meta, rejects cross-engine combinations, and fails a
+// bad store name at parse time on both surfaces.
+func TestEngineStoreFlags(t *testing.T) {
+	c := parseConfig(t, "-model", "cache", "-axis", "DHitRatio=0,1",
+		"-engine", "reach", "-store", "spill", "-spill-budget", "4096", "-spill-dir", "/tmp/x")
+	opt, _, err := c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, ok := opt.Backend.(experiment.ReachBackend)
+	if !ok {
+		t.Fatalf("backend = %T, want ReachBackend", opt.Backend)
+	}
+	if rb.Opt.Store != reach.StoreSpill || rb.Opt.SpillBudget != 4096 || rb.Opt.SpillDir != "/tmp/x" {
+		t.Errorf("backend options lost the store group: %+v", rb.Opt)
+	}
+	if m := experiment.MetaOf(opt, ""); m.Store != "spill" {
+		t.Errorf("grid meta store pin = %q, want spill", m.Store)
+	}
+
+	// -spill-budget alone implies the spill store.
+	c = parseConfig(t, "-model", "cache", "-axis", "DHitRatio=0,1",
+		"-engine", "reach", "-spill-budget", "512")
+	opt, _, err = c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := experiment.MetaOf(opt, ""); m.Store != "spill" {
+		t.Errorf("implied spill store pinned as %q", m.Store)
+	}
+
+	for _, bad := range [][]string{
+		{"-throughput", "Issue", "-store", "spill"},      // sim engine
+		{"-throughput", "Issue", "-spill-budget", "512"}, // sim engine
+		{"-engine", "reach", "-store", "fancy"},          // unknown store
+		// The timed build interns whole states: the marking store never
+		// runs under the analytic engine.
+		{"-engine", "analytic", "-throughput", "Issue", "-store", "spill"},
+		{"-engine", "analytic", "-throughput", "Issue", "-spill-budget", "512"},
+	} {
+		args := append([]string{"-model", "cache", "-axis", "DHitRatio=0,1"}, bad...)
+		if _, _, err := parseConfig(t, args...).Options(); err == nil {
+			t.Errorf("flags %v produced options", bad)
+		}
+	}
+
+	// The declarative surface carries the same group: spec -> flags ->
+	// options agrees with the CLI, and the projection keeps it.
+	spec := Spec{
+		Model: "cache", Axes: []string{"DHitRatio=0,1"},
+		Engine: "reach", Store: "spill", SpillBudget: 4096, SpillDir: "/tmp/x",
+	}
+	got, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := parseConfig(t, "-model", "cache", "-axis", "DHitRatio=0,1",
+		"-engine", "reach", "-store", "spill", "-spill-budget", "4096", "-spill-dir", "/tmp/x").Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGrid(t, got, want) {
+		t.Fatalf("spec store grid differs from flag grid:\nspec: %+v\ncli:  %+v",
+			experiment.MetaOf(got, ""), experiment.MetaOf(want, ""))
+	}
+	c = parseConfig(t, "-model", "cache", "-axis", "DHitRatio=0,1",
+		"-engine", "reach", "-store", "spill", "-spill-budget", "4096", "-spill-dir", "/tmp/x")
+	if s := SpecFromConfig(c); s.Store != "spill" || s.SpillBudget != 4096 || s.SpillDir != "/tmp/x" {
+		t.Errorf("projected spec lost the store group: %+v", s)
+	}
+	badSpec := Spec{Model: "cache", Engine: "reach", Store: "fancy"}
+	if _, _, err := badSpec.Resolve(); err == nil {
+		t.Error("spec accepted an unknown store name")
 	}
 }

@@ -61,6 +61,13 @@ type Spec struct {
 	ExploreShards int      `json:"exploreShards,omitempty"`
 	Bound         []string `json:"bound,omitempty"`
 	Ctl           []string `json:"ctl,omitempty"`
+	// Store selects the reach engine's marking store (mem or spill);
+	// SpillBudget/SpillDir shape the spill store, letting jobs whose
+	// state space exceeds RAM complete by spilling. Results are
+	// bit-identical across stores.
+	Store       string `json:"store,omitempty"`
+	SpillBudget int64  `json:"spillBudget,omitempty"`
+	SpillDir    string `json:"spillDir,omitempty"`
 
 	// Parallel caps the job's worker goroutines (0 = server default;
 	// never affects results). Format selects the result rendering:
@@ -131,6 +138,15 @@ func (s *Spec) Flags() []string {
 	}
 	if s.ExploreShards != 0 {
 		args = append(args, "-explore-shards", strconv.Itoa(s.ExploreShards))
+	}
+	if s.Store != "" {
+		args = append(args, "-store", s.Store)
+	}
+	if s.SpillBudget != 0 {
+		args = append(args, "-spill-budget", strconv.FormatInt(s.SpillBudget, 10))
+	}
+	if s.SpillDir != "" {
+		args = append(args, "-spill-dir", s.SpillDir)
 	}
 	for _, p := range s.Bound {
 		args = append(args, "-bound", p)
@@ -215,6 +231,9 @@ func SpecFromConfig(c *Config) Spec {
 		s.MaxStates = c.EngineFlags.MaxStates
 		s.BoundCap = c.BoundCap
 		s.ExploreShards = c.Explore
+		s.Store = c.Store
+		s.SpillBudget = c.SpillBudget
+		s.SpillDir = c.SpillDir
 		s.Bound = append([]string(nil), c.Bounds...)
 		s.Ctl = append([]string(nil), c.Checks...)
 	}

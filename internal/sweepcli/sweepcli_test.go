@@ -41,6 +41,14 @@ func TestWorkerArgsRoundTrip(t *testing.T) {
 				Bounds: Repeated{"p1", "p2"}, Checks: Repeated{"AG !deadlock"},
 			},
 		},
+		{
+			Net: "testdata/pipeline.pn", Model: "pipeline", RunFlags: RunFlags{Horizon: 10_000, Seed: 1}, Reps: 1,
+			Axes: Repeated{"max_type=4,6"},
+			EngineFlags: EngineFlags{
+				Engine: "reach", MaxStates: 5000,
+				Store: "spill", SpillBudget: 1 << 20, SpillDir: "/tmp/spill",
+			},
+		},
 	}
 	for _, want := range cfgs {
 		var got Config
